@@ -1,0 +1,68 @@
+// Ablations of Revelio's design choices called out in §IV-B:
+//   1. tanh vs sigmoid flow masks (the paper argues tanh avoids inflating
+//      edges that merely carry many flows);
+//   2. exp vs softplus vs no per-layer weight activation for w (the paper
+//      picks exp empirically).
+// Reported: motif AUC and Fidelity- at sparsity 0.7 on BA-Shapes (GCN).
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/revelio.h"
+#include "eval/metrics.h"
+#include "eval/runner.h"
+
+namespace {
+
+using namespace revelio;         // NOLINT
+using namespace revelio::bench;  // NOLINT
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  BenchScope scope = ParseScope(flags, {"ba_shapes"}, 5, 100);
+
+  std::printf("== Ablation: Revelio design choices (Eqs. 4-5) ==\n");
+  PrintScope("ablation", scope);
+
+  eval::PreparedModel prepared =
+      eval::PrepareModel(scope.datasets[0], gnn::GnnArch::kGcn, scope.config);
+  const auto instances =
+      eval::SelectInstances(prepared, scope.config, eval::InstanceFilter::kMotifCorrect);
+  LOG_INFO << instances.size() << " motif instances ready";
+
+  struct Variant {
+    std::string name;
+    bool tanh;
+    core::RevelioOptions::LayerScaling scaling;
+  };
+  const std::vector<Variant> variants = {
+      {"tanh + exp(w) (paper)", true, core::RevelioOptions::LayerScaling::kExp},
+      {"tanh + softplus(w)", true, core::RevelioOptions::LayerScaling::kSoftplus},
+      {"tanh + no layer weights", true, core::RevelioOptions::LayerScaling::kNone},
+      {"sigmoid + exp(w)", false, core::RevelioOptions::LayerScaling::kExp},
+      {"sigmoid + no layer weights", false, core::RevelioOptions::LayerScaling::kNone},
+  };
+
+  util::TablePrinter table({"Variant", "AUC", "Fidelity- (s=0.7)"});
+  for (const Variant& variant : variants) {
+    core::RevelioOptions options;
+    options.epochs = scope.config.explainer_epochs;
+    options.use_tanh_flow_masks = variant.tanh;
+    options.layer_scaling = variant.scaling;
+    core::RevelioExplainer revelio(options);
+    const double auc =
+        eval::RunAuc(&revelio, prepared, instances, explain::Objective::kFactual);
+    core::RevelioExplainer revelio_fidelity(options);
+    const auto curve = eval::RunFidelity(&revelio_fidelity, prepared, instances,
+                                         explain::Objective::kFactual, {0.7});
+    table.AddRow({variant.name, util::TablePrinter::FormatDouble(auc, 3),
+                  util::TablePrinter::FormatDouble(curve.values[0], 3)});
+    LOG_INFO << variant.name << " done";
+  }
+  table.Print();
+  std::printf("\nExpected shape (paper §IV-B): tanh masks beat sigmoid (which inflates\n"
+              "many-flow edges); exp(w) layer scaling is the best performer.\n");
+  return 0;
+}

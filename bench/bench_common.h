@@ -1,0 +1,107 @@
+#ifndef REVELIO_BENCH_BENCH_COMMON_H_
+#define REVELIO_BENCH_BENCH_COMMON_H_
+
+// Shared scope/flag handling for the per-table/figure bench binaries.
+//
+// Every bench runs standalone with scaled-down defaults sized for a 1-core
+// box (fewer instances/epochs than the paper; the reduction is printed) and
+// accepts:
+//   --full                 paper-scale settings (50 instances, 500 epochs)
+//   --datasets a,b,c       dataset subset
+//   --archs GCN,GIN,GAT    architecture subset
+//   --methods A,B,C        explainer subset
+//   --instances N          instances per dataset
+//   --epochs N             learning-based explainer epochs
+//   --seed S
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "eval/runner.h"
+#include "util/flags.h"
+#include "util/logging.h"
+#include "util/table_printer.h"
+
+namespace revelio::bench {
+
+inline std::vector<std::string> SplitCsv(const std::string& value) {
+  std::vector<std::string> parts;
+  size_t begin = 0;
+  while (begin <= value.size()) {
+    const size_t comma = value.find(',', begin);
+    if (comma == std::string::npos) {
+      if (begin < value.size()) parts.push_back(value.substr(begin));
+      break;
+    }
+    parts.push_back(value.substr(begin, comma - begin));
+    begin = comma + 1;
+  }
+  return parts;
+}
+
+struct BenchScope {
+  std::vector<std::string> datasets;
+  std::vector<gnn::GnnArch> archs;
+  std::vector<std::string> methods;
+  eval::RunnerConfig config;
+  bool full = false;
+};
+
+inline gnn::GnnArch ArchFromName(const std::string& name) {
+  if (name == "GCN" || name == "gcn") return gnn::GnnArch::kGcn;
+  if (name == "GIN" || name == "gin") return gnn::GnnArch::kGin;
+  if (name == "GAT" || name == "gat") return gnn::GnnArch::kGat;
+  CHECK(false) << "unknown arch: " << name;
+  return gnn::GnnArch::kGcn;
+}
+
+// Builds the scope from flags. `default_datasets` / `default_instances` /
+// `default_epochs` are the bench's reduced 1-core defaults.
+inline BenchScope ParseScope(const util::Flags& flags,
+                             std::vector<std::string> default_datasets,
+                             int default_instances, int default_epochs) {
+  BenchScope scope;
+  scope.full = flags.GetBool("full", false);
+  scope.datasets = scope.full ? datasets::AllDatasetNames() : std::move(default_datasets);
+  if (flags.Has("datasets")) scope.datasets = SplitCsv(flags.GetString("datasets", ""));
+
+  scope.archs = {gnn::GnnArch::kGcn, gnn::GnnArch::kGin};
+  if (scope.full) scope.archs.push_back(gnn::GnnArch::kGat);
+  if (flags.Has("archs")) {
+    scope.archs.clear();
+    for (const auto& name : SplitCsv(flags.GetString("archs", ""))) {
+      scope.archs.push_back(ArchFromName(name));
+    }
+  }
+
+  scope.methods = eval::AllExplainerNames();
+  if (flags.Has("methods")) scope.methods = SplitCsv(flags.GetString("methods", ""));
+
+  scope.config.seed = flags.GetInt("seed", 1);
+  scope.config.num_instances =
+      flags.GetInt("instances", scope.full ? 50 : default_instances);
+  scope.config.explainer_epochs = flags.GetInt("epochs", scope.full ? 500 : default_epochs);
+  // Micro-subgraphs (a handful of edges) make fidelity pure noise; skip them
+  // unless explicitly requested.
+  scope.config.min_instance_edges = flags.GetInt("min-edges", 12);
+  return scope;
+}
+
+inline void PrintScope(const char* what, const BenchScope& scope) {
+  std::string datasets;
+  for (const auto& d : scope.datasets) datasets += d + " ";
+  LOG_INFO << what << ": instances/dataset=" << scope.config.num_instances
+           << " explainer epochs=" << scope.config.explainer_epochs
+           << (scope.full ? " (paper scale)" : " (reduced 1-core defaults; --full for paper scale)")
+           << " datasets: " << datasets;
+}
+
+// Methods skipped for an arch (paper: GNN-LRP is incompatible with GAT).
+inline bool MethodSupportsArch(const std::string& method, gnn::GnnArch arch) {
+  return !(method == "GNN-LRP" && arch == gnn::GnnArch::kGat);
+}
+
+}  // namespace revelio::bench
+
+#endif  // REVELIO_BENCH_BENCH_COMMON_H_

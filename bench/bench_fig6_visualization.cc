@@ -1,0 +1,98 @@
+// Reproduces paper Fig. 6: qualitative visualization of explanatory edges on
+// BA-Shapes (GCN) and BA-2motifs (GIN). For each method, the top-k edges are
+// rendered against the ground-truth motif; the printed recall corresponds to
+// the dark-vs-dashed-red distinction in the paper's figure.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "eval/metrics.h"
+#include "eval/runner.h"
+#include "graph/dot_export.h"
+
+namespace {
+
+using namespace revelio;          // NOLINT
+using namespace revelio::bench;   // NOLINT
+
+void Visualize(const char* title, const eval::PreparedModel& prepared,
+               const std::vector<eval::EvalInstance>& instances, const BenchScope& scope) {
+  CHECK(!instances.empty());
+  const eval::EvalInstance& instance = instances[0];
+  const explain::ExplanationTask task = instance.MakeTask(prepared.model.get());
+
+  int motif_edge_count = 0;
+  for (char m : instance.edge_in_motif) motif_edge_count += m;
+  std::printf("\n-- %s: %d nodes / %d edges, motif has %d directed edges --\n", title,
+              task.graph->num_nodes(), task.graph->num_edges(), motif_edge_count);
+
+  // Following the paper, report a few extra explanatory edges beyond |motif|.
+  const int top_k = motif_edge_count + 4;
+  util::TablePrinter table({"Method", "top-k edges (motif edges marked *)", "motif recall"});
+  for (const std::string& method : scope.methods) {
+    if (!MethodSupportsArch(method, prepared.arch)) continue;
+    auto explainer = eval::MakeExplainer(method, scope.config);
+    eval::TrainAmortized(explainer.get(), prepared, instances, explain::Objective::kFactual,
+                         scope.config);
+    const auto scores = explainer->Explain(task, explain::Objective::kFactual).edge_scores;
+    const auto order = eval::RankEdges(scores);
+    std::string rendered;
+    int hits = 0;
+    for (int rank = 0; rank < top_k && rank < static_cast<int>(order.size()); ++rank) {
+      const int e = order[rank];
+      const auto& edge = task.graph->edge(e);
+      if (rank > 0) rendered += " ";
+      rendered += std::to_string(edge.src) + ">" + std::to_string(edge.dst);
+      if (instance.edge_in_motif[e]) {
+        rendered += "*";
+        ++hits;
+      }
+    }
+    const double recall =
+        motif_edge_count > 0 ? static_cast<double>(hits) / motif_edge_count : 0.0;
+    table.AddRow({method, rendered, util::TablePrinter::FormatDouble(recall, 2)});
+    LOG_INFO << method << " recall " << recall;
+
+    // Graphviz artifact per method (render with `dot -Tpng`).
+    graph::DotStyle style;
+    style.edge_selected.assign(task.graph->num_edges(), 0);
+    for (int rank = 0; rank < top_k && rank < static_cast<int>(order.size()); ++rank) {
+      style.edge_selected[order[rank]] = 1;
+    }
+    style.edge_ground_truth.assign(instance.edge_in_motif.begin(),
+                                   instance.edge_in_motif.end());
+    style.target_node = instance.target_node;
+    const std::string path = std::string("fig6_") + title[6] + "_" + method + ".dot";
+    const util::Status status = graph::WriteDotFile(path, *task.graph, style);
+    if (!status.ok()) LOG_WARNING << status.ToString();
+  }
+  table.Print();
+  std::printf("(DOT files written alongside; render with `dot -Tpng fig6_*.dot`)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  BenchScope scope = ParseScope(flags, {}, 4, 80);
+
+  std::printf("== Fig. 6: explanatory-edge visualization against motif ground truth ==\n");
+  {
+    eval::PreparedModel prepared =
+        eval::PrepareModel("ba_shapes", gnn::GnnArch::kGcn, scope.config);
+    auto instances =
+        eval::SelectInstances(prepared, scope.config, eval::InstanceFilter::kMotifCorrect);
+    Visualize("Fig. 6a: BA-Shapes with GCN", prepared, instances, scope);
+  }
+  {
+    eval::PreparedModel prepared =
+        eval::PrepareModel("ba_2motifs", gnn::GnnArch::kGin, scope.config);
+    auto instances =
+        eval::SelectInstances(prepared, scope.config, eval::InstanceFilter::kMotifCorrect);
+    Visualize("Fig. 6b: BA-2motifs with GIN", prepared, instances, scope);
+  }
+  std::printf("\nExpected shape (paper): flow-based methods recover most motif edges;\n"
+              "some methods also select the motif-attachment edges, reflecting the\n"
+              "model's actual use of the connecting structure.\n");
+  return 0;
+}

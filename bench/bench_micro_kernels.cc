@@ -1,0 +1,135 @@
+// google-benchmark microbenchmarks for the hot kernels every experiment sits
+// on: matmul, message-passing gather/scatter, flow enumeration, the Eq. 5/7
+// mask transformation, and a full masked GNN forward pass.
+
+#include <benchmark/benchmark.h>
+
+#include "flow/message_flow.h"
+#include "gnn/model.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace revelio;  // NOLINT
+
+void BM_MatMul(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  util::Rng rng(1);
+  tensor::Tensor a = tensor::Tensor::Randn(n, n, &rng);
+  tensor::Tensor b = tensor::Tensor::Randn(n, n, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * int64_t{2} * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_GatherScatter(benchmark::State& state) {
+  const int edges = static_cast<int>(state.range(0));
+  const int nodes = edges / 4 + 1;
+  util::Rng rng(2);
+  tensor::Tensor h = tensor::Tensor::Randn(nodes, 32, &rng);
+  std::vector<int> src(edges), dst(edges);
+  for (int e = 0; e < edges; ++e) {
+    src[e] = rng.UniformInt(nodes);
+    dst[e] = rng.UniformInt(nodes);
+  }
+  for (auto _ : state) {
+    tensor::Tensor messages = tensor::GatherRows(h, src);
+    benchmark::DoNotOptimize(tensor::ScatterAddRows(messages, dst, nodes));
+  }
+  state.SetItemsProcessed(state.iterations() * edges);
+}
+BENCHMARK(BM_GatherScatter)->Arg(1024)->Arg(8192);
+
+void BM_FlowEnumeration(benchmark::State& state) {
+  const int branching = static_cast<int>(state.range(0));
+  // In-tree of depth 3 toward node 0.
+  int nodes = 1 + branching + branching * branching + branching * branching * branching;
+  graph::Graph g(nodes);
+  int next = 1;
+  std::vector<int> frontier{0};
+  for (int depth = 0; depth < 3; ++depth) {
+    std::vector<int> next_frontier;
+    for (int parent : frontier) {
+      for (int child = 0; child < branching; ++child) {
+        g.AddEdge(next, parent);
+        next_frontier.push_back(next++);
+      }
+    }
+    frontier = std::move(next_frontier);
+  }
+  const gnn::LayerEdgeSet edges = gnn::BuildLayerEdges(g);
+  int64_t flows = 0;
+  for (auto _ : state) {
+    flow::FlowSet set = flow::EnumerateFlowsToTarget(edges, 0, 3);
+    flows = set.num_flows();
+    benchmark::DoNotOptimize(set);
+  }
+  state.SetItemsProcessed(state.iterations() * flows);
+}
+BENCHMARK(BM_FlowEnumeration)->Arg(3)->Arg(6)->Arg(9);
+
+void BM_MaskTransformation(benchmark::State& state) {
+  // Eq. 7: omega[E] = sigmoid(I * omega[F] (.) exp(w)) via scatter-add.
+  const int branching = static_cast<int>(state.range(0));
+  int nodes = 1 + branching + branching * branching + branching * branching * branching;
+  graph::Graph g(nodes);
+  int next = 1;
+  std::vector<int> frontier{0};
+  for (int depth = 0; depth < 3; ++depth) {
+    std::vector<int> next_frontier;
+    for (int parent : frontier) {
+      for (int child = 0; child < branching; ++child) {
+        g.AddEdge(next, parent);
+        next_frontier.push_back(next++);
+      }
+    }
+    frontier = std::move(next_frontier);
+  }
+  const gnn::LayerEdgeSet edges = gnn::BuildLayerEdges(g);
+  flow::FlowSet flows = flow::EnumerateFlowsToTarget(edges, 0, 3);
+  util::Rng rng(3);
+  tensor::Tensor mask_params =
+      tensor::Tensor::Randn(flows.num_flows(), 1, &rng).WithRequiresGrad();
+  tensor::Tensor layer_weights = tensor::Tensor::Zeros(3, 1).WithRequiresGrad();
+  for (auto _ : state) {
+    tensor::Tensor omega = tensor::Tanh(mask_params);
+    tensor::Tensor scale = tensor::Exp(layer_weights);
+    for (int l = 0; l < 3; ++l) {
+      tensor::Tensor accumulated =
+          tensor::ScatterAddRows(omega, flows.EdgesAtLayer(l), flows.num_layer_edges());
+      benchmark::DoNotOptimize(tensor::Sigmoid(
+          tensor::ScaleByScalarTensor(accumulated, tensor::Select(scale, l, 0))));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * flows.num_flows() * 3);
+}
+BENCHMARK(BM_MaskTransformation)->Arg(4)->Arg(8);
+
+void BM_MaskedGnnForward(benchmark::State& state) {
+  const int nodes = static_cast<int>(state.range(0));
+  util::Rng rng(5);
+  graph::Graph g(nodes);
+  for (int v = 1; v < nodes; ++v) g.AddUndirectedEdge(v, rng.UniformInt(v));
+  gnn::GnnConfig config;
+  config.arch = gnn::GnnArch::kGcn;
+  config.input_dim = 16;
+  config.hidden_dim = 32;
+  config.num_classes = 4;
+  gnn::GnnModel model(config);
+  tensor::Tensor x = tensor::Tensor::Randn(nodes, 16, &rng);
+  const gnn::LayerEdgeSet edges = gnn::BuildLayerEdges(g);
+  std::vector<tensor::Tensor> masks(
+      3, tensor::Tensor::Full(edges.num_layer_edges(), 1, 0.7f));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Run(g, edges, x, masks).logits);
+  }
+  state.SetItemsProcessed(state.iterations() * edges.num_layer_edges());
+}
+BENCHMARK(BM_MaskedGnnForward)->Arg(128)->Arg(1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,126 @@
+// Reproduces paper Tables VI/VII (with Figs. 7/8): the top-10 message flows
+// reported by the flow-based methods (GNN-LRP, FlowX, Revelio) on one
+// BA-Shapes node instance and one BA-2motifs graph instance. The paper's
+// qualitative findings: all methods concentrate on motif-adjacent flows on
+// BA-Shapes; score scales differ wildly across methods (LRP arbitrary,
+// Shapley tiny, Revelio in (-1,1)).
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/revelio.h"
+#include "eval/runner.h"
+#include "explain/flowx.h"
+#include "explain/gnnlrp.h"
+#include "flow/flow_scores.h"
+
+namespace {
+
+using namespace revelio;          // NOLINT
+using namespace revelio::bench;   // NOLINT
+
+void ReportTopFlows(const char* title, const eval::PreparedModel& prepared,
+                    const eval::EvalInstance& instance, int epochs) {
+  const explain::ExplanationTask task = instance.MakeTask(prepared.model.get());
+  const gnn::LayerEdgeSet edges = gnn::BuildLayerEdges(*task.graph);
+  flow::FlowSet flows =
+      task.is_node_task()
+          ? flow::EnumerateFlowsToTarget(edges, task.target_node, 3)
+          : flow::EnumerateAllFlows(edges, 3);
+
+  std::printf("\n-- %s: %d nodes, %d edges, %d flows, explained class %d --\n", title,
+              task.graph->num_nodes(), task.graph->num_edges(), flows.num_flows(),
+              task.target_class);
+  std::printf("(motif nodes marked *; local node ids within the instance graph)\n");
+
+  struct MethodResult {
+    std::string name;
+    std::vector<double> scores;
+  };
+  std::vector<MethodResult> results;
+
+  explain::GnnLrpExplainer lrp{explain::GnnLrpOptions{}};
+  results.push_back({"GNN-LRP", lrp.ScoreFlows(task, edges, flows)});
+
+  explain::FlowXOptions flowx_options;
+  flowx_options.shapley_iterations = 3;
+  flowx_options.learning_epochs = epochs;
+  explain::FlowXExplainer flowx(flowx_options);
+  results.push_back({"FlowX", flowx.Explain(task, explain::Objective::kFactual).flow_scores});
+
+  core::RevelioOptions revelio_options;
+  revelio_options.epochs = epochs;
+  core::RevelioExplainer revelio(revelio_options);
+  results.push_back(
+      {"Revelio", revelio.Explain(task, explain::Objective::kFactual).flow_scores});
+
+  util::TablePrinter table({"Rank", "GNN-LRP flow", "score", "FlowX flow", "score",
+                            "Revelio flow", "score"});
+  std::vector<std::vector<int>> top(3);
+  for (int m = 0; m < 3; ++m) top[m] = flow::TopKFlows(results[m].scores, 10);
+  // Node-level motif membership derived from the edge ground truth.
+  std::vector<char> node_in_motif(task.graph->num_nodes(), 0);
+  for (int e = 0; e < task.graph->num_edges(); ++e) {
+    if (!instance.edge_in_motif.empty() && instance.edge_in_motif[e]) {
+      node_in_motif[task.graph->edge(e).src] = 1;
+      node_in_motif[task.graph->edge(e).dst] = 1;
+    }
+  }
+  auto annotate = [&](int k) {
+    std::string text;
+    const auto nodes = flows.FlowNodes(k, edges);
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      if (i > 0) text += "->";
+      text += std::to_string(nodes[i]);
+      if (node_in_motif[nodes[i]]) text += "*";
+    }
+    return text;
+  };
+  for (int rank = 0; rank < 10; ++rank) {
+    std::vector<std::string> row{std::to_string(rank + 1)};
+    for (int m = 0; m < 3; ++m) {
+      if (rank < static_cast<int>(top[m].size())) {
+        const int k = top[m][rank];
+        row.push_back(annotate(k));
+        row.push_back(util::TablePrinter::FormatDouble(results[m].scores[k], 4));
+      } else {
+        row.push_back("-");
+        row.push_back("-");
+      }
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Flags flags(argc, argv);
+  BenchScope scope = ParseScope(flags, {}, 3, 100);
+
+  std::printf("== Tables VI & VII: top-10 message flows by flow-based methods ==\n");
+
+  {
+    eval::PreparedModel prepared =
+        eval::PrepareModel("ba_shapes", gnn::GnnArch::kGcn, scope.config);
+    auto instances =
+        eval::SelectInstances(prepared, scope.config, eval::InstanceFilter::kMotifCorrect);
+    CHECK(!instances.empty());
+    ReportTopFlows("Table VI: BA-Shapes node instance (GCN)", prepared, instances[0],
+                   scope.config.explainer_epochs);
+  }
+  {
+    eval::PreparedModel prepared =
+        eval::PrepareModel("ba_2motifs", gnn::GnnArch::kGin, scope.config);
+    auto instances =
+        eval::SelectInstances(prepared, scope.config, eval::InstanceFilter::kMotifCorrect);
+    CHECK(!instances.empty());
+    ReportTopFlows("Table VII: BA-2motifs graph instance (GIN)", prepared, instances[0],
+                   scope.config.explainer_epochs);
+  }
+  std::printf("\nExpected shapes (paper): GNN-LRP scores on an arbitrary scale, FlowX\n"
+              "scores tiny (Shapley shares), Revelio scores in (-1,1); on BA-Shapes all\n"
+              "three concentrate on flows within two hops of the target motif.\n");
+  return 0;
+}

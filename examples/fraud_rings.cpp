@@ -1,0 +1,87 @@
+// Domain scenario (paper §I motivation: financial analysis / network
+// security): a transaction network contains planted "fraud rings" — cycles
+// of accounts laundering money. A GNN flags accounts in rings; Revelio's
+// *counterfactual* explanation answers the analyst's question:
+//   "Which transaction flows, if blocked, would clear this account's flag?"
+//
+//   $ ./build/examples/fraud_rings
+
+#include <cstdio>
+
+#include "core/revelio.h"
+#include "datasets/dataset.h"
+#include "eval/metrics.h"
+#include "flow/flow_scores.h"
+#include "gnn/trainer.h"
+#include "graph/subgraph.h"
+#include "nn/loss.h"
+
+using namespace revelio;  // NOLINT
+
+int main() {
+  // Tree-Cycles is structurally identical to the fraud-ring task: a benign
+  // hierarchy (tree = normal payment chains) plus cycles (rings).
+  std::printf("Building a transaction network (benign hierarchy + fraud rings)...\n");
+  datasets::Dataset network = datasets::MakeTreeCycles(/*seed=*/42);
+  const auto& instance = network.instances[0];
+
+  gnn::GnnConfig config;
+  config.arch = gnn::GnnArch::kGin;  // structure-sensitive detector
+  config.input_dim = network.feature_dim;
+  config.hidden_dim = 32;
+  config.num_classes = 2;
+  gnn::GnnModel detector(config);
+  util::Rng rng(7);
+  const gnn::Split split = gnn::MakeSplit(instance.graph.num_nodes(), 0.8, 0.1, &rng);
+  gnn::TrainConfig train_config;
+  train_config.epochs = 400;
+  const auto metrics = gnn::TrainNodeModel(&detector, instance.graph, instance.features,
+                                           instance.labels, split, train_config);
+  std::printf("  ring-detector accuracy: %.1f%%\n", metrics.test_accuracy * 100.0);
+
+  // Pick a flagged (ring) account that the detector got right.
+  int suspect = -1;
+  const tensor::Tensor logits = detector.Logits(instance.graph, instance.features);
+  for (int v = 0; v < instance.graph.num_nodes() && suspect < 0; ++v) {
+    if (instance.labels[v] == 1 && nn::ArgmaxRow(logits, v) == 1) suspect = v;
+  }
+  CHECK_GE(suspect, 0);
+
+  graph::Subgraph sub = graph::ExtractKHopInSubgraph(instance.graph, suspect, 3);
+  explain::ExplanationTask task;
+  task.model = &detector;
+  task.graph = &sub.graph;
+  task.features = graph::SliceRows(instance.features, sub.node_map);
+  task.target_node = sub.target_local;
+  task.target_class = 1;
+  std::printf("\nAccount %d flagged as ring member. Investigating its %d-account "
+              "neighborhood (%d transactions)...\n",
+              suspect, sub.graph.num_nodes(), sub.graph.num_edges());
+
+  // Counterfactual explanation: flows whose removal clears the flag.
+  core::RevelioOptions options;
+  options.epochs = 200;
+  core::RevelioExplainer revelio(options);
+  const auto result = revelio.ExplainFlows(task, explain::Objective::kCounterfactual);
+
+  const gnn::LayerEdgeSet edges = gnn::BuildLayerEdges(sub.graph);
+  std::printf("\nTransaction flows to block first (counterfactual top-5):\n");
+  for (int k : flow::TopKFlows(result.flow_scores, 5)) {
+    // Translate local ids back to global account ids for the analyst.
+    const auto nodes = result.flows.FlowNodes(k, edges);
+    std::string rendered;
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      if (i > 0) rendered += " -> ";
+      rendered += "acct" + std::to_string(sub.node_map[nodes[i]]);
+    }
+    std::printf("  %-46s necessity %+.3f\n", rendered.c_str(), result.flow_scores[k]);
+  }
+
+  // Validate: removing the top-ranked transactions should clear the flag.
+  const double fidelity_plus = eval::FidelityPlus(task, result.edge_scores, 0.6);
+  const double original = explain::PredictedProbability(task);
+  std::printf("\nP(ring | all transactions) = %.3f; blocking the top 40%% of ranked "
+              "transactions drops it by %.3f (Fidelity+)\n",
+              original, fidelity_plus);
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Domain scenario (paper §I motivation: drug discovery): a GNN classifies
+// molecules by a property driven by a functional group (an NO2-like motif).
+// Revelio's factual explanation surfaces the message flows through the
+// group — the "reasoning about candidates" a chemist needs.
+//
+//   $ ./build/examples/molecule_explanation
+
+#include <cstdio>
+
+#include "core/revelio.h"
+#include "datasets/dataset.h"
+#include "eval/metrics.h"
+#include "eval/runner.h"
+#include "flow/flow_scores.h"
+
+using namespace revelio;  // NOLINT
+
+int main() {
+  std::printf("Training a GIN property classifier on molecule-like graphs...\n");
+  eval::RunnerConfig config;
+  config.num_instances = 1;
+  eval::PreparedModel prepared = eval::PrepareModel("mutag_like", gnn::GnnArch::kGin, config);
+  std::printf("  test accuracy: %.1f%%\n", prepared.metrics.test_accuracy * 100.0);
+
+  // Pick a correctly-predicted positive molecule (contains the group).
+  const auto instances =
+      eval::SelectInstances(prepared, config, eval::InstanceFilter::kMotifCorrect);
+  const eval::EvalInstance& molecule = instances.at(0);
+  const explain::ExplanationTask task = molecule.MakeTask(prepared.model.get());
+  std::printf("\nMolecule: %d atoms, %d bonds (directed), predicted class %d\n",
+              task.graph->num_nodes(), task.graph->num_edges(), task.target_class);
+
+  core::RevelioOptions options;
+  options.epochs = 150;
+  core::RevelioExplainer revelio(options);
+  const auto result = revelio.ExplainFlows(task, explain::Objective::kFactual);
+
+  // Graph-classification flows cover the whole molecule; check how many of
+  // the top flows touch the functional group.
+  const gnn::LayerEdgeSet edges = gnn::BuildLayerEdges(*task.graph);
+  std::vector<char> atom_in_group(task.graph->num_nodes(), 0);
+  for (int e = 0; e < task.graph->num_edges(); ++e) {
+    if (molecule.edge_in_motif[e]) {
+      atom_in_group[task.graph->edge(e).src] = 1;
+      atom_in_group[task.graph->edge(e).dst] = 1;
+    }
+  }
+  const auto top = flow::TopKFlows(result.flow_scores, 10);
+  int touching = 0;
+  std::printf("\nTop-10 message flows (atoms in the functional group marked *):\n");
+  for (int k : top) {
+    const auto atoms = result.flows.FlowNodes(k, edges);
+    std::string rendered;
+    bool touches = false;
+    for (size_t i = 0; i < atoms.size(); ++i) {
+      if (i > 0) rendered += "->";
+      rendered += std::to_string(atoms[i]);
+      if (atom_in_group[atoms[i]]) {
+        rendered += "*";
+        touches = true;
+      }
+    }
+    touching += touches;
+    std::printf("  %-28s score %+.3f\n", rendered.c_str(), result.flow_scores[k]);
+  }
+  std::printf("\n%d of the top-10 flows touch the planted functional group.\n", touching);
+
+  // Edge-level AUC against the known group (the Table IV protocol).
+  const double auc = eval::RocAuc(result.edge_scores, molecule.edge_in_motif);
+  std::printf("Edge-ranking AUC vs ground-truth group: %.3f\n", auc);
+  return 0;
+}

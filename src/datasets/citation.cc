@@ -1,0 +1,103 @@
+// Citation-style node-classification substitutes for Cora / Citeseer /
+// PubMed (the real datasets cannot be downloaded offline; see DESIGN.md §3).
+// Construction: homophilous planted-partition edges plus class-correlated
+// sparse binary bag-of-words features, so a 3-layer GNN lands in the paper's
+// 70-90% accuracy band and explanations act on informative 3-hop
+// neighborhoods.
+
+#include "datasets/dataset.h"
+#include "datasets/generators.h"
+
+namespace revelio::datasets {
+
+Dataset MakeCitationLike(const std::string& name, int num_nodes, int num_undirected_edges,
+                         int feature_dim, int num_classes, double homophily, uint64_t seed) {
+  util::Rng rng(seed);
+  graph::Graph graph(num_nodes);
+
+  std::vector<int> labels(num_nodes);
+  std::vector<std::vector<int>> class_members(num_classes);
+  for (int v = 0; v < num_nodes; ++v) {
+    labels[v] = rng.UniformInt(num_classes);
+    class_members[labels[v]].push_back(v);
+  }
+
+  // Spanning tree first so the graph is connected, preferring same-class
+  // parents; then homophilous random edges up to the edge budget.
+  for (int v = 1; v < num_nodes; ++v) {
+    int parent = -1;
+    if (rng.Bernoulli(homophily)) {
+      for (int attempt = 0; attempt < 10; ++attempt) {
+        const int candidate = rng.UniformInt(v);
+        if (labels[candidate] == labels[v]) {
+          parent = candidate;
+          break;
+        }
+      }
+    }
+    if (parent < 0) parent = rng.UniformInt(v);
+    graph.AddUndirectedEdge(v, parent);
+  }
+  int remaining = num_undirected_edges - (num_nodes - 1);
+  while (remaining > 0) {
+    const int u = rng.UniformInt(num_nodes);
+    int v = -1;
+    if (rng.Bernoulli(homophily)) {
+      const auto& members = class_members[labels[u]];
+      v = members[rng.UniformInt(static_cast<int>(members.size()))];
+    } else {
+      v = rng.UniformInt(num_nodes);
+    }
+    if (u == v || graph.HasEdge(u, v)) continue;
+    graph.AddUndirectedEdge(u, v);
+    --remaining;
+  }
+
+  // Sparse binary features: each class owns a block of feature positions;
+  // in-block bits fire with high probability, off-block bits rarely.
+  const int block = feature_dim / num_classes;
+  CHECK_GT(block, 0);
+  tensor::Tensor features = tensor::Tensor::Zeros(num_nodes, feature_dim);
+  for (int v = 0; v < num_nodes; ++v) {
+    const int begin = labels[v] * block;
+    for (int f = 0; f < feature_dim; ++f) {
+      const bool in_block = f >= begin && f < begin + block;
+      const double p = in_block ? 0.4 : 0.03;
+      if (rng.Bernoulli(p)) features.SetAt(v, f, 1.0f);
+    }
+  }
+
+  Dataset dataset;
+  dataset.name = name;
+  dataset.task = gnn::TaskType::kNodeClassification;
+  dataset.feature_dim = feature_dim;
+  dataset.num_classes = num_classes;
+  dataset.has_ground_truth = false;
+  graph::GraphInstance instance;
+  instance.graph = std::move(graph);
+  instance.features = std::move(features);
+  instance.labels = std::move(labels);
+  dataset.instances.push_back(std::move(instance));
+  return dataset;
+}
+
+Dataset MakeCoraLike(uint64_t seed) {
+  // 2708 nodes / 5278 undirected (10556 directed) edges / 7 classes as in
+  // Table III; feature dim reduced 1433 -> 70 for the 1-core budget.
+  return MakeCitationLike("cora_like", 2708, 5278, 70, 7, 0.85, seed);
+}
+
+Dataset MakeCiteseerLike(uint64_t seed) {
+  // 3327 nodes / 4552 undirected (9104 directed) edges / 6 classes;
+  // feature dim reduced 3703 -> 60.
+  return MakeCitationLike("citeseer_like", 3327, 4552, 60, 6, 0.85, seed);
+}
+
+Dataset MakePubmedLike(uint64_t seed) {
+  // PubMed is scaled 19717 -> 4000 nodes (edge density preserved: 88648
+  // directed edges / 19717 nodes = 2.25 undirected per node -> 9000
+  // undirected edges); feature dim reduced 500 -> 50.
+  return MakeCitationLike("pubmed_like", 4000, 9000, 50, 3, 0.85, seed);
+}
+
+}  // namespace revelio::datasets

@@ -1,0 +1,35 @@
+#include "datasets/dataset.h"
+
+namespace revelio::datasets {
+
+double Dataset::AverageNodes() const {
+  double total = 0.0;
+  for (const auto& instance : instances) total += instance.graph.num_nodes();
+  return instances.empty() ? 0.0 : total / instances.size();
+}
+
+double Dataset::AverageEdges() const {
+  double total = 0.0;
+  for (const auto& instance : instances) total += instance.graph.num_edges();
+  return instances.empty() ? 0.0 : total / instances.size();
+}
+
+std::vector<std::string> AllDatasetNames() {
+  return {"cora_like",   "citeseer_like", "pubmed_like", "ba_shapes",
+          "tree_cycles", "mutag_like",    "bbbp_like",   "ba_2motifs"};
+}
+
+Dataset MakeDataset(const std::string& name, uint64_t seed) {
+  if (name == "ba_shapes") return MakeBaShapes(seed);
+  if (name == "tree_cycles") return MakeTreeCycles(seed);
+  if (name == "ba_2motifs") return MakeBa2Motifs(seed);
+  if (name == "cora_like") return MakeCoraLike(seed);
+  if (name == "citeseer_like") return MakeCiteseerLike(seed);
+  if (name == "pubmed_like") return MakePubmedLike(seed);
+  if (name == "mutag_like") return MakeMutagLike(seed);
+  if (name == "bbbp_like") return MakeBbbpLike(seed);
+  CHECK(false) << "unknown dataset: " << name;
+  return Dataset{};
+}
+
+}  // namespace revelio::datasets

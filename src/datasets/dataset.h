@@ -1,0 +1,81 @@
+#ifndef REVELIO_DATASETS_DATASET_H_
+#define REVELIO_DATASETS_DATASET_H_
+
+// Dataset container and registry (paper Table III).
+//
+// The three synthetic benchmarks (BA-Shapes, Tree-Cycles, BA-2motifs) follow
+// their published constructions and carry motif ground truth for the AUC
+// study. The five real-world datasets cannot be downloaded in this
+// environment and are substituted by generators that match the statistics
+// that matter for the experiments (task type, size band, class count,
+// learnability); see DESIGN.md §3.
+
+#include <string>
+#include <vector>
+
+#include "gnn/model.h"
+#include "graph/graph.h"
+
+namespace revelio::datasets {
+
+struct Dataset {
+  std::string name;
+  gnn::TaskType task = gnn::TaskType::kNodeClassification;
+  int feature_dim = 0;
+  int num_classes = 0;
+
+  // Node-classification datasets hold exactly one instance.
+  std::vector<graph::GraphInstance> instances;
+
+  // Motif ground truth, parallel to `instances` (empty when absent).
+  bool has_ground_truth = false;
+  std::vector<std::vector<char>> edge_in_motif;  // per instance, per base edge
+  std::vector<std::vector<char>> node_in_motif;  // per instance, per node
+
+  bool is_node_task() const { return task == gnn::TaskType::kNodeClassification; }
+  int num_graphs() const { return static_cast<int>(instances.size()); }
+  double AverageNodes() const;
+  double AverageEdges() const;
+};
+
+// --- Synthetic benchmarks with ground truth ----------------------------------
+
+// 300-node Barabasi-Albert base + 80 five-node "house" motifs + noise edges.
+// Node labels: 0 base, 1 roof, 2 middle, 3 bottom (Ying et al. 2019).
+Dataset MakeBaShapes(uint64_t seed);
+
+// Depth-8 balanced binary tree + 60 six-node cycles. Labels: 0 tree, 1 cycle
+// (Ying et al. 2019).
+Dataset MakeTreeCycles(uint64_t seed);
+
+// 1000 graphs: 20-node BA base attached to a house motif (label 0) or a
+// five-node cycle motif (label 1) (Luo et al. 2020).
+Dataset MakeBa2Motifs(uint64_t seed, int num_graphs = 1000);
+
+// --- Substitutes for the real-world datasets ---------------------------------
+
+// Citation-style node classification: homophilous planted-partition graph
+// with class-correlated sparse binary features.
+Dataset MakeCitationLike(const std::string& name, int num_nodes, int num_undirected_edges,
+                         int feature_dim, int num_classes, double homophily, uint64_t seed);
+
+Dataset MakeCoraLike(uint64_t seed);      // 2708 nodes / ~10556 directed edges / 7 classes
+Dataset MakeCiteseerLike(uint64_t seed);  // 3327 nodes / ~9104 directed edges / 6 classes
+Dataset MakePubmedLike(uint64_t seed);    // scaled to 4000 nodes / 3 classes (see DESIGN.md)
+
+// Molecule-style graph classification where the positive class is determined
+// by a planted functional-group motif (ground truth available).
+Dataset MakeMutagLike(uint64_t seed, int num_graphs = 188);
+Dataset MakeBbbpLike(uint64_t seed, int num_graphs = 400);
+
+// --- Registry -----------------------------------------------------------------
+
+// All dataset names in the paper's Table III order.
+std::vector<std::string> AllDatasetNames();
+
+// Builds a dataset by registry name; CHECK-fails on unknown names.
+Dataset MakeDataset(const std::string& name, uint64_t seed);
+
+}  // namespace revelio::datasets
+
+#endif  // REVELIO_DATASETS_DATASET_H_

@@ -1,0 +1,85 @@
+#include "datasets/generators.h"
+
+namespace revelio::datasets {
+
+void AddBaGraph(graph::Graph* graph, int offset, int num_nodes, int m, util::Rng* rng) {
+  CHECK_GT(num_nodes, m);
+  // `targets` holds one entry per edge endpoint, so sampling uniformly from
+  // it is degree-proportional.
+  std::vector<int> endpoint_pool;
+  // Seed clique over the first m + 1 nodes.
+  for (int i = 0; i <= m; ++i) {
+    for (int j = i + 1; j <= m; ++j) {
+      graph->AddUndirectedEdge(offset + i, offset + j);
+      endpoint_pool.push_back(offset + i);
+      endpoint_pool.push_back(offset + j);
+    }
+  }
+  for (int v = m + 1; v < num_nodes; ++v) {
+    std::vector<int> chosen;
+    int attempts = 0;
+    while (static_cast<int>(chosen.size()) < m && attempts < 50 * m) {
+      ++attempts;
+      const int candidate = endpoint_pool[rng->UniformInt(static_cast<int>(endpoint_pool.size()))];
+      bool duplicate = false;
+      for (int c : chosen) duplicate |= (c == candidate);
+      if (!duplicate) chosen.push_back(candidate);
+    }
+    for (int target : chosen) {
+      graph->AddUndirectedEdge(offset + v, target);
+      endpoint_pool.push_back(offset + v);
+      endpoint_pool.push_back(target);
+    }
+  }
+}
+
+void AddBalancedBinaryTree(graph::Graph* graph, int offset, int num_nodes) {
+  for (int i = 1; i < num_nodes; ++i) {
+    graph->AddUndirectedEdge(offset + i, offset + (i - 1) / 2);
+  }
+}
+
+void AddRandomTree(graph::Graph* graph, int offset, int num_nodes, util::Rng* rng) {
+  for (int i = 1; i < num_nodes; ++i) {
+    graph->AddUndirectedEdge(offset + i, offset + rng->UniformInt(i));
+  }
+}
+
+void AddRandomEdges(graph::Graph* graph, int offset, int num_nodes, int count, util::Rng* rng) {
+  for (int added = 0; added < count; ++added) {
+    bool placed = false;
+    for (int attempt = 0; attempt < 20 && !placed; ++attempt) {
+      const int u = offset + rng->UniformInt(num_nodes);
+      const int v = offset + rng->UniformInt(num_nodes);
+      if (u == v || graph->HasEdge(u, v)) continue;
+      graph->AddUndirectedEdge(u, v);
+      placed = true;
+    }
+  }
+}
+
+tensor::Tensor OnesFeatures(int num_nodes, int feature_dim) {
+  return tensor::Tensor::Ones(num_nodes, feature_dim);
+}
+
+tensor::Tensor OneHotFeatures(const std::vector<int>& types, int feature_dim) {
+  tensor::Tensor features = tensor::Tensor::Zeros(static_cast<int>(types.size()), feature_dim);
+  for (size_t i = 0; i < types.size(); ++i) {
+    CHECK(types[i] >= 0 && types[i] < feature_dim);
+    features.SetAt(static_cast<int>(i), types[i], 1.0f);
+  }
+  return features;
+}
+
+std::vector<char> MarkMotifEdges(const graph::Graph& graph,
+                                 const std::vector<int>& node_motif_id) {
+  std::vector<char> edge_in_motif(graph.num_edges(), 0);
+  for (int e = 0; e < graph.num_edges(); ++e) {
+    const graph::Edge& edge = graph.edge(e);
+    edge_in_motif[e] =
+        node_motif_id[edge.src] >= 0 && node_motif_id[edge.src] == node_motif_id[edge.dst];
+  }
+  return edge_in_motif;
+}
+
+}  // namespace revelio::datasets

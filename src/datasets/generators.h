@@ -1,0 +1,44 @@
+#ifndef REVELIO_DATASETS_GENERATORS_H_
+#define REVELIO_DATASETS_GENERATORS_H_
+
+// Shared random-graph building blocks used by the dataset generators.
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace revelio::datasets {
+
+// Barabasi-Albert preferential attachment: `num_nodes` nodes, each new node
+// attaching `m` undirected edges to existing nodes proportionally to degree.
+// Edges are added to `graph` (which must already contain the node range
+// [offset, offset + num_nodes)).
+void AddBaGraph(graph::Graph* graph, int offset, int num_nodes, int m, util::Rng* rng);
+
+// Balanced binary tree over [offset, offset + num_nodes): node i's parent is
+// (i - 1) / 2 (undirected edges).
+void AddBalancedBinaryTree(graph::Graph* graph, int offset, int num_nodes);
+
+// Uniform random spanning tree (random attachment) over the node range.
+void AddRandomTree(graph::Graph* graph, int offset, int num_nodes, util::Rng* rng);
+
+// Adds `count` random undirected edges between distinct, not-yet-connected
+// node pairs in [offset, offset + num_nodes). Gives up on a pair after a few
+// retries, so the result may contain slightly fewer edges on dense graphs.
+void AddRandomEdges(graph::Graph* graph, int offset, int num_nodes, int count, util::Rng* rng);
+
+// Constant-ones feature matrix (the synthetic benchmarks' convention).
+tensor::Tensor OnesFeatures(int num_nodes, int feature_dim);
+
+// One-hot "atom type" features.
+tensor::Tensor OneHotFeatures(const std::vector<int>& types, int feature_dim);
+
+// Marks every directed edge whose endpoints belong to the same motif
+// instance. `node_motif_id` assigns -1 to non-motif nodes and a motif id to
+// motif members (prevents cross-motif noise edges from being marked).
+std::vector<char> MarkMotifEdges(const graph::Graph& graph, const std::vector<int>& node_motif_id);
+
+}  // namespace revelio::datasets
+
+#endif  // REVELIO_DATASETS_GENERATORS_H_

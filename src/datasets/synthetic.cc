@@ -1,0 +1,158 @@
+// Synthetic benchmark datasets with motif ground truth: BA-Shapes and
+// Tree-Cycles (Ying et al. 2019) and BA-2motifs (Luo et al. 2020), following
+// the constructions referenced by the paper's Table III.
+
+#include "datasets/dataset.h"
+#include <algorithm>
+
+#include "datasets/generators.h"
+
+namespace revelio::datasets {
+namespace {
+
+// Attaches a five-node house motif starting at node id `base`:
+//   square s0-s1-s2-s3 plus roof r adjacent to s0 and s1.
+// Node order: {s0, s1, s2, s3, r} = {base, base+1, base+2, base+3, base+4}.
+void AddHouseEdges(graph::Graph* graph, int base) {
+  graph->AddUndirectedEdge(base + 0, base + 1);
+  graph->AddUndirectedEdge(base + 1, base + 2);
+  graph->AddUndirectedEdge(base + 2, base + 3);
+  graph->AddUndirectedEdge(base + 3, base + 0);
+  graph->AddUndirectedEdge(base + 4, base + 0);
+  graph->AddUndirectedEdge(base + 4, base + 1);
+}
+
+}  // namespace
+
+Dataset MakeBaShapes(uint64_t seed) {
+  util::Rng rng(seed);
+  constexpr int kBaseNodes = 300;
+  constexpr int kNumHouses = 80;
+  constexpr int kHouseSize = 5;
+  const int total_nodes = kBaseNodes + kNumHouses * kHouseSize;
+
+  graph::Graph graph(total_nodes);
+  AddBaGraph(&graph, 0, kBaseNodes, /*m=*/5, &rng);
+
+  std::vector<int> labels(total_nodes, 0);
+  std::vector<int> node_motif_id(total_nodes, -1);
+  for (int h = 0; h < kNumHouses; ++h) {
+    const int base = kBaseNodes + h * kHouseSize;
+    AddHouseEdges(&graph, base);
+    graph.AddUndirectedEdge(base + 2, rng.UniformInt(kBaseNodes));  // attach via a bottom node
+    labels[base + 0] = 2;  // middle (adjacent to roof)
+    labels[base + 1] = 2;
+    labels[base + 2] = 3;  // bottom
+    labels[base + 3] = 3;
+    labels[base + 4] = 1;  // roof / top
+    for (int i = 0; i < kHouseSize; ++i) node_motif_id[base + i] = h;
+  }
+  AddRandomEdges(&graph, 0, total_nodes, total_nodes / 10, &rng);
+
+  Dataset dataset;
+  dataset.name = "ba_shapes";
+  dataset.task = gnn::TaskType::kNodeClassification;
+  dataset.feature_dim = 10;
+  dataset.num_classes = 4;
+  dataset.has_ground_truth = true;
+  graph::GraphInstance instance;
+  instance.features = OnesFeatures(total_nodes, dataset.feature_dim);
+  instance.labels = labels;
+  dataset.edge_in_motif.push_back(MarkMotifEdges(graph, node_motif_id));
+  std::vector<char> in_motif(total_nodes);
+  for (int v = 0; v < total_nodes; ++v) in_motif[v] = node_motif_id[v] >= 0;
+  dataset.node_in_motif.push_back(std::move(in_motif));
+  instance.graph = std::move(graph);
+  dataset.instances.push_back(std::move(instance));
+  return dataset;
+}
+
+Dataset MakeTreeCycles(uint64_t seed) {
+  util::Rng rng(seed);
+  constexpr int kTreeNodes = 511;  // balanced binary tree of depth 8
+  constexpr int kNumCycles = 60;
+  constexpr int kCycleSize = 6;
+  const int total_nodes = kTreeNodes + kNumCycles * kCycleSize;
+
+  graph::Graph graph(total_nodes);
+  AddBalancedBinaryTree(&graph, 0, kTreeNodes);
+
+  std::vector<int> labels(total_nodes, 0);
+  std::vector<int> node_motif_id(total_nodes, -1);
+  for (int c = 0; c < kNumCycles; ++c) {
+    const int base = kTreeNodes + c * kCycleSize;
+    for (int i = 0; i < kCycleSize; ++i) {
+      graph.AddUndirectedEdge(base + i, base + (i + 1) % kCycleSize);
+      labels[base + i] = 1;
+      node_motif_id[base + i] = c;
+    }
+    graph.AddUndirectedEdge(base, rng.UniformInt(kTreeNodes));
+  }
+  AddRandomEdges(&graph, 0, total_nodes, 41, &rng);
+
+  Dataset dataset;
+  dataset.name = "tree_cycles";
+  dataset.task = gnn::TaskType::kNodeClassification;
+  dataset.feature_dim = 10;
+  dataset.num_classes = 2;
+  dataset.has_ground_truth = true;
+  graph::GraphInstance instance;
+  instance.features = OnesFeatures(total_nodes, dataset.feature_dim);
+  instance.labels = labels;
+  dataset.edge_in_motif.push_back(MarkMotifEdges(graph, node_motif_id));
+  std::vector<char> in_motif(total_nodes);
+  for (int v = 0; v < total_nodes; ++v) in_motif[v] = node_motif_id[v] >= 0;
+  dataset.node_in_motif.push_back(std::move(in_motif));
+  instance.graph = std::move(graph);
+  dataset.instances.push_back(std::move(instance));
+  return dataset;
+}
+
+Dataset MakeBa2Motifs(uint64_t seed, int num_graphs) {
+  util::Rng rng(seed);
+  constexpr int kBaseNodes = 20;
+  constexpr int kMotifSize = 5;
+
+  Dataset dataset;
+  dataset.name = "ba_2motifs";
+  dataset.task = gnn::TaskType::kGraphClassification;
+  dataset.feature_dim = 10;
+  dataset.num_classes = 2;
+  dataset.has_ground_truth = true;
+
+  for (int g = 0; g < num_graphs; ++g) {
+    const int label = g % 2;  // balanced classes
+    const int total_nodes = kBaseNodes + kMotifSize;
+    graph::Graph graph(total_nodes);
+    AddBaGraph(&graph, 0, kBaseNodes, /*m=*/1, &rng);
+    std::vector<int> node_motif_id(total_nodes, -1);
+    const int base = kBaseNodes;
+    if (label == 0) {
+      AddHouseEdges(&graph, base);
+    } else {
+      for (int i = 0; i < kMotifSize; ++i) {
+        graph.AddUndirectedEdge(base + i, base + (i + 1) % kMotifSize);
+      }
+    }
+    for (int i = 0; i < kMotifSize; ++i) node_motif_id[base + i] = 0;
+    graph.AddUndirectedEdge(base, rng.UniformInt(kBaseNodes));
+
+    graph::GraphInstance instance;
+    // Constant all-ones features (the published construction): the label is
+    // recoverable only through message passing. Note the GCN target model
+    // uses unnormalized aggregation on this dataset (PrepareModel), since
+    // symmetric normalization provably cancels count-based signals on
+    // constant features (DESIGN.md §3).
+    instance.features = OnesFeatures(total_nodes, dataset.feature_dim);
+    instance.labels = {label};
+    dataset.edge_in_motif.push_back(MarkMotifEdges(graph, node_motif_id));
+    std::vector<char> in_motif(total_nodes);
+    for (int v = 0; v < total_nodes; ++v) in_motif[v] = node_motif_id[v] >= 0;
+    dataset.node_in_motif.push_back(std::move(in_motif));
+    instance.graph = std::move(graph);
+    dataset.instances.push_back(std::move(instance));
+  }
+  return dataset;
+}
+
+}  // namespace revelio::datasets

@@ -1,0 +1,48 @@
+#ifndef REVELIO_EVAL_METRICS_H_
+#define REVELIO_EVAL_METRICS_H_
+
+// Evaluation metrics of the paper's §V-B: Fidelity- (Eq. 10), Fidelity+
+// (Eq. 11) under a sparsity budget, and explanation ROC-AUC against motif
+// ground truth.
+
+#include <vector>
+
+#include "explain/explainer.h"
+
+namespace revelio::eval {
+
+// Edge indices ranked by descending importance (ties by index).
+std::vector<int> RankEdges(const std::vector<double>& edge_scores);
+
+// Averages the scores of each directed edge pair (u->v, v->u). The
+// benchmarks are undirected graphs stored as directed pairs; keeping one
+// direction of a pair while dropping the other produces structurally
+// meaningless subgraphs, so the fidelity protocol symmetrizes every
+// method's scores uniformly before ranking (standard PyG-style practice).
+std::vector<double> SymmetrizeEdgeScores(const graph::Graph& graph,
+                                         const std::vector<double>& edge_scores);
+
+// P(target_class) after removing `removed_edges` from the task graph.
+// Node-task features/target are preserved (node set unchanged).
+double ProbabilityWithoutEdges(const explain::ExplanationTask& task,
+                               const std::vector<int>& removed_edges);
+
+// Fidelity- at `sparsity`: keep the top (1 - sparsity)|E| edges, remove the
+// rest, return P(c|G) - P(c|G_s) (Eq. 10 for one instance).
+double FidelityMinus(const explain::ExplanationTask& task,
+                     const std::vector<double>& edge_scores, double sparsity);
+
+// Fidelity+ at `sparsity`: remove the top sparsity-complement... — following
+// the paper's protocol, an *equivalent number* of edges is removed in both
+// studies: here the top (1 - sparsity)|E| most important edges are removed
+// and P(c|G) - P(c|G_s-bar) is returned (Eq. 11 for one instance).
+double FidelityPlus(const explain::ExplanationTask& task,
+                    const std::vector<double>& edge_scores, double sparsity);
+
+// ROC-AUC of `scores` against binary `labels` (1 = positive). Returns 0.5
+// when either class is absent.
+double RocAuc(const std::vector<double>& scores, const std::vector<char>& labels);
+
+}  // namespace revelio::eval
+
+#endif  // REVELIO_EVAL_METRICS_H_

@@ -1,0 +1,34 @@
+#include "explain/deeplift.h"
+
+#include "tensor/ops.h"
+
+namespace revelio::explain {
+
+Explanation DeepLiftExplainer::Explain(const ExplanationTask& task, Objective objective) {
+  (void)objective;
+  const gnn::GnnModel& model = *task.model;
+  const gnn::LayerEdgeSet edges = gnn::BuildLayerEdges(*task.graph);
+  const int num_layers = model.num_layers();
+
+  // All-ones differentiable masks, one per layer.
+  std::vector<tensor::Tensor> masks;
+  masks.reserve(num_layers);
+  for (int l = 0; l < num_layers; ++l) {
+    masks.push_back(tensor::Tensor::Ones(edges.num_layer_edges(), 1).WithRequiresGrad());
+  }
+  const auto forward = model.Run(*task.graph, edges, task.features, masks);
+  tensor::Tensor target_logit =
+      tensor::Select(forward.logits, task.logit_row(), task.target_class);
+  target_logit.Backward();
+
+  Explanation explanation;
+  explanation.edge_scores.assign(task.graph->num_edges(), 0.0);
+  for (int e = 0; e < task.graph->num_edges(); ++e) {
+    double contribution = 0.0;
+    for (int l = 0; l < num_layers; ++l) contribution += masks[l].GradAt(e, 0);
+    explanation.edge_scores[e] = contribution;
+  }
+  return explanation;
+}
+
+}  // namespace revelio::explain

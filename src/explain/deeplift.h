@@ -1,0 +1,25 @@
+#ifndef REVELIO_EXPLAIN_DEEPLIFT_H_
+#define REVELIO_EXPLAIN_DEEPLIFT_H_
+
+// DeepLIFT-style attribution (Shrikumar et al. 2017) adapted to edges.
+//
+// The Rescale rule with an empty-graph baseline (all edge masks 0) is
+// approximated by gradient x input on the layer-edge masks evaluated at the
+// all-ones mask: contribution(e, l) ~= d logit_c / d mask_e^l * (1 - 0).
+// Edge importance is the total contribution across layers. Like the paper's
+// DeepLIFT baseline, the same scores serve both fidelity studies.
+
+#include "explain/explainer.h"
+
+namespace revelio::explain {
+
+class DeepLiftExplainer : public Explainer {
+ public:
+  std::string name() const override { return "DeepLIFT"; }
+
+  Explanation Explain(const ExplanationTask& task, Objective objective) override;
+};
+
+}  // namespace revelio::explain
+
+#endif  // REVELIO_EXPLAIN_DEEPLIFT_H_

@@ -1,0 +1,25 @@
+#include "explain/explainer.h"
+
+#include "nn/loss.h"
+
+namespace revelio::explain {
+
+const char* ObjectiveName(Objective objective) {
+  return objective == Objective::kFactual ? "factual" : "counterfactual";
+}
+
+tensor::Tensor CloneFeatures(const ExplanationTask& task) {
+  return task.features.Detach();
+}
+
+double PredictedProbability(const ExplanationTask& task) {
+  const tensor::Tensor logits = task.model->Logits(*task.graph, task.features);
+  return nn::SoftmaxRow(logits, task.logit_row())[task.target_class];
+}
+
+int PredictedClass(const ExplanationTask& task) {
+  const tensor::Tensor logits = task.model->Logits(*task.graph, task.features);
+  return nn::ArgmaxRow(logits, task.logit_row());
+}
+
+}  // namespace revelio::explain

@@ -1,0 +1,46 @@
+#ifndef REVELIO_EXPLAIN_FLOWX_H_
+#define REVELIO_EXPLAIN_FLOWX_H_
+
+// FlowX (Gui et al. 2023): message-flow explanation via sampled Shapley
+// values. Stage 1 removes edges in random orders; each removal's prediction
+// drop is split evenly across the message flows it newly kills, giving an
+// initial flow score. Stage 2 refines the scores with mask learning (the
+// same flow-to-layer-edge transformation Revelio uses, without the
+// per-layer weights). Serial implementation — the paper's GPU version
+// duplicates graphs to parallelize, trading memory for time (Table V note).
+
+#include "explain/explainer.h"
+#include "flow/message_flow.h"
+
+namespace revelio::explain {
+
+struct FlowXOptions {
+  int shapley_iterations = 5;   // S in the paper's Table II
+  int learning_epochs = 100;
+  float learning_rate = 0.01f;
+  float alpha = 0.05f;
+  int64_t max_flows = 500'000;
+  uint64_t seed = 29;
+};
+
+class FlowXExplainer : public Explainer {
+ public:
+  explicit FlowXExplainer(const FlowXOptions& options) : options_(options) {}
+
+  std::string name() const override { return "FlowX"; }
+  bool supports_counterfactual() const override { return true; }
+
+  Explanation Explain(const ExplanationTask& task, Objective objective) override;
+
+  // Stage-1 scores only (used by tests and the complexity bench).
+  std::vector<double> SampleShapleyScores(const ExplanationTask& task,
+                                          const gnn::LayerEdgeSet& edges,
+                                          const flow::FlowSet& flows);
+
+ private:
+  FlowXOptions options_;
+};
+
+}  // namespace revelio::explain
+
+#endif  // REVELIO_EXPLAIN_FLOWX_H_

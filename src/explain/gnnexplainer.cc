@@ -1,0 +1,76 @@
+#include "explain/gnnexplainer.h"
+
+#include <numeric>
+
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "tensor/ops.h"
+
+namespace revelio::explain {
+
+using tensor::Tensor;
+
+namespace {
+
+// Expands a sigmoid base-edge mask (E_base x 1) to the layer-edge list with
+// self-loops pinned at 1 (GNNExplainer does not mask self-information).
+Tensor ExpandToLayerEdges(const Tensor& base_mask, const gnn::LayerEdgeSet& edges) {
+  std::vector<int> base_indices(edges.num_base_edges);
+  std::iota(base_indices.begin(), base_indices.end(), 0);
+  Tensor expanded = tensor::ScatterAddRows(base_mask, base_indices, edges.num_layer_edges());
+  std::vector<float> self_ones(edges.num_layer_edges(), 0.0f);
+  for (int e = edges.num_base_edges; e < edges.num_layer_edges(); ++e) self_ones[e] = 1.0f;
+  return tensor::Add(expanded, Tensor::FromVector(self_ones));
+}
+
+}  // namespace
+
+Explanation GnnExplainerMethod::Explain(const ExplanationTask& task, Objective objective) {
+  const gnn::GnnModel& model = *task.model;
+  const gnn::LayerEdgeSet edges = gnn::BuildLayerEdges(*task.graph);
+  const int num_base = edges.num_base_edges;
+  CHECK_GT(num_base, 0);
+
+  util::Rng rng(options_.seed);
+  Tensor mask_params = Tensor::Randn(num_base, 1, &rng);
+  for (auto& v : *mask_params.mutable_values()) v *= 0.1f;
+  mask_params.WithRequiresGrad();
+  nn::Adam optimizer({mask_params}, options_.learning_rate);
+
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    optimizer.ZeroGrad();
+    Tensor base_mask = tensor::Sigmoid(mask_params);
+    Tensor layer_mask = ExpandToLayerEdges(base_mask, edges);
+    std::vector<Tensor> masks(model.num_layers(), layer_mask);
+    Tensor logits = model.Run(*task.graph, edges, task.features, masks).logits;
+
+    Tensor loss = objective == Objective::kFactual
+                      ? nn::FactualObjective(logits, task.logit_row(), task.target_class)
+                      : nn::CounterfactualObjective(logits, task.logit_row(), task.target_class);
+    // Size regularizer: keep the kept-edge set small (factual) or the
+    // removed-edge set small (counterfactual).
+    Tensor size_term = objective == Objective::kFactual
+                           ? tensor::Mean(base_mask)
+                           : tensor::Mean(tensor::AddScalar(tensor::Neg(base_mask), 1.0f));
+    loss = tensor::Add(loss, tensor::MulScalar(size_term, options_.size_penalty));
+    // Element-wise entropy pushes masks toward binary values.
+    Tensor entropy = tensor::Neg(tensor::Add(
+        tensor::Mul(base_mask, tensor::Log(base_mask)),
+        tensor::Mul(tensor::AddScalar(tensor::Neg(base_mask), 1.0f),
+                    tensor::Log(tensor::AddScalar(tensor::Neg(base_mask), 1.0f)))));
+    loss = tensor::Add(loss, tensor::MulScalar(tensor::Mean(entropy), options_.entropy_penalty));
+    loss.Backward();
+    optimizer.Step();
+  }
+
+  Explanation explanation;
+  explanation.edge_scores.resize(num_base);
+  Tensor final_mask = tensor::Sigmoid(mask_params);
+  for (int e = 0; e < num_base; ++e) {
+    const double value = final_mask.At(e, 0);
+    explanation.edge_scores[e] = objective == Objective::kFactual ? value : 1.0 - value;
+  }
+  return explanation;
+}
+
+}  // namespace revelio::explain

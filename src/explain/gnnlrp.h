@@ -1,0 +1,46 @@
+#ifndef REVELIO_EXPLAIN_GNNLRP_H_
+#define REVELIO_EXPLAIN_GNNLRP_H_
+
+// GNN-LRP (Schnake et al. 2021): higher-order explanation via relevant
+// walks. The relevance of the explained logit is decomposed over message
+// flows by applying epsilon-LRP backwards through the network, restricting
+// the propagation at each layer to the walk's edge. Model-specific: supports
+// GCN and GIN; GAT is unsupported (as in the paper's evaluation).
+//
+// The per-flow cost is O(L * d^2), and the method evaluates every flow
+// individually — the O(|F|(|x| + L|h| + T_Phi)) row of the paper's Table II.
+
+#include <vector>
+
+#include "explain/explainer.h"
+#include "flow/message_flow.h"
+
+namespace revelio::explain {
+
+struct GnnLrpOptions {
+  float epsilon = 1e-6f;       // LRP epsilon stabilizer
+  int64_t max_flows = 500'000;
+};
+
+class GnnLrpExplainer : public Explainer {
+ public:
+  explicit GnnLrpExplainer(const GnnLrpOptions& options) : options_(options) {}
+
+  std::string name() const override { return "GNN-LRP"; }
+
+  bool SupportsArch(gnn::GnnArch arch) const override { return arch != gnn::GnnArch::kGat; }
+
+  Explanation Explain(const ExplanationTask& task, Objective objective) override;
+
+  // Flow-level scores over an externally enumerated flow set (shared with
+  // the top-k flow study).
+  std::vector<double> ScoreFlows(const ExplanationTask& task, const gnn::LayerEdgeSet& edges,
+                                 const flow::FlowSet& flows) const;
+
+ private:
+  GnnLrpOptions options_;
+};
+
+}  // namespace revelio::explain
+
+#endif  // REVELIO_EXPLAIN_GNNLRP_H_

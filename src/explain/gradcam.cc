@@ -1,0 +1,47 @@
+#include "explain/gradcam.h"
+
+#include <algorithm>
+
+#include "tensor/ops.h"
+
+namespace revelio::explain {
+
+Explanation GradCamExplainer::Explain(const ExplanationTask& task, Objective objective) {
+  (void)objective;  // Grad-CAM has a single importance notion.
+  const gnn::GnnModel& model = *task.model;
+  const gnn::LayerEdgeSet edges = gnn::BuildLayerEdges(*task.graph);
+  const auto forward = model.Run(*task.graph, edges, task.features, {});
+
+  // Gradient of the explained logit w.r.t. the final node embeddings.
+  tensor::Tensor target_logit =
+      tensor::Select(forward.logits, task.logit_row(), task.target_class);
+  target_logit.Backward();
+  const tensor::Tensor embeddings = forward.embeddings.back();
+  const int num_nodes = embeddings.rows();
+  const int dim = embeddings.cols();
+
+  // Channel weights: alpha_f = mean_v d logit / d h_{v,f}.
+  std::vector<double> alpha(dim, 0.0);
+  for (int v = 0; v < num_nodes; ++v) {
+    for (int f = 0; f < dim; ++f) alpha[f] += embeddings.GradAt(v, f);
+  }
+  for (auto& a : alpha) a /= num_nodes;
+
+  // Node importance: ReLU(sum_f alpha_f * h_{v,f}).
+  std::vector<double> node_scores(num_nodes, 0.0);
+  for (int v = 0; v < num_nodes; ++v) {
+    double acc = 0.0;
+    for (int f = 0; f < dim; ++f) acc += alpha[f] * embeddings.At(v, f);
+    node_scores[v] = std::max(acc, 0.0);
+  }
+
+  Explanation explanation;
+  explanation.edge_scores.resize(task.graph->num_edges());
+  for (int e = 0; e < task.graph->num_edges(); ++e) {
+    const graph::Edge& edge = task.graph->edge(e);
+    explanation.edge_scores[e] = 0.5 * (node_scores[edge.src] + node_scores[edge.dst]);
+  }
+  return explanation;
+}
+
+}  // namespace revelio::explain

@@ -1,0 +1,23 @@
+#ifndef REVELIO_EXPLAIN_GRADCAM_H_
+#define REVELIO_EXPLAIN_GRADCAM_H_
+
+// Grad-CAM for graphs (Pope et al. 2019): channel weights are the mean
+// gradient of the explained logit w.r.t. the final node embeddings; node
+// importance is the ReLU'd weighted activation, and an edge inherits the
+// mean of its endpoints. A white-box method that reuses its factual scores
+// for the counterfactual study (paper §V-B).
+
+#include "explain/explainer.h"
+
+namespace revelio::explain {
+
+class GradCamExplainer : public Explainer {
+ public:
+  std::string name() const override { return "GradCAM"; }
+
+  Explanation Explain(const ExplanationTask& task, Objective objective) override;
+};
+
+}  // namespace revelio::explain
+
+#endif  // REVELIO_EXPLAIN_GRADCAM_H_

@@ -1,0 +1,121 @@
+#include "explain/graphmask.h"
+
+#include <numeric>
+
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "tensor/ops.h"
+
+namespace revelio::explain {
+
+using tensor::Tensor;
+
+struct GraphMaskExplainer::LayerGates : public nn::Module {
+  LayerGates(const gnn::GnnModel& model, int hidden, util::Rng* rng) {
+    for (int l = 0; l < model.num_layers(); ++l) {
+      const int in_dim = model.layer(l).in_dim();
+      gate_mlps.push_back(std::make_unique<nn::Mlp>(std::vector<int>{2 * in_dim, hidden, 1}, rng));
+      RegisterChild(gate_mlps.back().get());
+    }
+  }
+  std::vector<std::unique_ptr<nn::Mlp>> gate_mlps;
+};
+
+GraphMaskExplainer::GraphMaskExplainer(const GraphMaskOptions& options) : options_(options) {}
+
+GraphMaskExplainer::~GraphMaskExplainer() = default;
+
+std::vector<Tensor> GraphMaskExplainer::LayerMasks(const LayerGates& gates,
+                                                   const ExplanationTask& task,
+                                                   const gnn::LayerEdgeSet& edges) const {
+  // Embeddings entering each layer come from an unmasked pass (detached:
+  // only the gate MLPs train).
+  const auto forward = task.model->Run(*task.graph, edges, task.features, {});
+
+  std::vector<int> srcs, dsts;
+  for (int e = 0; e < edges.num_base_edges; ++e) {
+    srcs.push_back(edges.src[e]);
+    dsts.push_back(edges.dst[e]);
+  }
+  std::vector<int> base_indices(edges.num_base_edges);
+  std::iota(base_indices.begin(), base_indices.end(), 0);
+  std::vector<float> self_ones(edges.num_layer_edges(), 0.0f);
+  for (int e = edges.num_base_edges; e < edges.num_layer_edges(); ++e) self_ones[e] = 1.0f;
+
+  std::vector<Tensor> masks;
+  for (int l = 0; l < task.model->num_layers(); ++l) {
+    const Tensor h = forward.embeddings[l].Detach();
+    Tensor inputs =
+        tensor::ConcatCols(tensor::GatherRows(h, srcs), tensor::GatherRows(h, dsts));
+    Tensor gate = tensor::Sigmoid(gates.gate_mlps[l]->Forward(inputs));
+    Tensor expanded = tensor::ScatterAddRows(gate, base_indices, edges.num_layer_edges());
+    masks.push_back(tensor::Add(expanded, Tensor::FromVector(self_ones)));
+  }
+  return masks;
+}
+
+void GraphMaskExplainer::Train(const std::vector<ExplanationTask>& tasks, Objective objective) {
+  CHECK(!tasks.empty());
+  util::Rng rng(options_.seed);
+  auto gates = std::make_unique<LayerGates>(*tasks[0].model, options_.mlp_hidden, &rng);
+  nn::Adam optimizer(gates->Parameters(), options_.learning_rate);
+
+  for (int epoch = 0; epoch < options_.train_epochs; ++epoch) {
+    for (const ExplanationTask& task : tasks) {
+      const gnn::LayerEdgeSet edges = gnn::BuildLayerEdges(*task.graph);
+      optimizer.ZeroGrad();
+      std::vector<Tensor> masks = LayerMasks(*gates, task, edges);
+      Tensor logits = task.model->Run(*task.graph, edges, task.features, masks).logits;
+      Tensor loss =
+          objective == Objective::kFactual
+              ? nn::FactualObjective(logits, task.logit_row(), task.target_class)
+              : nn::CounterfactualObjective(logits, task.logit_row(), task.target_class);
+      // Sparsity over gate values (base edges only; self-loop slots are 1).
+      Tensor gate_mean;
+      for (const Tensor& mask : masks) {
+        std::vector<int> base_indices(edges.num_base_edges);
+        std::iota(base_indices.begin(), base_indices.end(), 0);
+        Tensor base_part = tensor::Mean(tensor::GatherRows(mask, base_indices));
+        gate_mean = gate_mean.defined() ? tensor::Add(gate_mean, base_part) : base_part;
+      }
+      gate_mean = tensor::MulScalar(gate_mean, 1.0f / task.model->num_layers());
+      if (objective == Objective::kCounterfactual) {
+        gate_mean = tensor::AddScalar(tensor::Neg(gate_mean), 1.0f);
+      }
+      loss = tensor::Add(loss, tensor::MulScalar(gate_mean, options_.sparsity_penalty));
+      loss.Backward();
+      optimizer.Step();
+    }
+  }
+  if (objective == Objective::kFactual) {
+    factual_gates_ = std::move(gates);
+  } else {
+    counterfactual_gates_ = std::move(gates);
+  }
+}
+
+bool GraphMaskExplainer::is_trained(Objective objective) const {
+  return objective == Objective::kFactual ? factual_gates_ != nullptr
+                                          : counterfactual_gates_ != nullptr;
+}
+
+Explanation GraphMaskExplainer::Explain(const ExplanationTask& task, Objective objective) {
+  const LayerGates* gates =
+      objective == Objective::kFactual ? factual_gates_.get() : counterfactual_gates_.get();
+  CHECK(gates != nullptr) << "GraphMaskExplainer::Train must run before Explain";
+  const gnn::LayerEdgeSet edges = gnn::BuildLayerEdges(*task.graph);
+  const std::vector<Tensor> masks = LayerMasks(*gates, task, edges);
+
+  Explanation explanation;
+  explanation.edge_scores.assign(edges.num_base_edges, 0.0);
+  for (int e = 0; e < edges.num_base_edges; ++e) {
+    double total = 0.0;
+    for (const Tensor& mask : masks) total += mask.At(e, 0);
+    const double mean_gate = total / masks.size();
+    explanation.edge_scores[e] =
+        objective == Objective::kFactual ? mean_gate : 1.0 - mean_gate;
+  }
+  return explanation;
+}
+
+}  // namespace revelio::explain

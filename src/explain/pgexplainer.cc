@@ -1,0 +1,120 @@
+#include "explain/pgexplainer.h"
+
+#include <numeric>
+
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "tensor/ops.h"
+#include "util/timer.h"
+
+namespace revelio::explain {
+
+using tensor::Tensor;
+
+struct PgExplainer::GateNet : public nn::Module {
+  GateNet(int embedding_dim, int hidden, bool node_task, util::Rng* rng)
+      : conditions_on_target(node_task),
+        mlp({embedding_dim * (node_task ? 3 : 2), hidden, 1}, rng) {}
+
+  bool conditions_on_target;
+  nn::Mlp mlp;
+};
+
+PgExplainer::PgExplainer(const PgExplainerOptions& options) : options_(options) {}
+
+PgExplainer::~PgExplainer() = default;
+
+tensor::Tensor PgExplainer::EdgeLogits(const GateNet& net, const ExplanationTask& task,
+                                       const gnn::LayerEdgeSet& edges) const {
+  // Final-layer embeddings of the pretrained model, detached: PGExplainer
+  // trains only the gate MLP.
+  const auto forward = task.model->Run(*task.graph, edges, task.features, {});
+  const Tensor embeddings = forward.embeddings.back().Detach();
+
+  std::vector<int> srcs, dsts;
+  srcs.reserve(edges.num_base_edges);
+  dsts.reserve(edges.num_base_edges);
+  for (int e = 0; e < edges.num_base_edges; ++e) {
+    srcs.push_back(edges.src[e]);
+    dsts.push_back(edges.dst[e]);
+  }
+  Tensor inputs = tensor::ConcatCols(tensor::GatherRows(embeddings, srcs),
+                                     tensor::GatherRows(embeddings, dsts));
+  if (net.conditions_on_target) {
+    const std::vector<int> target_rows(edges.num_base_edges, task.target_node);
+    inputs = tensor::ConcatCols(inputs, tensor::GatherRows(embeddings, target_rows));
+  }
+  return net.mlp.Forward(inputs);
+}
+
+void PgExplainer::Train(const std::vector<ExplanationTask>& tasks, Objective objective) {
+  CHECK(!tasks.empty());
+  util::Timer timer;
+  util::Rng rng(options_.seed);
+  const int embedding_dim = tasks[0].model->config().hidden_dim;
+  auto net = std::make_unique<GateNet>(embedding_dim, options_.mlp_hidden,
+                                       tasks[0].is_node_task(), &rng);
+  nn::Adam optimizer(net->Parameters(), options_.learning_rate);
+
+  for (int epoch = 0; epoch < options_.train_epochs; ++epoch) {
+    for (const ExplanationTask& task : tasks) {
+      const gnn::LayerEdgeSet edges = gnn::BuildLayerEdges(*task.graph);
+      optimizer.ZeroGrad();
+      Tensor gate = tensor::Sigmoid(EdgeLogits(*net, task, edges));
+      // Expand to layer edges with self-loops kept at 1.
+      std::vector<int> base_indices(edges.num_base_edges);
+      std::iota(base_indices.begin(), base_indices.end(), 0);
+      Tensor expanded = tensor::ScatterAddRows(gate, base_indices, edges.num_layer_edges());
+      std::vector<float> self_ones(edges.num_layer_edges(), 0.0f);
+      for (int e = edges.num_base_edges; e < edges.num_layer_edges(); ++e) self_ones[e] = 1.0f;
+      Tensor layer_mask = tensor::Add(expanded, Tensor::FromVector(self_ones));
+      std::vector<Tensor> masks(task.model->num_layers(), layer_mask);
+      Tensor logits = task.model->Run(*task.graph, edges, task.features, masks).logits;
+
+      Tensor loss =
+          objective == Objective::kFactual
+              ? nn::FactualObjective(logits, task.logit_row(), task.target_class)
+              : nn::CounterfactualObjective(logits, task.logit_row(), task.target_class);
+      Tensor size_term = objective == Objective::kFactual
+                             ? tensor::Mean(gate)
+                             : tensor::Mean(tensor::AddScalar(tensor::Neg(gate), 1.0f));
+      loss = tensor::Add(loss, tensor::MulScalar(size_term, options_.size_penalty));
+      loss.Backward();
+      optimizer.Step();
+    }
+  }
+  if (objective == Objective::kFactual) {
+    factual_net_ = std::move(net);
+    factual_train_seconds_ = timer.ElapsedSeconds();
+  } else {
+    counterfactual_net_ = std::move(net);
+    counterfactual_train_seconds_ = timer.ElapsedSeconds();
+  }
+}
+
+bool PgExplainer::is_trained(Objective objective) const {
+  return objective == Objective::kFactual ? factual_net_ != nullptr
+                                          : counterfactual_net_ != nullptr;
+}
+
+double PgExplainer::last_train_seconds(Objective objective) const {
+  return objective == Objective::kFactual ? factual_train_seconds_
+                                          : counterfactual_train_seconds_;
+}
+
+Explanation PgExplainer::Explain(const ExplanationTask& task, Objective objective) {
+  const GateNet* net =
+      objective == Objective::kFactual ? factual_net_.get() : counterfactual_net_.get();
+  CHECK(net != nullptr) << "PgExplainer::Train must run before Explain";
+  const gnn::LayerEdgeSet edges = gnn::BuildLayerEdges(*task.graph);
+  Tensor gate = tensor::Sigmoid(EdgeLogits(*net, task, edges));
+  Explanation explanation;
+  explanation.edge_scores.resize(edges.num_base_edges);
+  for (int e = 0; e < edges.num_base_edges; ++e) {
+    const double value = gate.At(e, 0);
+    explanation.edge_scores[e] = objective == Objective::kFactual ? value : 1.0 - value;
+  }
+  return explanation;
+}
+
+}  // namespace revelio::explain

@@ -1,0 +1,71 @@
+#include "explain/pgm_explainer.h"
+
+#include <array>
+#include <cmath>
+
+#include "nn/loss.h"
+
+namespace revelio::explain {
+
+Explanation PgmExplainer::Explain(const ExplanationTask& task, Objective objective) {
+  (void)objective;  // PGM-Explainer's scores serve both studies (paper §V-B).
+  util::Rng rng(options_.seed);
+  const int num_nodes = task.graph->num_nodes();
+  const double original_probability = PredictedProbability(task);
+
+  // Contingency counts per node: perturbed x degraded.
+  std::vector<std::array<std::array<double, 2>, 2>> counts(
+      num_nodes, {{{0.0, 0.0}, {0.0, 0.0}}});
+
+  std::vector<char> perturbed(num_nodes);
+  for (int round = 0; round < options_.num_rounds; ++round) {
+    tensor::Tensor features = CloneFeatures(task);
+    int num_perturbed = 0;
+    for (int v = 0; v < num_nodes; ++v) {
+      perturbed[v] = rng.Bernoulli(options_.perturb_probability);
+      if (!perturbed[v]) continue;
+      ++num_perturbed;
+      for (int f = 0; f < features.cols(); ++f) features.SetAt(v, f, 0.0f);
+    }
+    if (num_perturbed == 0) continue;
+    const tensor::Tensor logits = task.model->Logits(*task.graph, features);
+    const double probability = nn::SoftmaxRow(logits, task.logit_row())[task.target_class];
+    const int degraded =
+        original_probability - probability > options_.prediction_drop_threshold ? 1 : 0;
+    for (int v = 0; v < num_nodes; ++v) counts[v][perturbed[v] ? 1 : 0][degraded] += 1.0;
+  }
+
+  // Chi-square statistic of the 2x2 contingency table per node.
+  std::vector<double> node_scores(num_nodes, 0.0);
+  for (int v = 0; v < num_nodes; ++v) {
+    const auto& c = counts[v];
+    const double total = c[0][0] + c[0][1] + c[1][0] + c[1][1];
+    if (total <= 0.0) continue;
+    double chi_square = 0.0;
+    for (int a = 0; a < 2; ++a) {
+      for (int b = 0; b < 2; ++b) {
+        const double row = c[a][0] + c[a][1];
+        const double col = c[0][b] + c[1][b];
+        const double expected = row * col / total;
+        if (expected > 1e-9) {
+          const double diff = c[a][b] - expected;
+          chi_square += diff * diff / expected;
+        }
+      }
+    }
+    // Sign by direction: perturbing an important node should co-occur with
+    // degradation (positive association).
+    const double association = c[1][1] * c[0][0] - c[1][0] * c[0][1];
+    node_scores[v] = association >= 0.0 ? chi_square : 0.0;
+  }
+
+  Explanation explanation;
+  explanation.edge_scores.resize(task.graph->num_edges());
+  for (int e = 0; e < task.graph->num_edges(); ++e) {
+    const graph::Edge& edge = task.graph->edge(e);
+    explanation.edge_scores[e] = 0.5 * (node_scores[edge.src] + node_scores[edge.dst]);
+  }
+  return explanation;
+}
+
+}  // namespace revelio::explain

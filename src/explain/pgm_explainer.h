@@ -1,0 +1,36 @@
+#ifndef REVELIO_EXPLAIN_PGM_EXPLAINER_H_
+#define REVELIO_EXPLAIN_PGM_EXPLAINER_H_
+
+// PGM-Explainer (Vu & Thai 2020): a black-box, node-centric perturbation
+// method. Node features are randomly perturbed across many rounds; the
+// dependency between "node v was perturbed" and "the prediction degraded" is
+// measured with a chi-square statistic, giving node importance from which
+// edge scores are derived (mean of endpoints). No gradient access needed.
+
+#include "explain/explainer.h"
+#include "util/rng.h"
+
+namespace revelio::explain {
+
+struct PgmExplainerOptions {
+  int num_rounds = 100;           // perturbation samples
+  double perturb_probability = 0.3;
+  double prediction_drop_threshold = 0.05;
+  uint64_t seed = 19;
+};
+
+class PgmExplainer : public Explainer {
+ public:
+  explicit PgmExplainer(const PgmExplainerOptions& options) : options_(options) {}
+
+  std::string name() const override { return "PGMExplainer"; }
+
+  Explanation Explain(const ExplanationTask& task, Objective objective) override;
+
+ private:
+  PgmExplainerOptions options_;
+};
+
+}  // namespace revelio::explain
+
+#endif  // REVELIO_EXPLAIN_PGM_EXPLAINER_H_

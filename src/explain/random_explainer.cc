@@ -1,0 +1,13 @@
+#include "explain/random_explainer.h"
+
+namespace revelio::explain {
+
+Explanation RandomExplainer::Explain(const ExplanationTask& task, Objective objective) {
+  (void)objective;
+  Explanation explanation;
+  explanation.edge_scores.resize(task.graph->num_edges());
+  for (auto& score : explanation.edge_scores) score = rng_.Uniform();
+  return explanation;
+}
+
+}  // namespace revelio::explain

@@ -1,0 +1,26 @@
+#ifndef REVELIO_EXPLAIN_RANDOM_EXPLAINER_H_
+#define REVELIO_EXPLAIN_RANDOM_EXPLAINER_H_
+
+// Uniform-random edge scores: the sanity-check lower bound for every metric.
+
+#include "explain/explainer.h"
+#include "util/rng.h"
+
+namespace revelio::explain {
+
+class RandomExplainer : public Explainer {
+ public:
+  explicit RandomExplainer(uint64_t seed) : rng_(seed) {}
+
+  std::string name() const override { return "Random"; }
+  bool supports_counterfactual() const override { return true; }
+
+  Explanation Explain(const ExplanationTask& task, Objective objective) override;
+
+ private:
+  util::Rng rng_;
+};
+
+}  // namespace revelio::explain
+
+#endif  // REVELIO_EXPLAIN_RANDOM_EXPLAINER_H_

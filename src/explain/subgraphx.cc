@@ -1,0 +1,156 @@
+#include "explain/subgraphx.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <memory>
+
+#include "nn/loss.h"
+#include "tensor/ops.h"
+
+namespace revelio::explain {
+namespace {
+
+// Prediction probability with only the edges among `kept` nodes active
+// (coalition forward pass; self-loops of excluded nodes are zeroed too).
+double CoalitionProbability(const ExplanationTask& task, const gnn::LayerEdgeSet& edges,
+                            const std::vector<char>& kept) {
+  std::vector<float> mask_values(edges.num_layer_edges());
+  for (int e = 0; e < edges.num_layer_edges(); ++e) {
+    mask_values[e] = kept[edges.src[e]] && kept[edges.dst[e]] ? 1.0f : 0.0f;
+  }
+  tensor::Tensor mask = tensor::Tensor::FromVector(mask_values);
+  std::vector<tensor::Tensor> masks(task.model->num_layers(), mask);
+  const tensor::Tensor logits =
+      task.model->Run(*task.graph, edges, task.features, masks).logits;
+  return nn::SoftmaxRow(logits, task.logit_row())[task.target_class];
+}
+
+struct MctsNode {
+  std::vector<char> kept;
+  int num_kept = 0;
+  double total_reward = 0.0;
+  int visits = 0;
+  bool expanded = false;
+  std::vector<std::unique_ptr<MctsNode>> children;
+};
+
+}  // namespace
+
+Explanation SubgraphXExplainer::Explain(const ExplanationTask& task, Objective objective) {
+  (void)objective;  // SubgraphX scores serve both studies (paper §V-B).
+  util::Rng rng(options_.seed);
+  const gnn::LayerEdgeSet edges = gnn::BuildLayerEdges(*task.graph);
+  const int num_nodes = task.graph->num_nodes();
+
+  // Sampled Shapley reward of a kept-set: marginal contribution of the set
+  // over random coalitions drawn from its complement.
+  auto shapley_reward = [&](const std::vector<char>& kept) {
+    double total = 0.0;
+    for (int s = 0; s < options_.shapley_samples; ++s) {
+      std::vector<char> coalition(num_nodes, 0);
+      for (int v = 0; v < num_nodes; ++v) {
+        if (!kept[v] && rng.Bernoulli(0.5)) coalition[v] = 1;
+      }
+      std::vector<char> with_set = coalition;
+      for (int v = 0; v < num_nodes; ++v) {
+        if (kept[v]) with_set[v] = 1;
+      }
+      if (task.is_node_task()) with_set[task.target_node] = 1;
+      total += CoalitionProbability(task, edges, with_set) -
+               CoalitionProbability(task, edges, coalition);
+    }
+    return total / options_.shapley_samples;
+  };
+
+  MctsNode root;
+  root.kept.assign(num_nodes, 1);
+  root.num_kept = num_nodes;
+
+  // Per-edge reward accumulation over every evaluated state: an edge kept by
+  // many high-reward subgraphs ranks high, giving a full graded ranking for
+  // the sparsity sweeps.
+  std::vector<double> edge_reward(task.graph->num_edges(), 0.0);
+  std::vector<int> edge_count(task.graph->num_edges(), 0);
+  auto record = [&](const std::vector<char>& kept, double reward) {
+    for (int e = 0; e < task.graph->num_edges(); ++e) {
+      const graph::Edge& edge = task.graph->edge(e);
+      if (kept[edge.src] && kept[edge.dst]) {
+        edge_reward[e] += reward;
+        ++edge_count[e];
+      }
+    }
+  };
+
+  for (int iteration = 0; iteration < options_.mcts_iterations; ++iteration) {
+    // Selection.
+    std::vector<MctsNode*> path{&root};
+    MctsNode* node = &root;
+    while (node->expanded && !node->children.empty()) {
+      MctsNode* best = nullptr;
+      double best_uct = -1e30;
+      for (auto& child : node->children) {
+        const double mean =
+            child->visits > 0 ? child->total_reward / child->visits : 0.0;
+        const double explore =
+            options_.exploration *
+            std::sqrt(std::log(node->visits + 1.0) / (child->visits + 1.0));
+        if (mean + explore > best_uct) {
+          best_uct = mean + explore;
+          best = child.get();
+        }
+      }
+      node = best;
+      path.push_back(node);
+    }
+
+    // Expansion: children prune one removable node each (sampled subset).
+    if (!node->expanded && node->num_kept > options_.min_subgraph_nodes) {
+      std::vector<int> removable;
+      for (int v = 0; v < num_nodes; ++v) {
+        if (node->kept[v] && v != task.target_node) removable.push_back(v);
+      }
+      rng.Shuffle(&removable);
+      const int branch = std::min<int>(4, static_cast<int>(removable.size()));
+      for (int b = 0; b < branch; ++b) {
+        auto child = std::make_unique<MctsNode>();
+        child->kept = node->kept;
+        child->kept[removable[b]] = 0;
+        child->num_kept = node->num_kept - 1;
+        node->children.push_back(std::move(child));
+      }
+      node->expanded = true;
+      if (!node->children.empty()) {
+        node = node->children[rng.UniformInt(static_cast<int>(node->children.size()))].get();
+        path.push_back(node);
+      }
+    }
+
+    // Rollout: random pruning down to the minimum size, then evaluate.
+    std::vector<char> rollout_kept = node->kept;
+    int rollout_size = node->num_kept;
+    while (rollout_size > options_.min_subgraph_nodes) {
+      const int v = rng.UniformInt(num_nodes);
+      if (!rollout_kept[v] || v == task.target_node) continue;
+      rollout_kept[v] = 0;
+      --rollout_size;
+    }
+    const double reward = shapley_reward(rollout_kept);
+    record(rollout_kept, reward);
+    record(node->kept, reward);
+    for (MctsNode* visited : path) {
+      visited->visits += 1;
+      visited->total_reward += reward;
+    }
+  }
+
+  Explanation explanation;
+  explanation.edge_scores.resize(task.graph->num_edges());
+  for (int e = 0; e < task.graph->num_edges(); ++e) {
+    explanation.edge_scores[e] =
+        edge_count[e] > 0 ? edge_reward[e] / edge_count[e] : 0.0;
+  }
+  return explanation;
+}
+
+}  // namespace revelio::explain

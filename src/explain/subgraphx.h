@@ -1,0 +1,38 @@
+#ifndef REVELIO_EXPLAIN_SUBGRAPHX_H_
+#define REVELIO_EXPLAIN_SUBGRAPHX_H_
+
+// SubgraphX (Yuan et al. 2021): Monte-Carlo tree search over node-pruned
+// subgraphs, scoring candidate subgraphs with a sampled Shapley value
+// (prediction with the subgraph's coalition vs without). Deliberately the
+// most expensive method in the suite — its role in the paper's Table V is
+// the runtime upper bound, and the implementation keeps that profile with a
+// bounded iteration budget.
+
+#include "explain/explainer.h"
+#include "util/rng.h"
+
+namespace revelio::explain {
+
+struct SubgraphXOptions {
+  int mcts_iterations = 30;
+  int min_subgraph_nodes = 5;
+  int shapley_samples = 10;   // coalition samples per leaf evaluation
+  double exploration = 5.0;   // UCT constant
+  uint64_t seed = 23;
+};
+
+class SubgraphXExplainer : public Explainer {
+ public:
+  explicit SubgraphXExplainer(const SubgraphXOptions& options) : options_(options) {}
+
+  std::string name() const override { return "SubgraphX"; }
+
+  Explanation Explain(const ExplanationTask& task, Objective objective) override;
+
+ private:
+  SubgraphXOptions options_;
+};
+
+}  // namespace revelio::explain
+
+#endif  // REVELIO_EXPLAIN_SUBGRAPHX_H_

@@ -1,0 +1,116 @@
+#include "flow/flow_scores.h"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace revelio::flow {
+
+std::vector<std::vector<double>> FlowScoresToLayerEdgeScores(
+    const FlowSet& flows, const std::vector<double>& flow_scores) {
+  CHECK_EQ(static_cast<int>(flow_scores.size()), flows.num_flows());
+  std::vector<std::vector<double>> layer_scores(
+      flows.num_layers(), std::vector<double>(flows.num_layer_edges(), 0.0));
+  for (int l = 0; l < flows.num_layers(); ++l) {
+    const std::vector<int>& edge_of_flow = flows.EdgesAtLayer(l);
+    for (int k = 0; k < flows.num_flows(); ++k) {
+      layer_scores[l][edge_of_flow[k]] += flow_scores[k];
+    }
+  }
+  return layer_scores;
+}
+
+std::vector<double> LayerEdgeScoresToEdgeScores(
+    const FlowSet& flows, const gnn::LayerEdgeSet& edges,
+    const std::vector<std::vector<double>>& layer_edge_scores) {
+  CHECK_EQ(static_cast<int>(layer_edge_scores.size()), flows.num_layers());
+  std::vector<double> edge_scores(edges.num_base_edges, 0.0);
+  for (int e = 0; e < edges.num_base_edges; ++e) {
+    double total = 0.0;
+    int carrying_layers = 0;
+    for (int l = 0; l < flows.num_layers(); ++l) {
+      if (!flows.EdgeCarriesFlow(l, e)) continue;
+      total += layer_edge_scores[l][e];
+      ++carrying_layers;
+    }
+    edge_scores[e] = carrying_layers > 0 ? total / carrying_layers : 0.0;
+  }
+  return edge_scores;
+}
+
+std::vector<int> TopKFlows(const std::vector<double>& flow_scores, int k) {
+  std::vector<int> order(flow_scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  k = std::min<int>(k, static_cast<int>(order.size()));
+  std::partial_sort(order.begin(), order.begin() + k, order.end(), [&](int a, int b) {
+    if (flow_scores[a] != flow_scores[b]) return flow_scores[a] > flow_scores[b];
+    return a < b;
+  });
+  order.resize(k);
+  return order;
+}
+
+std::vector<PatternToken> ParseFlowPattern(const std::string& pattern) {
+  std::vector<PatternToken> tokens;
+  std::istringstream in(pattern);
+  std::string word;
+  while (in >> word) {
+    if (word == "*") {
+      tokens.push_back({PatternToken::Kind::kAnySequence, -1});
+    } else if (word == "?") {
+      tokens.push_back({PatternToken::Kind::kAnyOne, -1});
+    } else if (word.rfind("?{", 0) == 0) {
+      CHECK(word.back() == '}') << "malformed pattern token: " << word;
+      const int repeat = std::atoi(word.substr(2, word.size() - 3).c_str());
+      CHECK_GT(repeat, 0);
+      for (int i = 0; i < repeat; ++i) tokens.push_back({PatternToken::Kind::kAnyOne, -1});
+    } else {
+      tokens.push_back({PatternToken::Kind::kNode, std::atoi(word.c_str())});
+    }
+  }
+  return tokens;
+}
+
+bool FlowMatchesPattern(const FlowSet& flows, const gnn::LayerEdgeSet& edges, int k,
+                        const std::vector<PatternToken>& pattern) {
+  const std::vector<int> nodes = flows.FlowNodes(k, edges);
+  const int n = static_cast<int>(nodes.size());
+  const int m = static_cast<int>(pattern.size());
+  // match[i][j]: nodes[0..i) matches pattern[0..j).
+  std::vector<std::vector<char>> match(n + 1, std::vector<char>(m + 1, 0));
+  match[0][0] = 1;
+  for (int j = 1; j <= m; ++j) {
+    if (pattern[j - 1].kind == PatternToken::Kind::kAnySequence) match[0][j] = match[0][j - 1];
+  }
+  for (int i = 1; i <= n; ++i) {
+    for (int j = 1; j <= m; ++j) {
+      const PatternToken& token = pattern[j - 1];
+      switch (token.kind) {
+        case PatternToken::Kind::kNode:
+          match[i][j] = match[i - 1][j - 1] && nodes[i - 1] == token.node;
+          break;
+        case PatternToken::Kind::kAnyOne:
+          match[i][j] = match[i - 1][j - 1];
+          break;
+        case PatternToken::Kind::kAnySequence:
+          match[i][j] = match[i][j - 1] || match[i - 1][j];
+          break;
+      }
+    }
+  }
+  return match[n][m] != 0;
+}
+
+std::vector<int> MatchFlows(const FlowSet& flows, const gnn::LayerEdgeSet& edges,
+                            const std::string& pattern) {
+  const std::vector<PatternToken> tokens = ParseFlowPattern(pattern);
+  std::vector<int> matched;
+  for (int k = 0; k < flows.num_flows(); ++k) {
+    if (FlowMatchesPattern(flows, edges, k, tokens)) matched.push_back(k);
+  }
+  return matched;
+}
+
+}  // namespace revelio::flow

@@ -1,0 +1,52 @@
+#ifndef REVELIO_FLOW_FLOW_SCORES_H_
+#define REVELIO_FLOW_FLOW_SCORES_H_
+
+// Translation between flow-level and edge-level importance (paper Eq. 3) and
+// the F_{i*j} flow-pattern notation of §III.
+
+#include <string>
+#include <vector>
+
+#include "flow/message_flow.h"
+
+namespace revelio::flow {
+
+// Eq. (3) with f = summation: layer_edge_score[l][e] = sum of the scores of
+// flows traversing layer edge e at layer l (0 where no flow passes).
+std::vector<std::vector<double>> FlowScoresToLayerEdgeScores(
+    const FlowSet& flows, const std::vector<double>& flow_scores);
+
+// Collapses per-layer scores into one score per *base* edge: the mean over
+// the layers where that edge carries at least one flow. Self-loop layer
+// edges are excluded — fidelity evaluation removes only real edges.
+std::vector<double> LayerEdgeScoresToEdgeScores(
+    const FlowSet& flows, const gnn::LayerEdgeSet& edges,
+    const std::vector<std::vector<double>>& layer_edge_scores);
+
+// Indices of the k highest-scoring flows, descending (ties broken by index).
+std::vector<int> TopKFlows(const std::vector<double>& flow_scores, int k);
+
+// --- Flow pattern matching (F_{i*j} notation) --------------------------------
+
+struct PatternToken {
+  enum class Kind { kNode, kAnyOne, kAnySequence };
+  Kind kind = Kind::kAnyOne;
+  int node = -1;  // set when kind == kNode
+};
+
+// Parses a whitespace-separated pattern: integers match a specific node, "?"
+// any single node, "?{n}" n single nodes, "*" any (possibly empty) sequence.
+// Example: "?{2} 4 7 *" is the paper's F_{?{2}ij*} with i=4, j=7.
+std::vector<PatternToken> ParseFlowPattern(const std::string& pattern);
+
+// True if flow `k`'s node sequence matches the pattern.
+bool FlowMatchesPattern(const FlowSet& flows, const gnn::LayerEdgeSet& edges, int k,
+                        const std::vector<PatternToken>& pattern);
+
+// All flow indices matching the pattern.
+std::vector<int> MatchFlows(const FlowSet& flows, const gnn::LayerEdgeSet& edges,
+                            const std::string& pattern);
+
+}  // namespace revelio::flow
+
+#endif  // REVELIO_FLOW_FLOW_SCORES_H_

@@ -1,0 +1,40 @@
+#include "gnn/layer_edges.h"
+
+#include <cmath>
+
+namespace revelio::gnn {
+
+LayerEdgeSet BuildLayerEdges(const graph::Graph& graph) {
+  LayerEdgeSet set;
+  set.num_nodes = graph.num_nodes();
+  set.num_base_edges = graph.num_edges();
+  const int total = graph.num_edges() + graph.num_nodes();
+  set.src.reserve(total);
+  set.dst.reserve(total);
+  for (const graph::Edge& e : graph.edges()) {
+    set.src.push_back(e.src);
+    set.dst.push_back(e.dst);
+  }
+  for (int v = 0; v < graph.num_nodes(); ++v) {
+    set.src.push_back(v);
+    set.dst.push_back(v);
+  }
+  set.in_layer_edges.assign(graph.num_nodes(), {});
+  for (int e = 0; e < total; ++e) set.in_layer_edges[set.dst[e]].push_back(e);
+  return set;
+}
+
+std::vector<float> GcnCoefficients(const graph::Graph& graph, const LayerEdgeSet& edges) {
+  std::vector<int> in_degrees = graph.InDegrees();
+  std::vector<float> inv_sqrt(graph.num_nodes());
+  for (int v = 0; v < graph.num_nodes(); ++v) {
+    inv_sqrt[v] = 1.0f / std::sqrt(static_cast<float>(in_degrees[v] + 1));
+  }
+  std::vector<float> coefficients(edges.num_layer_edges());
+  for (int e = 0; e < edges.num_layer_edges(); ++e) {
+    coefficients[e] = inv_sqrt[edges.src[e]] * inv_sqrt[edges.dst[e]];
+  }
+  return coefficients;
+}
+
+}  // namespace revelio::gnn

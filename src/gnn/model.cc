@@ -1,0 +1,92 @@
+#include "gnn/model.h"
+
+#include "tensor/ops.h"
+
+namespace revelio::gnn {
+
+using tensor::Tensor;
+
+const char* GnnArchName(GnnArch arch) {
+  switch (arch) {
+    case GnnArch::kGcn:
+      return "GCN";
+    case GnnArch::kGin:
+      return "GIN";
+    case GnnArch::kGat:
+      return "GAT";
+  }
+  return "?";
+}
+
+GnnModel::GnnModel(const GnnConfig& config) : config_(config) {
+  CHECK_GT(config.input_dim, 0);
+  CHECK_GT(config.num_layers, 0);
+  util::Rng rng(config.seed);
+  for (int l = 0; l < config.num_layers; ++l) {
+    const int in_dim = l == 0 ? config.input_dim : config.hidden_dim;
+    switch (config.arch) {
+      case GnnArch::kGcn:
+        layers_.push_back(std::make_unique<GcnLayer>(in_dim, config.hidden_dim, &rng, config.gcn_normalize));
+        break;
+      case GnnArch::kGin:
+        layers_.push_back(std::make_unique<GinLayer>(in_dim, config.hidden_dim, &rng));
+        break;
+      case GnnArch::kGat:
+        // Hidden layers concatenate heads; the final GNN layer averages them.
+        layers_.push_back(std::make_unique<GatLayer>(in_dim, config.hidden_dim, config.num_heads,
+                                                     /*concat=*/l + 1 < config.num_layers, &rng));
+        break;
+    }
+    RegisterChild(layers_.back().get());
+  }
+  const int head_in = config.task == TaskType::kGraphClassification
+                          ? 2 * config.hidden_dim  // mean (+) max readout
+                          : config.hidden_dim;
+  head_ = std::make_unique<nn::Linear>(head_in, config.num_classes, &rng);
+  RegisterChild(head_.get());
+}
+
+GnnModel::ForwardResult GnnModel::Run(const graph::Graph& graph, const LayerEdgeSet& edges,
+                                      const tensor::Tensor& x,
+                                      const std::vector<tensor::Tensor>& layer_masks,
+                                      const std::vector<int>* node_to_graph,
+                                      int num_graphs) const {
+  CHECK(layer_masks.empty() ||
+        static_cast<int>(layer_masks.size()) == config_.num_layers)
+      << "expected one mask per layer";
+  ForwardResult result;
+  result.embeddings.reserve(config_.num_layers + 1);
+  result.embeddings.push_back(x);
+  Tensor h = x;
+  for (int l = 0; l < config_.num_layers; ++l) {
+    const Tensor mask = layer_masks.empty() ? Tensor() : layer_masks[l];
+    h = layers_[l]->Forward(graph, edges, h, mask);
+    if (l + 1 < config_.num_layers) h = tensor::Relu(h);
+    result.embeddings.push_back(h);
+  }
+  if (config_.task == TaskType::kGraphClassification) {
+    std::vector<int> segments;
+    if (node_to_graph == nullptr) {
+      segments.assign(graph.num_nodes(), 0);
+      num_graphs = 1;
+    } else {
+      segments = *node_to_graph;
+    }
+    // sum (+) max readout: sum pooling (the GIN-style injective readout)
+    // preserves count-based structural signals that mean pooling dilutes on
+    // constant-feature benchmarks; the max channel adds motif-node peaks.
+    Tensor pooled = tensor::ConcatCols(tensor::ScatterAddRows(h, segments, num_graphs),
+                                       tensor::SegmentMaxRows(h, segments, num_graphs));
+    result.logits = head_->Forward(pooled);
+  } else {
+    result.logits = head_->Forward(h);
+  }
+  return result;
+}
+
+tensor::Tensor GnnModel::Logits(const graph::Graph& graph, const tensor::Tensor& x) const {
+  LayerEdgeSet edges = BuildLayerEdges(graph);
+  return Run(graph, edges, x, {}).logits;
+}
+
+}  // namespace revelio::gnn

@@ -1,0 +1,78 @@
+#ifndef REVELIO_GNN_MODEL_H_
+#define REVELIO_GNN_MODEL_H_
+
+// L-layer GNN models for node and graph classification.
+//
+// Architecture (uniform across GCN/GIN/GAT so explainers can treat the model
+// as a black box): L message-passing layers with ReLU between them, then a
+// linear head. Node tasks apply the head per node; graph tasks mean-pool the
+// final embeddings per graph first. All layers accept per-layer-edge masks.
+
+#include <memory>
+#include <vector>
+
+#include "gnn/layers.h"
+#include "graph/graph.h"
+#include "nn/linear.h"
+
+namespace revelio::gnn {
+
+enum class GnnArch { kGcn, kGin, kGat };
+enum class TaskType { kNodeClassification, kGraphClassification };
+
+// "GCN" / "GIN" / "GAT".
+const char* GnnArchName(GnnArch arch);
+
+struct GnnConfig {
+  GnnArch arch = GnnArch::kGcn;
+  TaskType task = TaskType::kNodeClassification;
+  int input_dim = 0;
+  int hidden_dim = 32;
+  int num_classes = 2;
+  int num_layers = 3;   // the paper uses 3 layers everywhere
+  int num_heads = 8;    // GAT only (the paper uses 8 heads)
+  // GCN only: symmetric normalization. Disabled for constant-feature graph
+  // classification benchmarks, where normalization cancels the structural
+  // signal (see GcnLayer).
+  bool gcn_normalize = true;
+  uint64_t seed = 1;
+};
+
+class GnnModel : public nn::Module {
+ public:
+  explicit GnnModel(const GnnConfig& config);
+
+  struct ForwardResult {
+    // embeddings[0] is the input features; embeddings[l] (l >= 1) is the
+    // post-activation output of layer l. Used by GradCAM / PGExplainer /
+    // GraphMask / GNN-LRP.
+    std::vector<tensor::Tensor> embeddings;
+    tensor::Tensor logits;  // N x C for node tasks, num_graphs x C for graph tasks
+  };
+
+  // Full forward pass. `layer_masks` is either empty (unmasked) or has one
+  // entry per layer; an undefined entry leaves that layer unmasked. For
+  // graph tasks `node_to_graph`/`num_graphs` describe the batch segments
+  // (for a single graph pass nullptr and the readout pools all nodes).
+  ForwardResult Run(const graph::Graph& graph, const LayerEdgeSet& edges,
+                    const tensor::Tensor& x, const std::vector<tensor::Tensor>& layer_masks,
+                    const std::vector<int>* node_to_graph = nullptr, int num_graphs = 1) const;
+
+  // Unmasked logits over a standalone graph (builds the LayerEdgeSet
+  // internally). For graph tasks this is a single-graph forward (1 x C).
+  tensor::Tensor Logits(const graph::Graph& graph, const tensor::Tensor& x) const;
+
+  const GnnConfig& config() const { return config_; }
+  int num_layers() const { return config_.num_layers; }
+  const GnnLayer& layer(int l) const { return *layers_[l]; }
+  const nn::Linear& head() const { return *head_; }
+
+ private:
+  GnnConfig config_;
+  std::vector<std::unique_ptr<GnnLayer>> layers_;
+  std::unique_ptr<nn::Linear> head_;
+};
+
+}  // namespace revelio::gnn
+
+#endif  // REVELIO_GNN_MODEL_H_

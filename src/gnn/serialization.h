@@ -1,0 +1,26 @@
+#ifndef REVELIO_GNN_SERIALIZATION_H_
+#define REVELIO_GNN_SERIALIZATION_H_
+
+// Save/load of trained GNN models. The format is a versioned text file:
+// the GnnConfig followed by every parameter tensor (hex floats, lossless
+// round-trip). Parameter order is the Module registry order, which is
+// deterministic for a given config.
+
+#include <memory>
+#include <string>
+
+#include "gnn/model.h"
+#include "util/status.h"
+
+namespace revelio::gnn {
+
+// Writes `model` (config + all trainable parameters) to `path`.
+util::Status SaveModel(const GnnModel& model, const std::string& path);
+
+// Reconstructs a model saved by SaveModel. Fails on malformed files or
+// version mismatches.
+util::StatusOr<std::unique_ptr<GnnModel>> LoadModel(const std::string& path);
+
+}  // namespace revelio::gnn
+
+#endif  // REVELIO_GNN_SERIALIZATION_H_

@@ -1,0 +1,52 @@
+#ifndef REVELIO_GNN_TRAINER_H_
+#define REVELIO_GNN_TRAINER_H_
+
+// Full-batch training loops for node and graph classification, producing the
+// pretrained target models the explainers are run against (paper Table III).
+
+#include <vector>
+
+#include "gnn/model.h"
+#include "graph/batch.h"
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace revelio::gnn {
+
+struct TrainConfig {
+  int epochs = 200;
+  float learning_rate = 0.01f;
+  float weight_decay = 5e-4f;
+  bool verbose = false;
+};
+
+// Index-based train/val/test split.
+struct Split {
+  std::vector<int> train;
+  std::vector<int> val;
+  std::vector<int> test;
+};
+
+// Random split of [0, n) with the given fractions (test gets the rest).
+Split MakeSplit(int n, double train_fraction, double val_fraction, util::Rng* rng);
+
+struct TrainMetrics {
+  double train_accuracy = 0.0;
+  double val_accuracy = 0.0;
+  double test_accuracy = 0.0;
+  double final_loss = 0.0;
+};
+
+// Trains `model` (node-classification config) on one attributed graph.
+TrainMetrics TrainNodeModel(GnnModel* model, const graph::Graph& graph,
+                            const tensor::Tensor& features, const std::vector<int>& labels,
+                            const Split& split, const TrainConfig& config);
+
+// Trains `model` (graph-classification config) on a set of graph instances
+// (split indexes into `instances`). Uses block-diagonal full-batch passes.
+TrainMetrics TrainGraphModel(GnnModel* model, const std::vector<graph::GraphInstance>& instances,
+                             const Split& split, const TrainConfig& config);
+
+}  // namespace revelio::gnn
+
+#endif  // REVELIO_GNN_TRAINER_H_

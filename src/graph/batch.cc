@@ -1,0 +1,40 @@
+#include "graph/batch.h"
+
+namespace revelio::graph {
+
+GraphBatch MakeBatch(const std::vector<const GraphInstance*>& instances) {
+  CHECK(!instances.empty());
+  GraphBatch batch;
+  batch.num_graphs = static_cast<int>(instances.size());
+
+  int total_nodes = 0;
+  const int feature_dim = instances[0]->features.cols();
+  for (const GraphInstance* instance : instances) {
+    CHECK_EQ(instance->features.cols(), feature_dim);
+    CHECK_EQ(instance->labels.size(), 1u) << "graph instances carry a single graph label";
+    total_nodes += instance->graph.num_nodes();
+  }
+
+  batch.graph = Graph(total_nodes);
+  std::vector<float> features;
+  features.reserve(static_cast<size_t>(total_nodes) * feature_dim);
+  batch.node_to_graph.reserve(total_nodes);
+
+  int offset = 0;
+  for (int g = 0; g < batch.num_graphs; ++g) {
+    const GraphInstance* instance = instances[g];
+    const int n = instance->graph.num_nodes();
+    for (const Edge& e : instance->graph.edges()) {
+      batch.graph.AddEdge(e.src + offset, e.dst + offset);
+    }
+    const auto& values = instance->features.values();
+    features.insert(features.end(), values.begin(), values.end());
+    for (int i = 0; i < n; ++i) batch.node_to_graph.push_back(g);
+    batch.labels.push_back(instance->labels[0]);
+    offset += n;
+  }
+  batch.features = tensor::Tensor::FromData(total_nodes, feature_dim, std::move(features));
+  return batch;
+}
+
+}  // namespace revelio::graph

@@ -1,0 +1,28 @@
+#ifndef REVELIO_GRAPH_BATCH_H_
+#define REVELIO_GRAPH_BATCH_H_
+
+// Block-diagonal batching for graph classification: a set of graphs is merged
+// into one disconnected graph so a whole mini-batch runs through the GNN in a
+// single forward pass (node-to-graph segment ids drive the pooled readout).
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace revelio::graph {
+
+struct GraphBatch {
+  Graph graph;                     // merged graph with offset node ids
+  tensor::Tensor features;         // total_nodes x feature_dim
+  std::vector<int> node_to_graph;  // segment id per node
+  std::vector<int> labels;         // one label per member graph
+  int num_graphs = 0;
+};
+
+// Merges `instances` (each with labels = {graph_label}). Pointers must stay
+// valid for the duration of the call only.
+GraphBatch MakeBatch(const std::vector<const GraphInstance*>& instances);
+
+}  // namespace revelio::graph
+
+#endif  // REVELIO_GRAPH_BATCH_H_

@@ -1,0 +1,74 @@
+#include "graph/dot_export.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace revelio::graph {
+namespace {
+
+bool Selected(const std::vector<char>& flags, int index) {
+  return index < static_cast<int>(flags.size()) && flags[index];
+}
+
+}  // namespace
+
+std::string ToDot(const Graph& graph, const DotStyle& style) {
+  std::ostringstream out;
+  const bool merge = style.merge_directed_pairs;
+  out << (merge ? "graph" : "digraph") << " explanation {\n";
+  out << "  node [shape=circle, fontsize=10];\n";
+  for (int v = 0; v < graph.num_nodes(); ++v) {
+    out << "  " << v << " [";
+    if (v == style.target_node) {
+      out << "style=filled, fillcolor=\"#d62728\", fontcolor=white";
+    } else if (Selected(style.node_in_motif, v)) {
+      out << "style=filled, fillcolor=\"#ffdd57\"";
+    } else {
+      out << "style=filled, fillcolor=\"#e8e8e8\"";
+    }
+    out << "];\n";
+  }
+  std::vector<char> emitted(graph.num_edges(), 0);
+  for (int e = 0; e < graph.num_edges(); ++e) {
+    if (emitted[e]) continue;
+    const Edge& edge = graph.edge(e);
+    bool selected = Selected(style.edge_selected, e);
+    bool truth = Selected(style.edge_ground_truth, e);
+    if (merge) {
+      // Mark the reverse edge as handled; either direction's flags count.
+      for (int r : graph.OutEdges(edge.dst)) {
+        if (graph.edge(r).dst == edge.src && !emitted[r]) {
+          emitted[r] = 1;
+          selected = selected || Selected(style.edge_selected, r);
+          truth = truth || Selected(style.edge_ground_truth, r);
+          break;
+        }
+      }
+    }
+    emitted[e] = 1;
+    out << "  " << edge.src << (merge ? " -- " : " -> ") << edge.dst << " [";
+    if (selected) {
+      out << "color=\"#1f1f1f\", penwidth=2.2";
+    } else if (truth) {
+      // Ground-truth edge the explanation missed (Fig. 6 dashed red).
+      out << "color=\"#d62728\", style=dashed";
+    } else {
+      out << "color=\"#bbbbbb\"";
+    }
+    out << "];\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+util::Status WriteDotFile(const std::string& path, const Graph& graph, const DotStyle& style) {
+  std::ofstream file(path);
+  if (!file.good()) {
+    return util::Status::Internal("cannot open " + path + " for writing");
+  }
+  file << ToDot(graph, style);
+  if (!file.good()) return util::Status::Internal("write failed for " + path);
+  return util::Status::Ok();
+}
+
+}  // namespace revelio::graph

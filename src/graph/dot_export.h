@@ -1,0 +1,36 @@
+#ifndef REVELIO_GRAPH_DOT_EXPORT_H_
+#define REVELIO_GRAPH_DOT_EXPORT_H_
+
+// Graphviz DOT rendering of explanation results (paper Fig. 6 style):
+// explanatory edges dark, missed ground-truth edges dashed red, motif and
+// target nodes colored.
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace revelio::graph {
+
+struct DotStyle {
+  // Parallel to the graph's edges; selected = rendered bold/dark.
+  std::vector<char> edge_selected;
+  // Optional ground truth: unselected true edges render dashed red.
+  std::vector<char> edge_ground_truth;
+  // Optional node emphasis (motif membership) and a highlighted target.
+  std::vector<char> node_in_motif;
+  int target_node = -1;
+  // Collapse directed pairs (u->v, v->u) into one undirected edge.
+  bool merge_directed_pairs = true;
+};
+
+// Renders the graph to DOT text.
+std::string ToDot(const Graph& graph, const DotStyle& style);
+
+// Writes ToDot output to `path`.
+util::Status WriteDotFile(const std::string& path, const Graph& graph, const DotStyle& style);
+
+}  // namespace revelio::graph
+
+#endif  // REVELIO_GRAPH_DOT_EXPORT_H_

@@ -1,0 +1,99 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+namespace revelio::graph {
+
+int Graph::AddEdge(int src, int dst) {
+  CHECK(src >= 0 && src < num_nodes_) << "src " << src << " out of range";
+  CHECK(dst >= 0 && dst < num_nodes_) << "dst " << dst << " out of range";
+  CHECK_NE(src, dst) << "self-loops are not stored in the base graph";
+  edges_.push_back({src, dst});
+  adjacency_built_ = false;
+  return static_cast<int>(edges_.size()) - 1;
+}
+
+int Graph::AddUndirectedEdge(int u, int v) {
+  const int first = AddEdge(u, v);
+  AddEdge(v, u);
+  return first;
+}
+
+bool Graph::HasEdge(int src, int dst) const {
+  EnsureAdjacency();
+  for (int e : out_edges_[src]) {
+    if (edges_[e].dst == dst) return true;
+  }
+  return false;
+}
+
+const std::vector<int>& Graph::InEdges(int node) const {
+  EnsureAdjacency();
+  CHECK(node >= 0 && node < num_nodes_);
+  return in_edges_[node];
+}
+
+const std::vector<int>& Graph::OutEdges(int node) const {
+  EnsureAdjacency();
+  CHECK(node >= 0 && node < num_nodes_);
+  return out_edges_[node];
+}
+
+std::vector<int> Graph::InDegrees() const {
+  std::vector<int> degrees(num_nodes_, 0);
+  for (const Edge& e : edges_) ++degrees[e.dst];
+  return degrees;
+}
+
+std::vector<int> Graph::OutDegrees() const {
+  std::vector<int> degrees(num_nodes_, 0);
+  for (const Edge& e : edges_) ++degrees[e.src];
+  return degrees;
+}
+
+int Graph::MaxInDegree() const {
+  int best = 0;
+  for (int d : InDegrees()) best = std::max(best, d);
+  return best;
+}
+
+Graph Graph::RemoveEdges(const std::vector<int>& removed, std::vector<int>* index_map_out) const {
+  std::unordered_set<int> removed_set(removed.begin(), removed.end());
+  CHECK_EQ(removed_set.size(), removed.size()) << "duplicate edge indices in RemoveEdges";
+  for (int e : removed) CHECK(e >= 0 && e < num_edges());
+  Graph result(num_nodes_);
+  std::vector<int> index_map(edges_.size(), -1);
+  for (int e = 0; e < num_edges(); ++e) {
+    if (removed_set.count(e)) continue;
+    index_map[e] = result.AddEdge(edges_[e].src, edges_[e].dst);
+  }
+  if (index_map_out != nullptr) *index_map_out = std::move(index_map);
+  return result;
+}
+
+std::string Graph::DebugString() const {
+  std::ostringstream out;
+  out << "Graph(n=" << num_nodes_ << ", m=" << num_edges() << ", edges=[";
+  for (int e = 0; e < num_edges() && e < 32; ++e) {
+    if (e > 0) out << ", ";
+    out << edges_[e].src << "->" << edges_[e].dst;
+  }
+  if (num_edges() > 32) out << ", ...";
+  out << "])";
+  return out.str();
+}
+
+void Graph::EnsureAdjacency() const {
+  if (adjacency_built_) return;
+  in_edges_.assign(num_nodes_, {});
+  out_edges_.assign(num_nodes_, {});
+  for (int e = 0; e < num_edges(); ++e) {
+    out_edges_[edges_[e].src].push_back(e);
+    in_edges_[edges_[e].dst].push_back(e);
+  }
+  adjacency_built_ = true;
+}
+
+}  // namespace revelio::graph

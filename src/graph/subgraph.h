@@ -1,0 +1,34 @@
+#ifndef REVELIO_GRAPH_SUBGRAPH_H_
+#define REVELIO_GRAPH_SUBGRAPH_H_
+
+// Computation-subgraph extraction for node-classification explanations.
+//
+// An L-layer GNN's prediction for node t only depends on the nodes that can
+// reach t in at most L directed steps. Explainers therefore operate on this
+// k-hop "computation subgraph" (the PyG convention), which keeps the cost of
+// an explanation independent of the full graph size.
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace revelio::graph {
+
+struct Subgraph {
+  Graph graph;                // relabeled induced subgraph
+  std::vector<int> node_map;  // local node id -> global node id
+  std::vector<int> edge_map;  // local edge id -> global edge id
+  int target_local = -1;      // local id of the explanation target
+};
+
+// Nodes with a directed path of length <= k to `target` (plus the target),
+// with all induced edges. Node 0 of the result need not be the target; use
+// `target_local`.
+Subgraph ExtractKHopInSubgraph(const Graph& graph, int target, int k);
+
+// Rows of `features` selected by `rows` (a detached leaf tensor).
+tensor::Tensor SliceRows(const tensor::Tensor& features, const std::vector<int>& rows);
+
+}  // namespace revelio::graph
+
+#endif  // REVELIO_GRAPH_SUBGRAPH_H_

@@ -1,0 +1,39 @@
+#include "nn/linear.h"
+
+#include "tensor/init.h"
+#include "tensor/ops.h"
+
+namespace revelio::nn {
+
+Linear::Linear(int in_features, int out_features, util::Rng* rng, bool bias)
+    : in_features_(in_features), out_features_(out_features) {
+  weight_ = RegisterParameter(tensor::XavierUniform(in_features, out_features, rng));
+  if (bias) {
+    bias_ = RegisterParameter(tensor::Tensor::Zeros(1, out_features));
+  }
+}
+
+tensor::Tensor Linear::Forward(const tensor::Tensor& input) const {
+  tensor::Tensor out = tensor::MatMul(input, weight_);
+  if (bias_.defined()) out = tensor::AddRowBroadcast(out, bias_);
+  return out;
+}
+
+Mlp::Mlp(const std::vector<int>& dims, util::Rng* rng) {
+  CHECK_GE(dims.size(), 2u);
+  for (size_t i = 0; i + 1 < dims.size(); ++i) {
+    layers_.push_back(std::make_unique<Linear>(dims[i], dims[i + 1], rng));
+    RegisterChild(layers_.back().get());
+  }
+}
+
+tensor::Tensor Mlp::Forward(const tensor::Tensor& input) const {
+  tensor::Tensor h = input;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i]->Forward(h);
+    if (i + 1 < layers_.size()) h = tensor::Relu(h);
+  }
+  return h;
+}
+
+}  // namespace revelio::nn

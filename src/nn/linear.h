@@ -1,0 +1,50 @@
+#ifndef REVELIO_NN_LINEAR_H_
+#define REVELIO_NN_LINEAR_H_
+
+// Fully-connected layers and small MLPs.
+
+#include <memory>
+#include <vector>
+
+#include "nn/module.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace revelio::nn {
+
+// y = x W + b with W Xavier-initialized.
+class Linear : public Module {
+ public:
+  Linear(int in_features, int out_features, util::Rng* rng, bool bias = true);
+
+  tensor::Tensor Forward(const tensor::Tensor& input) const;
+
+  int in_features() const { return in_features_; }
+  int out_features() const { return out_features_; }
+  const tensor::Tensor& weight() const { return weight_; }
+  const tensor::Tensor& bias() const { return bias_; }
+
+ private:
+  int in_features_;
+  int out_features_;
+  tensor::Tensor weight_;  // in x out
+  tensor::Tensor bias_;    // 1 x out (undefined when bias = false)
+};
+
+// Stack of Linear layers with ReLU between hidden layers (none after the
+// final layer). `dims` lists layer widths, e.g. {16, 32, 2}.
+class Mlp : public Module {
+ public:
+  Mlp(const std::vector<int>& dims, util::Rng* rng);
+
+  tensor::Tensor Forward(const tensor::Tensor& input) const;
+
+  int num_layers() const { return static_cast<int>(layers_.size()); }
+
+ private:
+  std::vector<std::unique_ptr<Linear>> layers_;
+};
+
+}  // namespace revelio::nn
+
+#endif  // REVELIO_NN_LINEAR_H_

@@ -1,0 +1,69 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace revelio::nn {
+
+tensor::Tensor CrossEntropyFromLogits(const tensor::Tensor& logits,
+                                      const std::vector<int>& targets) {
+  return tensor::NllLoss(tensor::RowLogSoftmax(logits), targets);
+}
+
+tensor::Tensor ClassProbability(const tensor::Tensor& logits, int row, int cls) {
+  return tensor::Select(tensor::RowSoftmax(logits), row, cls);
+}
+
+tensor::Tensor FactualObjective(const tensor::Tensor& logits, int row, int cls) {
+  return tensor::Neg(tensor::Log(ClassProbability(logits, row, cls)));
+}
+
+tensor::Tensor CounterfactualObjective(const tensor::Tensor& logits, int row, int cls) {
+  tensor::Tensor p = ClassProbability(logits, row, cls);
+  // -log(1 - p), i.e. binary cross entropy against target 0 (paper Eq. 2).
+  return tensor::Neg(tensor::Log(tensor::AddScalar(tensor::Neg(p), 1.0f)));
+}
+
+double Accuracy(const tensor::Tensor& logits, const std::vector<int>& targets,
+                const std::vector<int>& row_subset) {
+  CHECK_EQ(logits.rows(), static_cast<int>(targets.size()));
+  std::vector<int> rows = row_subset;
+  if (rows.empty()) {
+    rows.resize(targets.size());
+    for (size_t i = 0; i < targets.size(); ++i) rows[i] = static_cast<int>(i);
+  }
+  if (rows.empty()) return 0.0;
+  int correct = 0;
+  for (int r : rows) {
+    if (ArgmaxRow(logits, r) == targets[r]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(rows.size());
+}
+
+int ArgmaxRow(const tensor::Tensor& logits, int row) {
+  int best = 0;
+  float best_v = logits.At(row, 0);
+  for (int c = 1; c < logits.cols(); ++c) {
+    if (logits.At(row, c) > best_v) {
+      best_v = logits.At(row, c);
+      best = c;
+    }
+  }
+  return best;
+}
+
+std::vector<double> SoftmaxRow(const tensor::Tensor& logits, int row) {
+  std::vector<double> probs(logits.cols());
+  double max_v = logits.At(row, 0);
+  for (int c = 1; c < logits.cols(); ++c) max_v = std::max<double>(max_v, logits.At(row, c));
+  double denom = 0.0;
+  for (int c = 0; c < logits.cols(); ++c) {
+    probs[c] = std::exp(logits.At(row, c) - max_v);
+    denom += probs[c];
+  }
+  for (auto& p : probs) p /= denom;
+  return probs;
+}
+
+}  // namespace revelio::nn

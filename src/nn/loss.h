@@ -1,0 +1,37 @@
+#ifndef REVELIO_NN_LOSS_H_
+#define REVELIO_NN_LOSS_H_
+
+// Losses and probability helpers shared by the GNN trainer and explainers.
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace revelio::nn {
+
+// Mean cross-entropy of raw logits (N x C) against integer targets.
+tensor::Tensor CrossEntropyFromLogits(const tensor::Tensor& logits,
+                                      const std::vector<int>& targets);
+
+// Differentiable P(Y = cls) for one row of logits (softmax of that row).
+tensor::Tensor ClassProbability(const tensor::Tensor& logits, int row, int cls);
+
+// Paper Eq. (1): factual explanation objective -log P(Y = c | ...).
+tensor::Tensor FactualObjective(const tensor::Tensor& logits, int row, int cls);
+
+// Paper Eq. (2): counterfactual objective -log(1 - P(Y = c | ...)).
+tensor::Tensor CounterfactualObjective(const tensor::Tensor& logits, int row, int cls);
+
+// Fraction of rows whose argmax equals the target (non-differentiable).
+double Accuracy(const tensor::Tensor& logits, const std::vector<int>& targets,
+                const std::vector<int>& row_subset = {});
+
+// Argmax class of a logits row.
+int ArgmaxRow(const tensor::Tensor& logits, int row);
+
+// Softmax probabilities of one logits row (non-differentiable convenience).
+std::vector<double> SoftmaxRow(const tensor::Tensor& logits, int row);
+
+}  // namespace revelio::nn
+
+#endif  // REVELIO_NN_LOSS_H_

@@ -1,0 +1,31 @@
+#include "nn/module.h"
+
+namespace revelio::nn {
+
+std::vector<tensor::Tensor> Module::Parameters() const {
+  std::vector<tensor::Tensor> all = parameters_;
+  for (const Module* child : children_) {
+    auto child_params = child->Parameters();
+    all.insert(all.end(), child_params.begin(), child_params.end());
+  }
+  return all;
+}
+
+int64_t Module::NumParameters() const {
+  int64_t total = 0;
+  for (const auto& p : Parameters()) total += p.numel();
+  return total;
+}
+
+tensor::Tensor Module::RegisterParameter(tensor::Tensor parameter) {
+  parameter.WithRequiresGrad();
+  parameters_.push_back(parameter);
+  return parameter;
+}
+
+void Module::RegisterChild(Module* child) {
+  CHECK(child != nullptr);
+  children_.push_back(child);
+}
+
+}  // namespace revelio::nn

@@ -1,0 +1,42 @@
+#ifndef REVELIO_NN_MODULE_H_
+#define REVELIO_NN_MODULE_H_
+
+// Base class providing a recursive trainable-parameter registry, mirroring
+// the torch.nn.Module idiom that GNN layers and explainers are built on.
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace revelio::nn {
+
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  // All trainable parameters of this module and its registered children.
+  std::vector<tensor::Tensor> Parameters() const;
+
+  // Number of scalar parameters (for reporting).
+  int64_t NumParameters() const;
+
+ protected:
+  // Records a leaf tensor as trainable and returns it (sets requires_grad).
+  tensor::Tensor RegisterParameter(tensor::Tensor parameter);
+
+  // Records a child whose parameters are included in Parameters(). The child
+  // must outlive this module (typically it is a member).
+  void RegisterChild(Module* child);
+
+ private:
+  std::vector<tensor::Tensor> parameters_;
+  std::vector<Module*> children_;
+};
+
+}  // namespace revelio::nn
+
+#endif  // REVELIO_NN_MODULE_H_

@@ -1,0 +1,66 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace revelio::nn {
+
+void Optimizer::ZeroGrad() {
+  for (auto& p : parameters_) p.ZeroGrad();
+}
+
+Sgd::Sgd(std::vector<tensor::Tensor> parameters, float learning_rate, float weight_decay)
+    : Optimizer(std::move(parameters)),
+      learning_rate_(learning_rate),
+      weight_decay_(weight_decay) {}
+
+void Sgd::Step() {
+  for (auto& p : parameters_) {
+    const std::vector<float> grad = p.GradData();
+    if (grad.empty()) continue;
+    std::vector<float>* values = p.mutable_values();
+    for (size_t i = 0; i < values->size(); ++i) {
+      const float g = grad[i] + weight_decay_ * (*values)[i];
+      (*values)[i] -= learning_rate_ * g;
+    }
+  }
+}
+
+Adam::Adam(std::vector<tensor::Tensor> parameters, float learning_rate, float beta1, float beta2,
+           float epsilon, float weight_decay)
+    : Optimizer(std::move(parameters)),
+      learning_rate_(learning_rate),
+      beta1_(beta1),
+      beta2_(beta2),
+      epsilon_(epsilon),
+      weight_decay_(weight_decay) {
+  first_moment_.resize(parameters_.size());
+  second_moment_.resize(parameters_.size());
+  for (size_t i = 0; i < parameters_.size(); ++i) {
+    first_moment_[i].assign(parameters_[i].numel(), 0.0f);
+    second_moment_[i].assign(parameters_[i].numel(), 0.0f);
+  }
+}
+
+void Adam::Step() {
+  ++step_count_;
+  const float bias1 = 1.0f - std::pow(beta1_, static_cast<float>(step_count_));
+  const float bias2 = 1.0f - std::pow(beta2_, static_cast<float>(step_count_));
+  for (size_t pi = 0; pi < parameters_.size(); ++pi) {
+    auto& p = parameters_[pi];
+    const std::vector<float> grad = p.GradData();
+    if (grad.empty()) continue;
+    std::vector<float>* values = p.mutable_values();
+    auto& m = first_moment_[pi];
+    auto& v = second_moment_[pi];
+    for (size_t i = 0; i < values->size(); ++i) {
+      const float g = grad[i] + weight_decay_ * (*values)[i];
+      m[i] = beta1_ * m[i] + (1.0f - beta1_) * g;
+      v[i] = beta2_ * v[i] + (1.0f - beta2_) * g * g;
+      const float m_hat = m[i] / bias1;
+      const float v_hat = v[i] / bias2;
+      (*values)[i] -= learning_rate_ * m_hat / (std::sqrt(v_hat) + epsilon_);
+    }
+  }
+}
+
+}  // namespace revelio::nn

@@ -1,0 +1,60 @@
+#ifndef REVELIO_NN_OPTIMIZER_H_
+#define REVELIO_NN_OPTIMIZER_H_
+
+// First-order optimizers operating on leaf parameter tensors.
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace revelio::nn {
+
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<tensor::Tensor> parameters)
+      : parameters_(std::move(parameters)) {}
+  virtual ~Optimizer() = default;
+
+  // Applies one update using the gradients currently stored on parameters.
+  virtual void Step() = 0;
+
+  // Clears parameter gradients; call between iterations.
+  void ZeroGrad();
+
+ protected:
+  std::vector<tensor::Tensor> parameters_;
+};
+
+// Plain SGD with optional weight decay.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<tensor::Tensor> parameters, float learning_rate, float weight_decay = 0.0f);
+  void Step() override;
+
+ private:
+  float learning_rate_;
+  float weight_decay_;
+};
+
+// Adam (Kingma & Ba) with bias correction; the optimizer used for GNN
+// training and mask learning throughout the paper's experiments.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<tensor::Tensor> parameters, float learning_rate, float beta1 = 0.9f,
+       float beta2 = 0.999f, float epsilon = 1e-8f, float weight_decay = 0.0f);
+  void Step() override;
+
+ private:
+  float learning_rate_;
+  float beta1_;
+  float beta2_;
+  float epsilon_;
+  float weight_decay_;
+  int step_count_ = 0;
+  std::vector<std::vector<float>> first_moment_;
+  std::vector<std::vector<float>> second_moment_;
+};
+
+}  // namespace revelio::nn
+
+#endif  // REVELIO_NN_OPTIMIZER_H_

@@ -1,0 +1,19 @@
+#include "tensor/init.h"
+
+#include <cmath>
+
+namespace revelio::tensor {
+
+Tensor XavierUniform(int fan_in, int fan_out, util::Rng* rng) {
+  const float a = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return Tensor::Uniform(fan_in, fan_out, -a, a, rng);
+}
+
+Tensor HeNormal(int fan_in, int fan_out, util::Rng* rng) {
+  const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in));
+  Tensor t = Tensor::Randn(fan_in, fan_out, rng);
+  for (auto& v : *t.mutable_values()) v *= stddev;
+  return t;
+}
+
+}  // namespace revelio::tensor

@@ -1,0 +1,19 @@
+#ifndef REVELIO_TENSOR_INIT_H_
+#define REVELIO_TENSOR_INIT_H_
+
+// Parameter initialization schemes.
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace revelio::tensor {
+
+// Glorot/Xavier uniform: U(-a, a) with a = sqrt(6 / (fan_in + fan_out)).
+Tensor XavierUniform(int fan_in, int fan_out, util::Rng* rng);
+
+// He/Kaiming normal: N(0, sqrt(2 / fan_in)), suited to ReLU stacks.
+Tensor HeNormal(int fan_in, int fan_out, util::Rng* rng);
+
+}  // namespace revelio::tensor
+
+#endif  // REVELIO_TENSOR_INIT_H_

@@ -1,0 +1,384 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/op_helpers.h"
+
+namespace revelio::tensor {
+
+using internal::TensorNode;
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b, "Add");
+  auto out = NewNodeLike(a);
+  const auto& av = a.values();
+  const auto& bv = b.values();
+  for (size_t i = 0; i < av.size(); ++i) out->values[i] = av[i] + bv[i];
+  AttachBackward(out, {a, b}, [](TensorNode* o) {
+    AccumulateInto(o->parents[0].get(), o->grad, 1.0f);
+    AccumulateInto(o->parents[1].get(), o->grad, 1.0f);
+  });
+  return Tensor::FromNode(out);
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b, "Sub");
+  auto out = NewNodeLike(a);
+  const auto& av = a.values();
+  const auto& bv = b.values();
+  for (size_t i = 0; i < av.size(); ++i) out->values[i] = av[i] - bv[i];
+  AttachBackward(out, {a, b}, [](TensorNode* o) {
+    AccumulateInto(o->parents[0].get(), o->grad, 1.0f);
+    AccumulateInto(o->parents[1].get(), o->grad, -1.0f);
+  });
+  return Tensor::FromNode(out);
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b, "Mul");
+  auto out = NewNodeLike(a);
+  const auto& av = a.values();
+  const auto& bv = b.values();
+  for (size_t i = 0; i < av.size(); ++i) out->values[i] = av[i] * bv[i];
+  AttachBackward(out, {a, b}, [](TensorNode* o) {
+    TensorNode* an = o->parents[0].get();
+    TensorNode* bn = o->parents[1].get();
+    if (an->requires_grad) {
+      an->EnsureGrad();
+      for (size_t i = 0; i < o->grad.size(); ++i) an->grad[i] += o->grad[i] * bn->values[i];
+    }
+    if (bn->requires_grad) {
+      bn->EnsureGrad();
+      for (size_t i = 0; i < o->grad.size(); ++i) bn->grad[i] += o->grad[i] * an->values[i];
+    }
+  });
+  return Tensor::FromNode(out);
+}
+
+Tensor AddRowBroadcast(const Tensor& matrix, const Tensor& row) {
+  CHECK_EQ(row.rows(), 1);
+  CHECK_EQ(row.cols(), matrix.cols());
+  auto out = NewNodeLike(matrix);
+  const auto& mv = matrix.values();
+  const auto& rv = row.values();
+  const int cols = matrix.cols();
+  for (int r = 0; r < matrix.rows(); ++r) {
+    for (int c = 0; c < cols; ++c) {
+      out->values[static_cast<size_t>(r) * cols + c] = mv[static_cast<size_t>(r) * cols + c] + rv[c];
+    }
+  }
+  AttachBackward(out, {matrix, row}, [](TensorNode* o) {
+    TensorNode* mn = o->parents[0].get();
+    TensorNode* rn = o->parents[1].get();
+    AccumulateInto(mn, o->grad, 1.0f);
+    if (rn->requires_grad) {
+      rn->EnsureGrad();
+      const int cols = o->cols;
+      for (int r = 0; r < o->rows; ++r) {
+        for (int c = 0; c < cols; ++c) {
+          rn->grad[c] += o->grad[static_cast<size_t>(r) * cols + c];
+        }
+      }
+    }
+  });
+  return Tensor::FromNode(out);
+}
+
+Tensor AddScalar(const Tensor& a, float s) {
+  auto out = NewNodeLike(a);
+  const auto& av = a.values();
+  for (size_t i = 0; i < av.size(); ++i) out->values[i] = av[i] + s;
+  AttachBackward(out, {a},
+                 [](TensorNode* o) { AccumulateInto(o->parents[0].get(), o->grad, 1.0f); });
+  return Tensor::FromNode(out);
+}
+
+Tensor MulScalar(const Tensor& a, float s) {
+  auto out = NewNodeLike(a);
+  const auto& av = a.values();
+  for (size_t i = 0; i < av.size(); ++i) out->values[i] = av[i] * s;
+  AttachBackward(out, {a},
+                 [s](TensorNode* o) { AccumulateInto(o->parents[0].get(), o->grad, s); });
+  return Tensor::FromNode(out);
+}
+
+Tensor Neg(const Tensor& a) { return MulScalar(a, -1.0f); }
+
+Tensor ScaleByScalarTensor(const Tensor& a, const Tensor& scalar) {
+  CHECK(scalar.is_scalar());
+  auto out = NewNodeLike(a);
+  const auto& av = a.values();
+  const float s = scalar.Value();
+  for (size_t i = 0; i < av.size(); ++i) out->values[i] = av[i] * s;
+  AttachBackward(out, {a, scalar}, [](TensorNode* o) {
+    TensorNode* an = o->parents[0].get();
+    TensorNode* sn = o->parents[1].get();
+    const float s = sn->values[0];
+    if (an->requires_grad) {
+      an->EnsureGrad();
+      for (size_t i = 0; i < o->grad.size(); ++i) an->grad[i] += o->grad[i] * s;
+    }
+    if (sn->requires_grad) {
+      sn->EnsureGrad();
+      float acc = 0.0f;
+      for (size_t i = 0; i < o->grad.size(); ++i) acc += o->grad[i] * an->values[i];
+      sn->grad[0] += acc;
+    }
+  });
+  return Tensor::FromNode(out);
+}
+
+Tensor Relu(const Tensor& a) {
+  auto out = NewNodeLike(a);
+  const auto& av = a.values();
+  for (size_t i = 0; i < av.size(); ++i) out->values[i] = av[i] > 0.0f ? av[i] : 0.0f;
+  AttachBackward(out, {a}, [](TensorNode* o) {
+    TensorNode* an = o->parents[0].get();
+    if (!an->requires_grad) return;
+    an->EnsureGrad();
+    for (size_t i = 0; i < o->grad.size(); ++i) {
+      if (an->values[i] > 0.0f) an->grad[i] += o->grad[i];
+    }
+  });
+  return Tensor::FromNode(out);
+}
+
+Tensor LeakyRelu(const Tensor& a, float negative_slope) {
+  auto out = NewNodeLike(a);
+  const auto& av = a.values();
+  for (size_t i = 0; i < av.size(); ++i) {
+    out->values[i] = av[i] > 0.0f ? av[i] : negative_slope * av[i];
+  }
+  AttachBackward(out, {a}, [negative_slope](TensorNode* o) {
+    TensorNode* an = o->parents[0].get();
+    if (!an->requires_grad) return;
+    an->EnsureGrad();
+    for (size_t i = 0; i < o->grad.size(); ++i) {
+      an->grad[i] += o->grad[i] * (an->values[i] > 0.0f ? 1.0f : negative_slope);
+    }
+  });
+  return Tensor::FromNode(out);
+}
+
+Tensor Tanh(const Tensor& a) {
+  auto out = NewNodeLike(a);
+  const auto& av = a.values();
+  for (size_t i = 0; i < av.size(); ++i) out->values[i] = std::tanh(av[i]);
+  AttachBackward(out, {a}, [](TensorNode* o) {
+    TensorNode* an = o->parents[0].get();
+    if (!an->requires_grad) return;
+    an->EnsureGrad();
+    for (size_t i = 0; i < o->grad.size(); ++i) {
+      an->grad[i] += o->grad[i] * (1.0f - o->values[i] * o->values[i]);
+    }
+  });
+  return Tensor::FromNode(out);
+}
+
+Tensor Sigmoid(const Tensor& a) {
+  auto out = NewNodeLike(a);
+  const auto& av = a.values();
+  for (size_t i = 0; i < av.size(); ++i) out->values[i] = 1.0f / (1.0f + std::exp(-av[i]));
+  AttachBackward(out, {a}, [](TensorNode* o) {
+    TensorNode* an = o->parents[0].get();
+    if (!an->requires_grad) return;
+    an->EnsureGrad();
+    for (size_t i = 0; i < o->grad.size(); ++i) {
+      an->grad[i] += o->grad[i] * o->values[i] * (1.0f - o->values[i]);
+    }
+  });
+  return Tensor::FromNode(out);
+}
+
+Tensor Exp(const Tensor& a) {
+  auto out = NewNodeLike(a);
+  const auto& av = a.values();
+  for (size_t i = 0; i < av.size(); ++i) out->values[i] = std::exp(av[i]);
+  AttachBackward(out, {a}, [](TensorNode* o) {
+    TensorNode* an = o->parents[0].get();
+    if (!an->requires_grad) return;
+    an->EnsureGrad();
+    for (size_t i = 0; i < o->grad.size(); ++i) an->grad[i] += o->grad[i] * o->values[i];
+  });
+  return Tensor::FromNode(out);
+}
+
+Tensor Log(const Tensor& a, float eps) {
+  auto out = NewNodeLike(a);
+  const auto& av = a.values();
+  for (size_t i = 0; i < av.size(); ++i) out->values[i] = std::log(std::max(av[i], eps));
+  AttachBackward(out, {a}, [eps](TensorNode* o) {
+    TensorNode* an = o->parents[0].get();
+    if (!an->requires_grad) return;
+    an->EnsureGrad();
+    for (size_t i = 0; i < o->grad.size(); ++i) {
+      an->grad[i] += o->grad[i] / std::max(an->values[i], eps);
+    }
+  });
+  return Tensor::FromNode(out);
+}
+
+Tensor Softplus(const Tensor& a) {
+  auto out = NewNodeLike(a);
+  const auto& av = a.values();
+  for (size_t i = 0; i < av.size(); ++i) {
+    // Numerically stable softplus: log(1 + exp(x)) = max(x, 0) + log1p(exp(-|x|)).
+    const float x = av[i];
+    out->values[i] = std::max(x, 0.0f) + std::log1p(std::exp(-std::fabs(x)));
+  }
+  AttachBackward(out, {a}, [](TensorNode* o) {
+    TensorNode* an = o->parents[0].get();
+    if (!an->requires_grad) return;
+    an->EnsureGrad();
+    for (size_t i = 0; i < o->grad.size(); ++i) {
+      const float s = 1.0f / (1.0f + std::exp(-an->values[i]));
+      an->grad[i] += o->grad[i] * s;
+    }
+  });
+  return Tensor::FromNode(out);
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  CHECK_EQ(a.cols(), b.rows()) << "MatMul shape mismatch: " << a.rows() << "x" << a.cols()
+                               << " times " << b.rows() << "x" << b.cols();
+  const int n = a.rows();
+  const int k = a.cols();
+  const int m = b.cols();
+  auto out = NewNode(n, m);
+  // ikj loop order: unit-stride inner loop, autovectorizes well.
+  const float* av = a.values().data();
+  const float* bv = b.values().data();
+  float* ov = out->values.data();
+  for (int i = 0; i < n; ++i) {
+    float* orow = ov + static_cast<size_t>(i) * m;
+    for (int kk = 0; kk < k; ++kk) {
+      const float aik = av[static_cast<size_t>(i) * k + kk];
+      if (aik == 0.0f) continue;
+      const float* brow = bv + static_cast<size_t>(kk) * m;
+      for (int j = 0; j < m; ++j) orow[j] += aik * brow[j];
+    }
+  }
+  AttachBackward(out, {a, b}, [n, k, m](TensorNode* o) {
+    TensorNode* an = o->parents[0].get();
+    TensorNode* bn = o->parents[1].get();
+    const float* g = o->grad.data();
+    if (an->requires_grad) {
+      // dA = G * B^T  (n x m)(m x k^T) -> iterate to keep unit stride.
+      an->EnsureGrad();
+      float* ga = an->grad.data();
+      const float* bv = bn->values.data();
+      for (int i = 0; i < n; ++i) {
+        const float* grow = g + static_cast<size_t>(i) * m;
+        float* garow = ga + static_cast<size_t>(i) * k;
+        for (int kk = 0; kk < k; ++kk) {
+          const float* brow = bv + static_cast<size_t>(kk) * m;
+          float acc = 0.0f;
+          for (int j = 0; j < m; ++j) acc += grow[j] * brow[j];
+          garow[kk] += acc;
+        }
+      }
+    }
+    if (bn->requires_grad) {
+      // dB = A^T * G.
+      bn->EnsureGrad();
+      float* gb = bn->grad.data();
+      const float* av = an->values.data();
+      for (int i = 0; i < n; ++i) {
+        const float* grow = g + static_cast<size_t>(i) * m;
+        const float* arow = av + static_cast<size_t>(i) * k;
+        for (int kk = 0; kk < k; ++kk) {
+          const float aik = arow[kk];
+          if (aik == 0.0f) continue;
+          float* gbrow = gb + static_cast<size_t>(kk) * m;
+          for (int j = 0; j < m; ++j) gbrow[j] += aik * grow[j];
+        }
+      }
+    }
+  });
+  return Tensor::FromNode(out);
+}
+
+Tensor Sum(const Tensor& a) {
+  auto out = NewNode(1, 1);
+  double acc = 0.0;
+  for (float v : a.values()) acc += v;
+  out->values[0] = static_cast<float>(acc);
+  AttachBackward(out, {a}, [](TensorNode* o) {
+    TensorNode* an = o->parents[0].get();
+    if (!an->requires_grad) return;
+    an->EnsureGrad();
+    const float g = o->grad[0];
+    for (auto& v : an->grad) v += g;
+  });
+  return Tensor::FromNode(out);
+}
+
+Tensor Mean(const Tensor& a) {
+  CHECK_GT(a.numel(), 0);
+  return MulScalar(Sum(a), 1.0f / static_cast<float>(a.numel()));
+}
+
+Tensor RowSoftmax(const Tensor& a) {
+  auto out = NewNodeLike(a);
+  const int cols = a.cols();
+  const auto& av = a.values();
+  for (int r = 0; r < a.rows(); ++r) {
+    const size_t base = static_cast<size_t>(r) * cols;
+    float max_v = av[base];
+    for (int c = 1; c < cols; ++c) max_v = std::max(max_v, av[base + c]);
+    double denom = 0.0;
+    for (int c = 0; c < cols; ++c) {
+      out->values[base + c] = std::exp(av[base + c] - max_v);
+      denom += out->values[base + c];
+    }
+    for (int c = 0; c < cols; ++c) out->values[base + c] /= static_cast<float>(denom);
+  }
+  AttachBackward(out, {a}, [cols](TensorNode* o) {
+    TensorNode* an = o->parents[0].get();
+    if (!an->requires_grad) return;
+    an->EnsureGrad();
+    for (int r = 0; r < o->rows; ++r) {
+      const size_t base = static_cast<size_t>(r) * cols;
+      double dot = 0.0;
+      for (int c = 0; c < cols; ++c) dot += o->grad[base + c] * o->values[base + c];
+      for (int c = 0; c < cols; ++c) {
+        an->grad[base + c] +=
+            o->values[base + c] * (o->grad[base + c] - static_cast<float>(dot));
+      }
+    }
+  });
+  return Tensor::FromNode(out);
+}
+
+Tensor RowLogSoftmax(const Tensor& a) {
+  auto out = NewNodeLike(a);
+  const int cols = a.cols();
+  const auto& av = a.values();
+  for (int r = 0; r < a.rows(); ++r) {
+    const size_t base = static_cast<size_t>(r) * cols;
+    float max_v = av[base];
+    for (int c = 1; c < cols; ++c) max_v = std::max(max_v, av[base + c]);
+    double denom = 0.0;
+    for (int c = 0; c < cols; ++c) denom += std::exp(av[base + c] - max_v);
+    const float log_denom = max_v + static_cast<float>(std::log(denom));
+    for (int c = 0; c < cols; ++c) out->values[base + c] = av[base + c] - log_denom;
+  }
+  AttachBackward(out, {a}, [cols](TensorNode* o) {
+    TensorNode* an = o->parents[0].get();
+    if (!an->requires_grad) return;
+    an->EnsureGrad();
+    for (int r = 0; r < o->rows; ++r) {
+      const size_t base = static_cast<size_t>(r) * cols;
+      double grad_sum = 0.0;
+      for (int c = 0; c < cols; ++c) grad_sum += o->grad[base + c];
+      for (int c = 0; c < cols; ++c) {
+        an->grad[base + c] += o->grad[base + c] -
+                              std::exp(o->values[base + c]) * static_cast<float>(grad_sum);
+      }
+    }
+  });
+  return Tensor::FromNode(out);
+}
+
+}  // namespace revelio::tensor

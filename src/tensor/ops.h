@@ -1,0 +1,93 @@
+#ifndef REVELIO_TENSOR_OPS_H_
+#define REVELIO_TENSOR_OPS_H_
+
+// Differentiable operations over Tensor. Every op returns a fresh tensor
+// whose backward function accumulates gradients into its inputs.
+//
+// Index-based ops (GatherRows / ScatterAddRows / RowScale / Segment*) are the
+// message-passing primitives: a GNN layer is
+//   messages = RowScale(GatherRows(H, src), coeff * mask)
+//   H'       = ScatterAddRows(messages, dst, num_nodes)
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace revelio::tensor {
+
+// --- Elementwise binary (same shape) ----------------------------------------
+Tensor Add(const Tensor& a, const Tensor& b);
+Tensor Sub(const Tensor& a, const Tensor& b);
+Tensor Mul(const Tensor& a, const Tensor& b);
+
+// Adds a 1 x C row vector to every row of an N x C matrix (bias add).
+Tensor AddRowBroadcast(const Tensor& matrix, const Tensor& row);
+
+// --- Scalar ------------------------------------------------------------------
+Tensor AddScalar(const Tensor& a, float s);
+Tensor MulScalar(const Tensor& a, float s);
+Tensor Neg(const Tensor& a);
+
+// Multiplies every entry of `a` by a differentiable 1x1 tensor (used for the
+// per-layer exp(w_l) factor in the paper's Eq. 5).
+Tensor ScaleByScalarTensor(const Tensor& a, const Tensor& scalar);
+
+// --- Activations -------------------------------------------------------------
+Tensor Relu(const Tensor& a);
+Tensor LeakyRelu(const Tensor& a, float negative_slope);
+Tensor Tanh(const Tensor& a);
+Tensor Sigmoid(const Tensor& a);
+Tensor Exp(const Tensor& a);
+// Natural log; inputs are clamped to >= eps for numerical safety.
+Tensor Log(const Tensor& a, float eps = 1e-12f);
+Tensor Softplus(const Tensor& a);
+
+// --- Linear algebra ------------------------------------------------------------
+// (N x K) times (K x M) -> (N x M).
+Tensor MatMul(const Tensor& a, const Tensor& b);
+
+// --- Reductions ----------------------------------------------------------------
+Tensor Sum(const Tensor& a);   // -> 1x1
+Tensor Mean(const Tensor& a);  // -> 1x1
+
+// --- Row-wise softmax ------------------------------------------------------------
+Tensor RowSoftmax(const Tensor& a);
+Tensor RowLogSoftmax(const Tensor& a);
+
+// --- Indexing / message passing ----------------------------------------------
+// out[i] = a[indices[i]] for each row. indices values must be in [0, a.rows()).
+Tensor GatherRows(const Tensor& a, const std::vector<int>& indices);
+
+// out has `num_rows` rows; out[indices[i]] += src[i]. Rows never touched stay 0.
+Tensor ScatterAddRows(const Tensor& src, const std::vector<int>& indices, int num_rows);
+
+// out[i, :] = a[i, :] * scale[i]; scale is (N x 1) matching a's row count.
+Tensor RowScale(const Tensor& a, const Tensor& scale);
+
+// Concatenates along columns: (N x A), (N x B) -> (N x (A+B)).
+Tensor ConcatCols(const Tensor& a, const Tensor& b);
+
+// Softmax over entries sharing a segment id. `values` is (M x 1); entries of
+// segment s are normalized among themselves. Used for GAT attention where the
+// segment is the destination node of each edge.
+Tensor SegmentSoftmax(const Tensor& values, const std::vector<int>& segment_ids,
+                      int num_segments);
+
+// Mean of rows per segment: (N x C) -> (S x C). Empty segments produce zeros.
+// Used as the graph-classification readout over batched graphs.
+Tensor SegmentMeanRows(const Tensor& a, const std::vector<int>& segment_ids, int num_segments);
+
+// Column-wise max per segment: (N x C) -> (S x C). Gradient flows to the
+// argmax row of each (segment, column). Empty segments produce zeros.
+Tensor SegmentMaxRows(const Tensor& a, const std::vector<int>& segment_ids, int num_segments);
+
+// Extracts a single element as a 1x1 tensor (differentiable).
+Tensor Select(const Tensor& a, int row, int col);
+
+// Mean negative log-likelihood: `log_probs` is (N x C) of log probabilities,
+// `targets` has N class indices. Returns a 1x1 loss.
+Tensor NllLoss(const Tensor& log_probs, const std::vector<int>& targets);
+
+}  // namespace revelio::tensor
+
+#endif  // REVELIO_TENSOR_OPS_H_

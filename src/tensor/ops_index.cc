@@ -1,0 +1,272 @@
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "tensor/op_helpers.h"
+#include "tensor/ops.h"
+
+namespace revelio::tensor {
+
+using internal::TensorNode;
+
+Tensor GatherRows(const Tensor& a, const std::vector<int>& indices) {
+  const int cols = a.cols();
+  auto out = NewNode(static_cast<int>(indices.size()), cols);
+  const auto& av = a.values();
+  for (size_t i = 0; i < indices.size(); ++i) {
+    const int src = indices[i];
+    DCHECK(src >= 0 && src < a.rows()) << "GatherRows index " << src << " out of range";
+    std::copy(av.begin() + static_cast<size_t>(src) * cols,
+              av.begin() + static_cast<size_t>(src + 1) * cols,
+              out->values.begin() + i * cols);
+  }
+  AttachBackward(out, {a}, [indices, cols](TensorNode* o) {
+    TensorNode* an = o->parents[0].get();
+    if (!an->requires_grad) return;
+    an->EnsureGrad();
+    for (size_t i = 0; i < indices.size(); ++i) {
+      const size_t dst_base = static_cast<size_t>(indices[i]) * cols;
+      const size_t src_base = i * cols;
+      for (int c = 0; c < cols; ++c) an->grad[dst_base + c] += o->grad[src_base + c];
+    }
+  });
+  return Tensor::FromNode(out);
+}
+
+Tensor ScatterAddRows(const Tensor& src, const std::vector<int>& indices, int num_rows) {
+  CHECK_EQ(src.rows(), static_cast<int>(indices.size()));
+  const int cols = src.cols();
+  auto out = NewNode(num_rows, cols);
+  const auto& sv = src.values();
+  for (size_t i = 0; i < indices.size(); ++i) {
+    const int dst = indices[i];
+    DCHECK(dst >= 0 && dst < num_rows) << "ScatterAddRows index " << dst << " out of range";
+    const size_t dst_base = static_cast<size_t>(dst) * cols;
+    const size_t src_base = i * cols;
+    for (int c = 0; c < cols; ++c) out->values[dst_base + c] += sv[src_base + c];
+  }
+  AttachBackward(out, {src}, [indices, cols](TensorNode* o) {
+    TensorNode* sn = o->parents[0].get();
+    if (!sn->requires_grad) return;
+    sn->EnsureGrad();
+    for (size_t i = 0; i < indices.size(); ++i) {
+      const size_t src_base = static_cast<size_t>(indices[i]) * cols;
+      const size_t dst_base = i * cols;
+      for (int c = 0; c < cols; ++c) sn->grad[dst_base + c] += o->grad[src_base + c];
+    }
+  });
+  return Tensor::FromNode(out);
+}
+
+Tensor RowScale(const Tensor& a, const Tensor& scale) {
+  CHECK_EQ(scale.rows(), a.rows());
+  CHECK_EQ(scale.cols(), 1);
+  const int cols = a.cols();
+  auto out = NewNodeLike(a);
+  const auto& av = a.values();
+  const auto& sv = scale.values();
+  for (int r = 0; r < a.rows(); ++r) {
+    const size_t base = static_cast<size_t>(r) * cols;
+    for (int c = 0; c < cols; ++c) out->values[base + c] = av[base + c] * sv[r];
+  }
+  AttachBackward(out, {a, scale}, [cols](TensorNode* o) {
+    TensorNode* an = o->parents[0].get();
+    TensorNode* sn = o->parents[1].get();
+    if (an->requires_grad) {
+      an->EnsureGrad();
+      for (int r = 0; r < o->rows; ++r) {
+        const size_t base = static_cast<size_t>(r) * cols;
+        const float s = sn->values[r];
+        for (int c = 0; c < cols; ++c) an->grad[base + c] += o->grad[base + c] * s;
+      }
+    }
+    if (sn->requires_grad) {
+      sn->EnsureGrad();
+      for (int r = 0; r < o->rows; ++r) {
+        const size_t base = static_cast<size_t>(r) * cols;
+        float acc = 0.0f;
+        for (int c = 0; c < cols; ++c) acc += o->grad[base + c] * an->values[base + c];
+        sn->grad[r] += acc;
+      }
+    }
+  });
+  return Tensor::FromNode(out);
+}
+
+Tensor ConcatCols(const Tensor& a, const Tensor& b) {
+  CHECK_EQ(a.rows(), b.rows());
+  const int ac = a.cols();
+  const int bc = b.cols();
+  auto out = NewNode(a.rows(), ac + bc);
+  const auto& av = a.values();
+  const auto& bv = b.values();
+  for (int r = 0; r < a.rows(); ++r) {
+    std::copy(av.begin() + static_cast<size_t>(r) * ac,
+              av.begin() + static_cast<size_t>(r + 1) * ac,
+              out->values.begin() + static_cast<size_t>(r) * (ac + bc));
+    std::copy(bv.begin() + static_cast<size_t>(r) * bc,
+              bv.begin() + static_cast<size_t>(r + 1) * bc,
+              out->values.begin() + static_cast<size_t>(r) * (ac + bc) + ac);
+  }
+  AttachBackward(out, {a, b}, [ac, bc](TensorNode* o) {
+    TensorNode* an = o->parents[0].get();
+    TensorNode* bn = o->parents[1].get();
+    for (int r = 0; r < o->rows; ++r) {
+      const size_t out_base = static_cast<size_t>(r) * (ac + bc);
+      if (an->requires_grad) {
+        an->EnsureGrad();
+        for (int c = 0; c < ac; ++c) {
+          an->grad[static_cast<size_t>(r) * ac + c] += o->grad[out_base + c];
+        }
+      }
+      if (bn->requires_grad) {
+        bn->EnsureGrad();
+        for (int c = 0; c < bc; ++c) {
+          bn->grad[static_cast<size_t>(r) * bc + c] += o->grad[out_base + ac + c];
+        }
+      }
+    }
+  });
+  return Tensor::FromNode(out);
+}
+
+Tensor SegmentSoftmax(const Tensor& values, const std::vector<int>& segment_ids,
+                      int num_segments) {
+  CHECK_EQ(values.cols(), 1);
+  CHECK_EQ(values.rows(), static_cast<int>(segment_ids.size()));
+  const int n = values.rows();
+  auto out = NewNode(n, 1);
+  const auto& v = values.values();
+  // Per-segment max for numerical stability, then normalize.
+  std::vector<float> seg_max(num_segments, -std::numeric_limits<float>::infinity());
+  for (int i = 0; i < n; ++i) {
+    const int s = segment_ids[i];
+    DCHECK(s >= 0 && s < num_segments);
+    seg_max[s] = std::max(seg_max[s], v[i]);
+  }
+  std::vector<double> seg_sum(num_segments, 0.0);
+  for (int i = 0; i < n; ++i) {
+    out->values[i] = std::exp(v[i] - seg_max[segment_ids[i]]);
+    seg_sum[segment_ids[i]] += out->values[i];
+  }
+  for (int i = 0; i < n; ++i) {
+    out->values[i] /= static_cast<float>(seg_sum[segment_ids[i]]);
+  }
+  AttachBackward(out, {values}, [segment_ids, num_segments, n](TensorNode* o) {
+    TensorNode* vn = o->parents[0].get();
+    if (!vn->requires_grad) return;
+    vn->EnsureGrad();
+    // d v_i = y_i * (g_i - sum_{j in seg(i)} g_j y_j).
+    std::vector<double> seg_dot(num_segments, 0.0);
+    for (int i = 0; i < n; ++i) seg_dot[segment_ids[i]] += o->grad[i] * o->values[i];
+    for (int i = 0; i < n; ++i) {
+      vn->grad[i] +=
+          o->values[i] * (o->grad[i] - static_cast<float>(seg_dot[segment_ids[i]]));
+    }
+  });
+  return Tensor::FromNode(out);
+}
+
+Tensor SegmentMeanRows(const Tensor& a, const std::vector<int>& segment_ids, int num_segments) {
+  CHECK_EQ(a.rows(), static_cast<int>(segment_ids.size()));
+  const int cols = a.cols();
+  auto out = NewNode(num_segments, cols);
+  std::vector<int> counts(num_segments, 0);
+  for (int s : segment_ids) {
+    DCHECK(s >= 0 && s < num_segments);
+    ++counts[s];
+  }
+  const auto& av = a.values();
+  for (int r = 0; r < a.rows(); ++r) {
+    const int s = segment_ids[r];
+    const float inv = 1.0f / static_cast<float>(counts[s]);
+    const size_t src = static_cast<size_t>(r) * cols;
+    const size_t dst = static_cast<size_t>(s) * cols;
+    for (int c = 0; c < cols; ++c) out->values[dst + c] += av[src + c] * inv;
+  }
+  AttachBackward(out, {a}, [segment_ids, counts, cols](TensorNode* o) {
+    TensorNode* an = o->parents[0].get();
+    if (!an->requires_grad) return;
+    an->EnsureGrad();
+    for (int r = 0; r < an->rows; ++r) {
+      const int s = segment_ids[r];
+      const float inv = 1.0f / static_cast<float>(counts[s]);
+      const size_t src = static_cast<size_t>(s) * cols;
+      const size_t dst = static_cast<size_t>(r) * cols;
+      for (int c = 0; c < cols; ++c) an->grad[dst + c] += o->grad[src + c] * inv;
+    }
+  });
+  return Tensor::FromNode(out);
+}
+
+Tensor SegmentMaxRows(const Tensor& a, const std::vector<int>& segment_ids, int num_segments) {
+  CHECK_EQ(a.rows(), static_cast<int>(segment_ids.size()));
+  const int cols = a.cols();
+  auto out = NewNode(num_segments, cols);
+  // argmax[(s, c)] = row index feeding the max (-1 for empty segments).
+  std::vector<int> argmax(static_cast<size_t>(num_segments) * cols, -1);
+  const auto& av = a.values();
+  for (int r = 0; r < a.rows(); ++r) {
+    const int s = segment_ids[r];
+    DCHECK(s >= 0 && s < num_segments);
+    for (int c = 0; c < cols; ++c) {
+      const size_t flat = static_cast<size_t>(s) * cols + c;
+      const float value = av[static_cast<size_t>(r) * cols + c];
+      if (argmax[flat] < 0 || value > out->values[flat]) {
+        out->values[flat] = value;
+        argmax[flat] = r;
+      }
+    }
+  }
+  AttachBackward(out, {a}, [argmax, cols](TensorNode* o) {
+    TensorNode* an = o->parents[0].get();
+    if (!an->requires_grad) return;
+    an->EnsureGrad();
+    for (size_t flat = 0; flat < argmax.size(); ++flat) {
+      if (argmax[flat] < 0) continue;
+      an->grad[static_cast<size_t>(argmax[flat]) * cols + flat % cols] += o->grad[flat];
+    }
+  });
+  return Tensor::FromNode(out);
+}
+
+Tensor Select(const Tensor& a, int row, int col) {
+  CHECK(row >= 0 && row < a.rows() && col >= 0 && col < a.cols())
+      << "Select(" << row << "," << col << ") out of range " << a.rows() << "x" << a.cols();
+  auto out = NewNode(1, 1);
+  out->values[0] = a.At(row, col);
+  const size_t flat = static_cast<size_t>(row) * a.cols() + col;
+  AttachBackward(out, {a}, [flat](TensorNode* o) {
+    TensorNode* an = o->parents[0].get();
+    if (!an->requires_grad) return;
+    an->EnsureGrad();
+    an->grad[flat] += o->grad[0];
+  });
+  return Tensor::FromNode(out);
+}
+
+Tensor NllLoss(const Tensor& log_probs, const std::vector<int>& targets) {
+  CHECK_EQ(log_probs.rows(), static_cast<int>(targets.size()));
+  CHECK_GT(targets.size(), 0u);
+  const int cols = log_probs.cols();
+  auto out = NewNode(1, 1);
+  const auto& lp = log_probs.values();
+  double acc = 0.0;
+  for (size_t i = 0; i < targets.size(); ++i) {
+    DCHECK(targets[i] >= 0 && targets[i] < cols);
+    acc -= lp[i * cols + targets[i]];
+  }
+  out->values[0] = static_cast<float>(acc / static_cast<double>(targets.size()));
+  AttachBackward(out, {log_probs}, [targets, cols](TensorNode* o) {
+    TensorNode* ln = o->parents[0].get();
+    if (!ln->requires_grad) return;
+    ln->EnsureGrad();
+    const float g = -o->grad[0] / static_cast<float>(targets.size());
+    for (size_t i = 0; i < targets.size(); ++i) {
+      ln->grad[i * cols + targets[i]] += g;
+    }
+  });
+  return Tensor::FromNode(out);
+}
+
+}  // namespace revelio::tensor

@@ -1,0 +1,11 @@
+#include "util/check.h"
+
+namespace revelio::util {
+
+void CheckFailed(const char* file, int line, const std::string& message) {
+  std::fprintf(stderr, "[%s:%d] %s\n", file, line, message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace revelio::util

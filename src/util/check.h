@@ -1,0 +1,70 @@
+#ifndef REVELIO_UTIL_CHECK_H_
+#define REVELIO_UTIL_CHECK_H_
+
+// Fatal assertion macros in the style of glog/absl. Revelio does not use
+// exceptions; invariant violations abort with a message identifying the
+// failing condition and source location.
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace revelio::util {
+
+// Terminates the process after printing `message` to stderr. Never returns.
+[[noreturn]] void CheckFailed(const char* file, int line, const std::string& message);
+
+namespace internal_check {
+
+// Stream sink that collects an optional user message appended with `<<` and
+// aborts in its destructor. Used as the right-hand side of CHECK macros.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* condition)
+      : file_(file), line_(line) {
+    stream_ << "CHECK failed: " << condition << " ";
+  }
+
+  CheckMessageBuilder(const CheckMessageBuilder&) = delete;
+  CheckMessageBuilder& operator=(const CheckMessageBuilder&) = delete;
+
+  [[noreturn]] ~CheckMessageBuilder() { CheckFailed(file_, line_, stream_.str()); }
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_check
+}  // namespace revelio::util
+
+#define CHECK(condition)                                                   \
+  if (condition) {                                                         \
+  } else /* NOLINT */                                                      \
+    ::revelio::util::internal_check::CheckMessageBuilder(__FILE__, __LINE__, \
+                                                         #condition)
+
+#define CHECK_OP(lhs, rhs, op) CHECK((lhs)op(rhs)) << "(" << (lhs) << " vs " << (rhs) << ") "
+
+#define CHECK_EQ(lhs, rhs) CHECK_OP(lhs, rhs, ==)
+#define CHECK_NE(lhs, rhs) CHECK_OP(lhs, rhs, !=)
+#define CHECK_LT(lhs, rhs) CHECK_OP(lhs, rhs, <)
+#define CHECK_LE(lhs, rhs) CHECK_OP(lhs, rhs, <=)
+#define CHECK_GT(lhs, rhs) CHECK_OP(lhs, rhs, >)
+#define CHECK_GE(lhs, rhs) CHECK_OP(lhs, rhs, >=)
+
+#ifdef NDEBUG
+#define DCHECK(condition) CHECK(true || (condition))
+#else
+#define DCHECK(condition) CHECK(condition)
+#endif
+
+#endif  // REVELIO_UTIL_CHECK_H_

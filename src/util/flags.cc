@@ -1,0 +1,54 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+
+#include "util/check.h"
+
+namespace revelio::util {
+
+Flags::Flags(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    const size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";
+    }
+  }
+}
+
+bool Flags::Has(const std::string& name) const { return values_.count(name) > 0; }
+
+std::string Flags::GetString(const std::string& name, const std::string& fallback) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+int Flags::GetInt(const std::string& name, int fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return std::atoi(it->second.c_str());
+}
+
+double Flags::GetDouble(const std::string& name, double fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return std::atof(it->second.c_str());
+}
+
+bool Flags::GetBool(const std::string& name, bool fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  const std::string& v = it->second;
+  return v == "true" || v == "1" || v == "yes" || v == "on";
+}
+
+}  // namespace revelio::util

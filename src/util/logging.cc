@@ -1,0 +1,41 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+
+namespace revelio::util {
+namespace {
+
+std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_log_level.store(static_cast<int>(level)); }
+
+LogLevel GetLogLevel() { return static_cast<LogLevel>(g_log_level.load()); }
+
+void LogMessage(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < g_log_level.load()) return;
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point start = Clock::now();
+  const double elapsed =
+      std::chrono::duration_cast<std::chrono::duration<double>>(Clock::now() - start).count();
+  std::fprintf(stderr, "[%8.2fs %-5s] %s\n", elapsed, LevelName(level), message.c_str());
+}
+
+}  // namespace revelio::util

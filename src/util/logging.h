@@ -1,0 +1,50 @@
+#ifndef REVELIO_UTIL_LOGGING_H_
+#define REVELIO_UTIL_LOGGING_H_
+
+// Minimal leveled logging to stderr. Intended for progress reporting in
+// benches and examples; hot paths should not log.
+
+#include <sstream>
+#include <string>
+
+namespace revelio::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Messages below this level are suppressed. Defaults to kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Emits one formatted log line to stderr if `level` is enabled.
+void LogMessage(LogLevel level, const std::string& message);
+
+namespace internal_logging {
+
+class LogLineBuilder {
+ public:
+  explicit LogLineBuilder(LogLevel level) : level_(level) {}
+  LogLineBuilder(const LogLineBuilder&) = delete;
+  LogLineBuilder& operator=(const LogLineBuilder&) = delete;
+  ~LogLineBuilder() { LogMessage(level_, stream_.str()); }
+
+  template <typename T>
+  LogLineBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace revelio::util
+
+#define LOG_DEBUG ::revelio::util::internal_logging::LogLineBuilder(::revelio::util::LogLevel::kDebug)
+#define LOG_INFO ::revelio::util::internal_logging::LogLineBuilder(::revelio::util::LogLevel::kInfo)
+#define LOG_WARNING \
+  ::revelio::util::internal_logging::LogLineBuilder(::revelio::util::LogLevel::kWarning)
+#define LOG_ERROR ::revelio::util::internal_logging::LogLineBuilder(::revelio::util::LogLevel::kError)
+
+#endif  // REVELIO_UTIL_LOGGING_H_

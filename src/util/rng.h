@@ -1,0 +1,65 @@
+#ifndef REVELIO_UTIL_RNG_H_
+#define REVELIO_UTIL_RNG_H_
+
+// Deterministic pseudo-random number generator used throughout Revelio.
+// Every stochastic component (dataset generation, parameter init, sampling
+// explainers) takes an explicit Rng or seed so experiments are reproducible.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace revelio::util {
+
+// xoshiro256** generator seeded via SplitMix64. Not cryptographic.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  // Uniform random 64-bit value.
+  uint64_t NextUint64();
+
+  // Uniform in [0, 1).
+  double Uniform();
+
+  // Uniform in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  // Uniform integer in [0, n). Requires n > 0.
+  int UniformInt(int n);
+
+  // Standard normal via Box-Muller.
+  double Normal();
+
+  // Normal with the given mean / stddev.
+  double Normal(double mean, double stddev);
+
+  // True with probability p.
+  bool Bernoulli(double p);
+
+  // Samples an index in [0, weights.size()) proportionally to weights.
+  // Requires at least one strictly positive weight.
+  int WeightedIndex(const std::vector<double>& weights);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* values) {
+    for (int i = static_cast<int>(values->size()) - 1; i > 0; --i) {
+      int j = UniformInt(i + 1);
+      std::swap((*values)[i], (*values)[j]);
+    }
+  }
+
+  // Samples k distinct indices from [0, n) without replacement (k <= n).
+  std::vector<int> SampleWithoutReplacement(int n, int k);
+
+ private:
+  uint64_t state_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace revelio::util
+
+#endif  // REVELIO_UTIL_RNG_H_

@@ -1,0 +1,101 @@
+#ifndef REVELIO_UTIL_STATUS_H_
+#define REVELIO_UTIL_STATUS_H_
+
+// Lightweight Status / StatusOr error-handling types (RocksDB/absl idiom).
+// Used for recoverable failures (I/O, parsing); programming errors use CHECK.
+
+#include <string>
+#include <utility>
+
+#include "util/check.h"
+
+namespace revelio::util {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kFailedPrecondition,
+  kInternal,
+  kUnimplemented,
+};
+
+// Returns a short human-readable name ("Ok", "InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+// Value-semantic result of an operation that can fail.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+  static Status FailedPrecondition(std::string message) {
+    return Status(StatusCode::kFailedPrecondition, std::move(message));
+  }
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+  static Status Unimplemented(std::string message) {
+    return Status(StatusCode::kUnimplemented, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "Ok" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Holds either a value of type T or an error Status. Accessing the value of
+// a non-ok StatusOr is a fatal error.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(T value) : status_(Status::Ok()), value_(std::move(value)) {}  // NOLINT
+  StatusOr(Status status) : status_(std::move(status)) {                 // NOLINT
+    CHECK(!status_.ok()) << "StatusOr constructed from Ok status without value";
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CHECK(ok()) << status_.ToString();
+    return value_;
+  }
+  T& value() & {
+    CHECK(ok()) << status_.ToString();
+    return value_;
+  }
+  T&& value() && {
+    CHECK(ok()) << status_.ToString();
+    return std::move(value_);
+  }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace revelio::util
+
+#define RETURN_IF_ERROR(expr)                        \
+  do {                                               \
+    ::revelio::util::Status _status = (expr);        \
+    if (!_status.ok()) return _status;               \
+  } while (false)
+
+#endif  // REVELIO_UTIL_STATUS_H_

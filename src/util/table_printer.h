@@ -1,0 +1,39 @@
+#ifndef REVELIO_UTIL_TABLE_PRINTER_H_
+#define REVELIO_UTIL_TABLE_PRINTER_H_
+
+// Aligned console-table rendering for the benchmark harness. Bench binaries
+// print the same rows/series the paper's tables and figures report.
+
+#include <string>
+#include <vector>
+
+namespace revelio::util {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  // Appends a data row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  // Convenience: formats doubles with the given precision ("-" for NaN).
+  static std::string FormatDouble(double value, int precision = 3);
+
+  // Renders the table with column alignment and a separator under the header.
+  std::string ToString() const;
+
+  // Renders to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Writes rows as CSV to `path` (header first). Returns false on I/O failure.
+bool WriteCsv(const std::string& path, const std::vector<std::string>& header,
+              const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace revelio::util
+
+#endif  // REVELIO_UTIL_TABLE_PRINTER_H_

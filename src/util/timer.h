@@ -1,0 +1,29 @@
+#ifndef REVELIO_UTIL_TIMER_H_
+#define REVELIO_UTIL_TIMER_H_
+
+// Wall-clock timer used by the efficiency study (paper Table V).
+
+#include <chrono>
+
+namespace revelio::util {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  // Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration_cast<std::chrono::duration<double>>(Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace revelio::util
+
+#endif  // REVELIO_UTIL_TIMER_H_

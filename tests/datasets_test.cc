@@ -1,0 +1,199 @@
+// Tests for dataset generators: statistics (paper Table III bands), ground
+// truth consistency, determinism, and learnability preconditions.
+
+#include "datasets/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace revelio::datasets {
+namespace {
+
+TEST(RegistryTest, AllNamesBuild) {
+  for (const std::string& name : AllDatasetNames()) {
+    Dataset dataset = MakeDataset(name, 1);
+    EXPECT_EQ(dataset.name, name);
+    EXPECT_GT(dataset.num_graphs(), 0);
+    EXPECT_GT(dataset.feature_dim, 0);
+    EXPECT_GE(dataset.num_classes, 2);
+  }
+}
+
+TEST(RegistryTest, DeterministicPerSeed) {
+  Dataset a = MakeDataset("ba_shapes", 5);
+  Dataset b = MakeDataset("ba_shapes", 5);
+  ASSERT_EQ(a.instances[0].graph.num_edges(), b.instances[0].graph.num_edges());
+  for (int e = 0; e < a.instances[0].graph.num_edges(); ++e) {
+    EXPECT_TRUE(a.instances[0].graph.edge(e) == b.instances[0].graph.edge(e));
+  }
+  Dataset c = MakeDataset("ba_shapes", 6);
+  EXPECT_NE(a.instances[0].graph.num_edges(), 0);
+  // Different seed should move at least one random attachment.
+  bool any_difference = c.instances[0].graph.num_edges() != a.instances[0].graph.num_edges();
+  for (int e = 0; !any_difference && e < a.instances[0].graph.num_edges() &&
+                  e < c.instances[0].graph.num_edges();
+       ++e) {
+    any_difference = !(a.instances[0].graph.edge(e) == c.instances[0].graph.edge(e));
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(BaShapesTest, MatchesPaperStatistics) {
+  Dataset dataset = MakeBaShapes(1);
+  const auto& instance = dataset.instances[0];
+  EXPECT_EQ(instance.graph.num_nodes(), 700);
+  // Paper Table III: 4110 directed edges; construction lands in that band.
+  EXPECT_GT(instance.graph.num_edges(), 3600);
+  EXPECT_LT(instance.graph.num_edges(), 4600);
+  EXPECT_EQ(dataset.num_classes, 4);
+  EXPECT_EQ(dataset.feature_dim, 10);
+
+  // 80 houses x 5 nodes with labels 1/2/3 inside the motif.
+  int in_motif = 0;
+  std::vector<int> label_counts(4, 0);
+  for (int v = 0; v < 700; ++v) {
+    ++label_counts[instance.labels[v]];
+    if (dataset.node_in_motif[0][v]) ++in_motif;
+  }
+  EXPECT_EQ(in_motif, 400);
+  EXPECT_EQ(label_counts[1], 80);   // one roof per house
+  EXPECT_EQ(label_counts[2], 160);  // two middle
+  EXPECT_EQ(label_counts[3], 160);  // two bottom
+  EXPECT_EQ(label_counts[0], 300);  // base
+
+  // Every motif node's label is nonzero; ground-truth edges connect motif
+  // nodes of the same house (12 directed per house = 960).
+  int motif_edges = 0;
+  for (int e = 0; e < instance.graph.num_edges(); ++e) {
+    if (dataset.edge_in_motif[0][e]) {
+      ++motif_edges;
+      EXPECT_GT(instance.labels[instance.graph.edge(e).src], 0);
+      EXPECT_GT(instance.labels[instance.graph.edge(e).dst], 0);
+    }
+  }
+  // 12 directed edges per house; random perturbation edges occasionally land
+  // inside a house and count as motif edges under the endpoint convention.
+  EXPECT_GE(motif_edges, 80 * 12);
+  EXPECT_LE(motif_edges, 80 * 12 + 20);
+}
+
+TEST(TreeCyclesTest, MatchesPaperStatistics) {
+  Dataset dataset = MakeTreeCycles(2);
+  const auto& instance = dataset.instances[0];
+  EXPECT_EQ(instance.graph.num_nodes(), 871);
+  EXPECT_GT(instance.graph.num_edges(), 1800);
+  EXPECT_LT(instance.graph.num_edges(), 2100);
+  EXPECT_EQ(dataset.num_classes, 2);
+  int cycle_nodes = 0;
+  for (int v = 0; v < 871; ++v) cycle_nodes += instance.labels[v];
+  EXPECT_EQ(cycle_nodes, 360);
+  // Cycle motif ground truth: 60 cycles x 6 undirected edges x 2 = 720.
+  int motif_edges = 0;
+  for (char m : dataset.edge_in_motif[0]) motif_edges += m;
+  EXPECT_EQ(motif_edges, 720);
+}
+
+TEST(Ba2MotifsTest, BalancedClassesAndMotifs) {
+  Dataset dataset = MakeBa2Motifs(3, 100);
+  EXPECT_EQ(dataset.num_graphs(), 100);
+  int positives = 0;
+  for (const auto& instance : dataset.instances) {
+    EXPECT_EQ(instance.graph.num_nodes(), 25);
+    positives += instance.labels[0];
+  }
+  EXPECT_EQ(positives, 50);
+  // House graphs have 12 directed motif edges, cycle graphs 10.
+  for (int g = 0; g < dataset.num_graphs(); ++g) {
+    int motif_edges = 0;
+    for (char m : dataset.edge_in_motif[g]) motif_edges += m;
+    EXPECT_EQ(motif_edges, dataset.instances[g].labels[0] == 0 ? 12 : 10);
+  }
+}
+
+TEST(CitationTest, StatisticsAndHomophily) {
+  Dataset dataset = MakeCoraLike(4);
+  const auto& instance = dataset.instances[0];
+  EXPECT_EQ(instance.graph.num_nodes(), 2708);
+  EXPECT_EQ(instance.graph.num_edges(), 2 * 5278);
+  EXPECT_EQ(dataset.num_classes, 7);
+  EXPECT_FALSE(dataset.has_ground_truth);
+
+  // Homophily: most edges connect same-class endpoints.
+  int same = 0;
+  for (const auto& edge : instance.graph.edges()) {
+    if (instance.labels[edge.src] == instance.labels[edge.dst]) ++same;
+  }
+  EXPECT_GT(static_cast<double>(same) / instance.graph.num_edges(), 0.6);
+
+  // Class-block features fire more inside the block.
+  const int block = dataset.feature_dim / dataset.num_classes;
+  double in_block = 0.0, off_block = 0.0;
+  int in_count = 0, off_count = 0;
+  for (int v = 0; v < 200; ++v) {
+    const int begin = instance.labels[v] * block;
+    for (int f = 0; f < dataset.feature_dim; ++f) {
+      if (f >= begin && f < begin + block) {
+        in_block += instance.features.At(v, f);
+        ++in_count;
+      } else {
+        off_block += instance.features.At(v, f);
+        ++off_count;
+      }
+    }
+  }
+  EXPECT_GT(in_block / in_count, 5.0 * (off_block / off_count));
+}
+
+TEST(CitationTest, AllVariantsMatchDeclaredSizes) {
+  Dataset citeseer = MakeCiteseerLike(1);
+  EXPECT_EQ(citeseer.instances[0].graph.num_nodes(), 3327);
+  EXPECT_EQ(citeseer.num_classes, 6);
+  Dataset pubmed = MakePubmedLike(1);
+  EXPECT_EQ(pubmed.instances[0].graph.num_nodes(), 4000);
+  EXPECT_EQ(pubmed.num_classes, 3);
+}
+
+TEST(MoleculeTest, MutagLikeMotifMostlyDeterminesLabel) {
+  Dataset dataset = MakeMutagLike(7, 200);
+  EXPECT_EQ(dataset.num_graphs(), 200);
+  int mismatches = 0;
+  for (int g = 0; g < dataset.num_graphs(); ++g) {
+    const auto& instance = dataset.instances[g];
+    int motif_edges = 0;
+    for (char m : dataset.edge_in_motif[g]) motif_edges += m;
+    // NO2-like group: 2 undirected = 4 directed edges, or absent entirely.
+    EXPECT_TRUE(motif_edges == 0 || motif_edges == 4);
+    const int structural_label = motif_edges > 0 ? 1 : 0;
+    if (structural_label != instance.labels[0]) ++mismatches;
+    // Table III band: MUTAG averages ~17.9 nodes.
+    EXPECT_GE(instance.graph.num_nodes(), 15);
+    EXPECT_LE(instance.graph.num_nodes(), 23);
+  }
+  // ~10% label noise (keeps model accuracy in the paper's MUTAG band).
+  EXPECT_GT(mismatches, 2);
+  EXPECT_LT(mismatches, 50);
+  EXPECT_NEAR(dataset.AverageNodes(), 17.9, 3.0);
+}
+
+TEST(MoleculeTest, BbbpLikeRingMotif) {
+  Dataset dataset = MakeBbbpLike(8, 100);
+  int mismatches = 0;
+  for (int g = 0; g < dataset.num_graphs(); ++g) {
+    int motif_edges = 0;
+    for (char m : dataset.edge_in_motif[g]) motif_edges += m;
+    EXPECT_TRUE(motif_edges == 0 || motif_edges == 12);
+    if ((motif_edges > 0 ? 1 : 0) != dataset.instances[g].labels[0]) ++mismatches;
+  }
+  EXPECT_GT(mismatches, 2);   // ~12% label noise
+  EXPECT_LT(mismatches, 30);
+  EXPECT_NEAR(dataset.AverageNodes(), 24.1, 5.0);
+}
+
+TEST(DatasetTest, AverageStatsHelpers) {
+  Dataset dataset = MakeBa2Motifs(9, 10);
+  EXPECT_NEAR(dataset.AverageNodes(), 25.0, 1e-9);
+  EXPECT_GT(dataset.AverageEdges(), 45.0);
+  EXPECT_LT(dataset.AverageEdges(), 56.0);
+}
+
+}  // namespace
+}  // namespace revelio::datasets

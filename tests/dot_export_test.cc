@@ -1,0 +1,84 @@
+// Tests for the Graphviz export of explanation results.
+
+#include "graph/dot_export.h"
+
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace revelio::graph {
+namespace {
+
+Graph TriangleWithTail() {
+  Graph g(4);
+  g.AddUndirectedEdge(0, 1);  // edges 0, 1
+  g.AddUndirectedEdge(1, 2);  // edges 2, 3
+  g.AddUndirectedEdge(0, 2);  // edges 4, 5
+  g.AddEdge(3, 0);            // edge 6 (one-directional tail)
+  return g;
+}
+
+TEST(DotExportTest, MergedUndirectedRendering) {
+  Graph g = TriangleWithTail();
+  DotStyle style;
+  style.edge_selected.assign(g.num_edges(), 0);
+  style.edge_selected[0] = 1;  // 0 -> 1 selected; its pair must merge
+  style.target_node = 2;
+  const std::string dot = ToDot(g, style);
+  EXPECT_NE(dot.find("graph explanation {"), std::string::npos);
+  // Each undirected pair appears once.
+  EXPECT_EQ(dot.find("1 -- 0"), std::string::npos);
+  EXPECT_NE(dot.find("0 -- 1"), std::string::npos);
+  // Selection via either direction renders bold.
+  const size_t edge_pos = dot.find("0 -- 1");
+  EXPECT_NE(dot.find("penwidth=2.2", edge_pos), std::string::npos);
+  // Target is highlighted.
+  EXPECT_NE(dot.find("2 [style=filled, fillcolor=\"#d62728\""), std::string::npos);
+}
+
+TEST(DotExportTest, DirectedRenderingKeepsBothArcs) {
+  Graph g = TriangleWithTail();
+  DotStyle style;
+  style.merge_directed_pairs = false;
+  const std::string dot = ToDot(g, style);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("0 -> 1"), std::string::npos);
+  EXPECT_NE(dot.find("1 -> 0"), std::string::npos);
+  EXPECT_NE(dot.find("3 -> 0"), std::string::npos);
+}
+
+TEST(DotExportTest, MissedGroundTruthIsDashedRed) {
+  Graph g = TriangleWithTail();
+  DotStyle style;
+  style.edge_selected.assign(g.num_edges(), 0);
+  style.edge_ground_truth.assign(g.num_edges(), 0);
+  style.edge_ground_truth[2] = 1;  // 1 -> 2 is true but unselected
+  const std::string dot = ToDot(g, style);
+  const size_t edge_pos = dot.find("1 -- 2");
+  ASSERT_NE(edge_pos, std::string::npos);
+  EXPECT_NE(dot.find("style=dashed", edge_pos), std::string::npos);
+}
+
+TEST(DotExportTest, MotifNodesColored) {
+  Graph g = TriangleWithTail();
+  DotStyle style;
+  style.node_in_motif.assign(4, 0);
+  style.node_in_motif[1] = 1;
+  const std::string dot = ToDot(g, style);
+  EXPECT_NE(dot.find("1 [style=filled, fillcolor=\"#ffdd57\"]"), std::string::npos);
+}
+
+TEST(DotExportTest, WriteDotFileRoundTrip) {
+  Graph g = TriangleWithTail();
+  DotStyle style;
+  const std::string path = ::testing::TempDir() + "/revelio_fig6.dot";
+  ASSERT_TRUE(WriteDotFile(path, g, style).ok());
+  std::ifstream in(path);
+  std::string first_line;
+  std::getline(in, first_line);
+  EXPECT_EQ(first_line, "graph explanation {");
+  EXPECT_FALSE(WriteDotFile("/nonexistent_dir_xyz/file.dot", g, style).ok());
+}
+
+}  // namespace
+}  // namespace revelio::graph

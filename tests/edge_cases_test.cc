@@ -1,0 +1,165 @@
+// Numerical and structural edge cases across modules: extreme inputs to the
+// tensor ops, degenerate graphs, and graph-task fidelity behavior.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+#include "flow/message_flow.h"
+#include "gnn/trainer.h"
+#include "nn/loss.h"
+#include "tensor/ops.h"
+
+namespace revelio {
+namespace {
+
+using tensor::Tensor;
+
+TEST(NumericalEdgeCases, SoftmaxSurvivesExtremeLogits) {
+  Tensor logits = Tensor::FromData(2, 3, {1000.0f, 0.0f, -1000.0f, -1e30f, -1e30f, -1e30f});
+  Tensor probs = tensor::RowSoftmax(logits);
+  EXPECT_NEAR(probs.At(0, 0), 1.0f, 1e-5);
+  EXPECT_NEAR(probs.At(0, 2), 0.0f, 1e-5);
+  // Row of equal extreme values stays uniform, not NaN.
+  for (int c = 0; c < 3; ++c) {
+    EXPECT_FALSE(std::isnan(probs.At(1, c)));
+    EXPECT_NEAR(probs.At(1, c), 1.0f / 3.0f, 1e-5);
+  }
+  Tensor log_probs = tensor::RowLogSoftmax(logits);
+  EXPECT_FALSE(std::isnan(log_probs.At(0, 2)));
+}
+
+TEST(NumericalEdgeCases, LogOfZeroIsClamped) {
+  Tensor p = Tensor::FromData(1, 1, {0.0f});
+  EXPECT_TRUE(std::isfinite(tensor::Log(p).Value()));
+}
+
+TEST(NumericalEdgeCases, ObjectivesAtProbabilityExtremes) {
+  // P(c) ~ 1: factual loss ~ 0, counterfactual loss large but finite.
+  Tensor confident = Tensor::FromData(1, 2, {50.0f, -50.0f});
+  EXPECT_NEAR(nn::FactualObjective(confident, 0, 0).Value(), 0.0f, 1e-4);
+  EXPECT_TRUE(std::isfinite(nn::CounterfactualObjective(confident, 0, 0).Value()));
+  EXPECT_GT(nn::CounterfactualObjective(confident, 0, 0).Value(), 5.0f);
+}
+
+TEST(NumericalEdgeCases, SoftplusLargeInputsLinear) {
+  Tensor x = Tensor::FromData(1, 2, {80.0f, -80.0f});
+  Tensor y = tensor::Softplus(x);
+  EXPECT_NEAR(y.At(0, 0), 80.0f, 1e-3);
+  EXPECT_NEAR(y.At(0, 1), 0.0f, 1e-3);
+}
+
+TEST(StructuralEdgeCases, SingleNodeGraphForward) {
+  graph::Graph g(1);
+  gnn::GnnConfig config;
+  config.arch = gnn::GnnArch::kGcn;
+  config.input_dim = 3;
+  config.hidden_dim = 4;
+  config.num_classes = 2;
+  gnn::GnnModel model(config);
+  util::Rng rng(3);
+  Tensor logits = model.Logits(g, Tensor::Randn(1, 3, &rng));
+  EXPECT_EQ(logits.rows(), 1);
+  for (int c = 0; c < 2; ++c) EXPECT_TRUE(std::isfinite(logits.At(0, c)));
+}
+
+TEST(StructuralEdgeCases, EdgelessGraphStillHasSelfLoopFlows) {
+  graph::Graph g(3);
+  const gnn::LayerEdgeSet edges = gnn::BuildLayerEdges(g);
+  EXPECT_EQ(edges.num_base_edges, 0);
+  EXPECT_EQ(edges.num_layer_edges(), 3);
+  EXPECT_EQ(flow::CountAllFlows(edges, 3), 3);
+  flow::FlowSet flows = flow::EnumerateAllFlows(edges, 3);
+  EXPECT_EQ(flows.num_flows(), 3);
+}
+
+TEST(StructuralEdgeCases, FlowEnumerationMaxFlowsGuard) {
+  graph::Graph g(4);
+  g.AddUndirectedEdge(0, 1);
+  g.AddUndirectedEdge(1, 2);
+  g.AddUndirectedEdge(2, 3);
+  const gnn::LayerEdgeSet edges = gnn::BuildLayerEdges(g);
+  const int64_t count = flow::CountFlowsToTarget(edges, 1, 3);
+  EXPECT_DEATH(flow::EnumerateFlowsToTarget(edges, 1, 3, count - 1), "max_flows");
+  // Exactly at the bound succeeds.
+  EXPECT_EQ(flow::EnumerateFlowsToTarget(edges, 1, 3, count).num_flows(), count);
+}
+
+TEST(StructuralEdgeCases, GraphTaskFidelityUsesGraphProbability) {
+  // A graph classifier whose prediction depends on edges: check that the
+  // fidelity protocol moves the probability for graph tasks too.
+  util::Rng rng(11);
+  std::vector<graph::GraphInstance> instances;
+  for (int i = 0; i < 40; ++i) {
+    const int label = i % 2;
+    graph::GraphInstance instance;
+    instance.graph = graph::Graph(6);
+    // Label 1: a 6-cycle; label 0: a path (same nodes, one fewer edge).
+    for (int v = 0; v + 1 < 6; ++v) instance.graph.AddUndirectedEdge(v, v + 1);
+    if (label == 1) instance.graph.AddUndirectedEdge(5, 0);
+    instance.features = Tensor::Ones(6, 3);
+    instance.labels = {label};
+    instances.push_back(std::move(instance));
+  }
+  gnn::GnnConfig config;
+  config.arch = gnn::GnnArch::kGin;
+  config.task = gnn::TaskType::kGraphClassification;
+  config.input_dim = 3;
+  config.hidden_dim = 8;
+  config.num_classes = 2;
+  gnn::GnnModel model(config);
+  gnn::Split split = gnn::MakeSplit(40, 0.7, 0.15, &rng);
+  gnn::TrainConfig train_config;
+  train_config.epochs = 120;
+  const auto metrics = gnn::TrainGraphModel(&model, instances, split, train_config);
+  ASSERT_GT(metrics.test_accuracy, 0.8) << "cycle-vs-path should be learnable";
+
+  explain::ExplanationTask task;
+  task.model = &model;
+  task.graph = &instances[1].graph;  // a cycle instance
+  task.features = instances[1].features;
+  task.target_node = -1;
+  task.target_class = explain::PredictedClass(task);
+
+  // Removing the whole graph's edges must change the class probability.
+  std::vector<int> all_edges(task.graph->num_edges());
+  for (int e = 0; e < task.graph->num_edges(); ++e) all_edges[e] = e;
+  const double with_edges = explain::PredictedProbability(task);
+  const double without_edges = eval::ProbabilityWithoutEdges(task, all_edges);
+  EXPECT_GT(std::fabs(with_edges - without_edges), 0.05);
+}
+
+TEST(StructuralEdgeCases, FidelityHandlesAllOrNothingSparsity) {
+  graph::Graph g(4);
+  g.AddUndirectedEdge(0, 1);
+  g.AddUndirectedEdge(1, 2);
+  g.AddUndirectedEdge(2, 3);
+  gnn::GnnConfig config;
+  config.arch = gnn::GnnArch::kGcn;
+  config.input_dim = 2;
+  config.hidden_dim = 4;
+  config.num_classes = 2;
+  gnn::GnnModel model(config);
+  util::Rng rng(5);
+  explain::ExplanationTask task;
+  task.model = &model;
+  task.graph = &g;
+  task.features = Tensor::Randn(4, 2, &rng);
+  task.target_node = 1;
+  task.target_class = 0;
+  const std::vector<double> scores = {0.9, 0.8, 0.7, 0.6, 0.5, 0.4};
+  // Fidelity- at sparsity 0 keeps everything (no drop); at sparsity 1 it
+  // removes every edge but must stay finite. Fidelity+ removes the
+  // explanatory set, which is empty at sparsity 1 (no drop) and the whole
+  // graph at sparsity 0.
+  EXPECT_NEAR(eval::FidelityMinus(task, scores, 0.0), 0.0, 1e-6);
+  EXPECT_TRUE(std::isfinite(eval::FidelityMinus(task, scores, 1.0)));
+  EXPECT_NEAR(eval::FidelityPlus(task, scores, 1.0), 0.0, 1e-6);
+  EXPECT_NEAR(eval::FidelityPlus(task, scores, 0.0),
+              eval::FidelityMinus(task, scores, 1.0), 1e-6)
+      << "removing all edges is the same subgraph under both protocols";
+}
+
+}  // namespace
+}  // namespace revelio

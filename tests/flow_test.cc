@@ -1,0 +1,175 @@
+// Tests for message-flow enumeration, counting, incidence, pattern matching
+// and flow/edge score translation (paper §III / Eq. 3).
+
+#include "flow/message_flow.h"
+
+#include <gtest/gtest.h>
+
+#include "flow/flow_scores.h"
+
+namespace revelio::flow {
+namespace {
+
+using gnn::BuildLayerEdges;
+using gnn::LayerEdgeSet;
+using graph::Graph;
+
+// 0 -> 1 -> 2 directed path.
+Graph PathGraph3() {
+  Graph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  return g;
+}
+
+TEST(FlowCountTest, PathGraphCountsMatchEnumeration) {
+  Graph g = PathGraph3();
+  LayerEdgeSet edges = BuildLayerEdges(g);
+  for (int layers = 1; layers <= 4; ++layers) {
+    const int64_t count = CountFlowsToTarget(edges, 2, layers);
+    FlowSet flows = EnumerateFlowsToTarget(edges, 2, layers);
+    EXPECT_EQ(count, flows.num_flows()) << "L = " << layers;
+  }
+}
+
+TEST(FlowCountTest, SingleNodeHasOnlySelfLoopFlows) {
+  Graph g(1);
+  LayerEdgeSet edges = BuildLayerEdges(g);
+  EXPECT_EQ(CountFlowsToTarget(edges, 0, 3), 1);
+  FlowSet flows = EnumerateFlowsToTarget(edges, 0, 3);
+  ASSERT_EQ(flows.num_flows(), 1);
+  EXPECT_EQ(flows.FormatFlow(0, edges), "0->0->0->0");
+}
+
+TEST(FlowCountTest, CountAllEqualsSumOverTargets) {
+  Graph g = PathGraph3();
+  LayerEdgeSet edges = BuildLayerEdges(g);
+  int64_t total = 0;
+  for (int v = 0; v < 3; ++v) total += CountFlowsToTarget(edges, v, 2);
+  EXPECT_EQ(CountAllFlows(edges, 2), total);
+  FlowSet all = EnumerateAllFlows(edges, 2);
+  EXPECT_EQ(all.num_flows(), total);
+}
+
+TEST(FlowCountTest, UpperBoundFromMaxInDegree) {
+  // The paper's bound: |F| to one target <= (d_- + 1)^L with self-loops.
+  Graph g(4);
+  g.AddEdge(0, 3);
+  g.AddEdge(1, 3);
+  g.AddEdge(2, 3);
+  LayerEdgeSet edges = BuildLayerEdges(g);
+  const int64_t bound = 4 * 4 * 4;  // (d_- + 1)^3
+  EXPECT_LE(CountFlowsToTarget(edges, 3, 3), bound);
+}
+
+TEST(FlowSetTest, FlowsEndAtTargetAndChain) {
+  Graph g = PathGraph3();
+  LayerEdgeSet edges = BuildLayerEdges(g);
+  FlowSet flows = EnumerateFlowsToTarget(edges, 2, 2);
+  // Walks of length 2 ending at 2 over {0->1,1->2,self-loops}:
+  // 0->1->2, 1->1->2, 1->2->2, 2->2->2. (4 total)
+  EXPECT_EQ(flows.num_flows(), 4);
+  for (int k = 0; k < flows.num_flows(); ++k) {
+    const auto nodes = flows.FlowNodes(k, edges);
+    ASSERT_EQ(nodes.size(), 3u);
+    EXPECT_EQ(nodes.back(), 2);
+    // Consecutive layer edges chain: dst of step l == src of step l+1.
+    EXPECT_EQ(edges.dst[flows.EdgeAt(0, k)], edges.src[flows.EdgeAt(1, k)]);
+  }
+}
+
+TEST(FlowSetTest, ReverseIndexIsConsistent) {
+  Graph g = PathGraph3();
+  LayerEdgeSet edges = BuildLayerEdges(g);
+  FlowSet flows = EnumerateFlowsToTarget(edges, 2, 3);
+  // Every flow appears exactly once per layer across the reverse index.
+  for (int l = 0; l < flows.num_layers(); ++l) {
+    std::vector<int> seen(flows.num_flows(), 0);
+    for (int e = 0; e < edges.num_layer_edges(); ++e) {
+      for (int k : flows.FlowsOnEdge(l, e)) {
+        EXPECT_EQ(flows.EdgeAt(l, k), e);
+        seen[k] += 1;
+      }
+    }
+    for (int count : seen) EXPECT_EQ(count, 1);
+  }
+}
+
+TEST(FlowSetTest, UsedEdgesAreExactlyFlowCarriers) {
+  Graph g = PathGraph3();
+  LayerEdgeSet edges = BuildLayerEdges(g);
+  FlowSet flows = EnumerateFlowsToTarget(edges, 2, 2);
+  // Layer 2 (index 1): only edges entering node 2 carry flows.
+  const auto used = flows.UsedEdgesAtLayer(1);
+  for (int e : used) EXPECT_EQ(edges.dst[e], 2);
+  // Edge 0->1 carries a flow at layer 1 but not layer 2.
+  EXPECT_TRUE(flows.EdgeCarriesFlow(0, 0));
+  EXPECT_FALSE(flows.EdgeCarriesFlow(1, 0));
+}
+
+TEST(FlowScoresTest, LayerEdgeScoresAreFlowSums) {
+  Graph g = PathGraph3();
+  LayerEdgeSet edges = BuildLayerEdges(g);
+  FlowSet flows = EnumerateFlowsToTarget(edges, 2, 2);
+  std::vector<double> scores(flows.num_flows());
+  for (int k = 0; k < flows.num_flows(); ++k) scores[k] = k + 1.0;
+  const auto layer_scores = FlowScoresToLayerEdgeScores(flows, scores);
+  for (int l = 0; l < 2; ++l) {
+    double total = 0.0;
+    for (double v : layer_scores[l]) total += v;
+    // Eq. 3 with summation: per-layer totals equal the sum of flow scores.
+    EXPECT_NEAR(total, 1.0 + 2.0 + 3.0 + 4.0, 1e-9);
+  }
+}
+
+TEST(FlowScoresTest, EdgeScoresAverageOverCarryingLayersOnly) {
+  Graph g = PathGraph3();
+  LayerEdgeSet edges = BuildLayerEdges(g);
+  FlowSet flows = EnumerateFlowsToTarget(edges, 2, 2);
+  std::vector<std::vector<double>> layer_scores(
+      2, std::vector<double>(edges.num_layer_edges(), 0.0));
+  layer_scores[0][0] = 4.0;  // edge 0->1 at layer 1 (carries flow 0->1->2)
+  layer_scores[1][0] = 99.0; // same edge at layer 2 carries nothing: ignored
+  const auto edge_scores = LayerEdgeScoresToEdgeScores(flows, edges, layer_scores);
+  ASSERT_EQ(edge_scores.size(), 2u);
+  EXPECT_NEAR(edge_scores[0], 4.0, 1e-9) << "only the carrying layer counts";
+}
+
+TEST(FlowScoresTest, TopKOrdersDescending) {
+  const std::vector<double> scores = {0.1, 0.9, 0.5, 0.9};
+  const auto top = TopKFlows(scores, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0], 1);  // ties broken by index
+  EXPECT_EQ(top[1], 3);
+  EXPECT_EQ(top[2], 2);
+  EXPECT_EQ(TopKFlows(scores, 10).size(), 4u);
+}
+
+TEST(FlowPatternTest, ParseAndMatch) {
+  Graph g = PathGraph3();
+  LayerEdgeSet edges = BuildLayerEdges(g);
+  FlowSet flows = EnumerateFlowsToTarget(edges, 2, 2);
+  // F_{0*}: flows starting at node 0 — only 0->1->2.
+  const auto from_zero = MatchFlows(flows, edges, "0 *");
+  ASSERT_EQ(from_zero.size(), 1u);
+  EXPECT_EQ(flows.FormatFlow(from_zero[0], edges), "0->1->2");
+  // F_{*2}: all flows (all end at 2).
+  EXPECT_EQ(MatchFlows(flows, edges, "* 2").size(), 4u);
+  // F_{?{2}2}: exactly two arbitrary nodes then node 2 = all length-2 flows.
+  EXPECT_EQ(MatchFlows(flows, edges, "?{2} 2").size(), 4u);
+  // F_{1 1 2}: the specific flow 1->1->2.
+  const auto specific = MatchFlows(flows, edges, "1 1 2");
+  ASSERT_EQ(specific.size(), 1u);
+  EXPECT_EQ(flows.FormatFlow(specific[0], edges), "1->1->2");
+}
+
+TEST(FlowPatternTest, AnySequenceMatchesEmpty) {
+  Graph g(1);
+  LayerEdgeSet edges = BuildLayerEdges(g);
+  FlowSet flows = EnumerateFlowsToTarget(edges, 0, 1);
+  EXPECT_EQ(MatchFlows(flows, edges, "* 0 0 *").size(), 1u);
+  EXPECT_EQ(MatchFlows(flows, edges, "* 1 *").size(), 0u);
+}
+
+}  // namespace
+}  // namespace revelio::flow

@@ -1,0 +1,161 @@
+// Additional layer-level behavior tests: GCN normalization modes, GIN's
+// epsilon self-weighting, GAT head configurations, and model-level mask
+// plumbing across architectures.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "gnn/layers.h"
+#include "gnn/model.h"
+#include "tensor/ops.h"
+
+namespace revelio::gnn {
+namespace {
+
+using graph::Graph;
+using tensor::Tensor;
+
+Graph Pair() {
+  Graph g(2);
+  g.AddUndirectedEdge(0, 1);
+  return g;
+}
+
+TEST(GcnNormalizationTest, UnnormalizedCoefficientsAreOnes) {
+  Graph g = Pair();
+  LayerEdgeSet edges = BuildLayerEdges(g);
+  util::Rng rng(1);
+  GcnLayer normalized(3, 3, &rng, /*normalize=*/true);
+  GcnLayer plain(3, 3, &rng, /*normalize=*/false);
+  EXPECT_TRUE(normalized.normalize());
+  EXPECT_FALSE(plain.normalize());
+  for (float c : plain.Coefficients(g, edges)) EXPECT_EQ(c, 1.0f);
+  for (float c : normalized.Coefficients(g, edges)) EXPECT_NEAR(c, 0.5f, 1e-6);
+}
+
+TEST(GcnNormalizationTest, UnnormalizedOutputScalesWithDegree) {
+  // Node with two identical in-neighbors aggregates twice the message under
+  // plain-sum aggregation; the normalized variant does not.
+  Graph one_neighbor(3);
+  one_neighbor.AddEdge(1, 0);
+  Graph two_neighbors(3);
+  two_neighbors.AddEdge(1, 0);
+  two_neighbors.AddEdge(2, 0);
+  util::Rng rng(2);
+  GcnLayer plain(2, 2, &rng, /*normalize=*/false);
+  Tensor x = Tensor::Ones(3, 2);
+  Tensor out_one = plain.Forward(one_neighbor, BuildLayerEdges(one_neighbor), x, Tensor());
+  Tensor out_two =
+      plain.Forward(two_neighbors, BuildLayerEdges(two_neighbors), x, Tensor());
+  // out(two) - out(one) equals exactly one extra unit message (x W).
+  Graph none(3);
+  Tensor out_none = plain.Forward(none, BuildLayerEdges(none), x, Tensor());
+  for (int c = 0; c < 2; ++c) {
+    const float unit = out_one.At(0, c) - out_none.At(0, c);
+    EXPECT_NEAR(out_two.At(0, c) - out_one.At(0, c), unit, 1e-5);
+  }
+}
+
+TEST(GinLayerTest, EpsilonWeightsSelfLoopMessage) {
+  Graph g(1);
+  LayerEdgeSet edges = BuildLayerEdges(g);
+  util::Rng rng(3);
+  GinLayer gin_zero(2, 4, &rng, /*eps=*/0.0f);
+  util::Rng rng2(3);  // identical weights
+  GinLayer gin_one(2, 4, &rng2, /*eps=*/1.0f);
+  EXPECT_EQ(gin_zero.eps(), 0.0f);
+  EXPECT_EQ(gin_one.eps(), 1.0f);
+  Tensor x = Tensor::Ones(1, 2);
+  Tensor out_zero = gin_zero.Forward(g, edges, x, Tensor());
+  Tensor out_double = gin_one.Forward(g, edges, Tensor::Full(1, 2, 0.5f), Tensor());
+  // (1 + eps) * 0.5 with eps = 1 equals 1.0 * 1 with eps = 0 -> same MLP input.
+  for (int c = 0; c < 4; ++c) EXPECT_NEAR(out_zero.At(0, c), out_double.At(0, c), 1e-5);
+}
+
+TEST(GatLayerTest, ConcatDimensionsAndHeadCount) {
+  util::Rng rng(4);
+  GatLayer concat_layer(6, 8, /*num_heads=*/4, /*concat=*/true, &rng);
+  EXPECT_EQ(concat_layer.num_heads(), 4);
+  GatLayer mean_layer(6, 8, /*num_heads=*/4, /*concat=*/false, &rng);
+  Graph g = Pair();
+  LayerEdgeSet edges = BuildLayerEdges(g);
+  Tensor x = Tensor::Randn(2, 6, &rng);
+  EXPECT_EQ(concat_layer.Forward(g, edges, x, Tensor()).cols(), 8);
+  EXPECT_EQ(mean_layer.Forward(g, edges, x, Tensor()).cols(), 8);
+}
+
+TEST(GatLayerTest, SingleHeadConcatEqualsMean) {
+  util::Rng rng_a(5);
+  GatLayer concat_layer(4, 4, 1, /*concat=*/true, &rng_a);
+  util::Rng rng_b(5);
+  GatLayer mean_layer(4, 4, 1, /*concat=*/false, &rng_b);
+  Graph g = Pair();
+  LayerEdgeSet edges = BuildLayerEdges(g);
+  util::Rng rng(6);
+  Tensor x = Tensor::Randn(2, 4, &rng);
+  Tensor a = concat_layer.Forward(g, edges, x, Tensor());
+  Tensor b = mean_layer.Forward(g, edges, x, Tensor());
+  for (int r = 0; r < 2; ++r) {
+    for (int c = 0; c < 4; ++c) EXPECT_NEAR(a.At(r, c), b.At(r, c), 1e-5);
+  }
+}
+
+class ModelMaskPlumbing : public ::testing::TestWithParam<GnnArch> {};
+
+TEST_P(ModelMaskPlumbing, PartialMaskVectorAllowsUnmaskedLayers) {
+  GnnConfig config;
+  config.arch = GetParam();
+  config.input_dim = 4;
+  config.hidden_dim = 8;
+  config.num_classes = 2;
+  config.seed = 7;
+  GnnModel model(config);
+  Graph g = Pair();
+  LayerEdgeSet edges = BuildLayerEdges(g);
+  util::Rng rng(8);
+  Tensor x = Tensor::Randn(2, 4, &rng);
+  // Mask only layer 2; layers 1 and 3 get undefined tensors (= unmasked).
+  std::vector<Tensor> masks(3);
+  masks[1] = Tensor::Ones(edges.num_layer_edges(), 1);
+  Tensor masked = model.Run(g, edges, x, masks).logits;
+  Tensor unmasked = model.Run(g, edges, x, {}).logits;
+  for (int r = 0; r < 2; ++r) {
+    for (int c = 0; c < 2; ++c) EXPECT_NEAR(masked.At(r, c), unmasked.At(r, c), 1e-5);
+  }
+}
+
+TEST_P(ModelMaskPlumbing, MaskGradientsFlowToAllLayers) {
+  GnnConfig config;
+  config.arch = GetParam();
+  config.input_dim = 4;
+  config.hidden_dim = 8;
+  config.num_classes = 2;
+  config.seed = 9;
+  GnnModel model(config);
+  Graph g(3);
+  g.AddUndirectedEdge(0, 1);
+  g.AddUndirectedEdge(1, 2);
+  LayerEdgeSet edges = BuildLayerEdges(g);
+  util::Rng rng(10);
+  Tensor x = Tensor::Randn(3, 4, &rng);
+  std::vector<Tensor> masks;
+  for (int l = 0; l < 3; ++l) {
+    masks.push_back(Tensor::Ones(edges.num_layer_edges(), 1).WithRequiresGrad());
+  }
+  Tensor loss = tensor::Select(model.Run(g, edges, x, masks).logits, 1, 0);
+  loss.Backward();
+  for (int l = 0; l < 3; ++l) {
+    double magnitude = 0.0;
+    for (int e = 0; e < edges.num_layer_edges(); ++e) {
+      magnitude += std::fabs(masks[l].GradAt(e, 0));
+    }
+    EXPECT_GT(magnitude, 0.0) << "no mask gradient at layer " << l;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Archs, ModelMaskPlumbing,
+                         ::testing::Values(GnnArch::kGcn, GnnArch::kGin, GnnArch::kGat));
+
+}  // namespace
+}  // namespace revelio::gnn

@@ -1,0 +1,129 @@
+// Tests for evaluation metrics: edge ranking, Fidelity-/+ protocol, ROC-AUC.
+
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "gnn/trainer.h"
+#include "nn/loss.h"
+
+namespace revelio::eval {
+namespace {
+
+TEST(RankEdgesTest, DescendingStable) {
+  const auto order = RankEdges({0.2, 0.9, 0.9, 0.1});
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], 1);  // stable: first of the tied pair
+  EXPECT_EQ(order[1], 2);
+  EXPECT_EQ(order[2], 0);
+  EXPECT_EQ(order[3], 3);
+}
+
+TEST(RocAucTest, PerfectInvertedAndUninformative) {
+  const std::vector<char> labels = {1, 1, 0, 0};
+  EXPECT_NEAR(RocAuc({0.9, 0.8, 0.2, 0.1}, labels), 1.0, 1e-9);
+  EXPECT_NEAR(RocAuc({0.1, 0.2, 0.8, 0.9}, labels), 0.0, 1e-9);
+  EXPECT_NEAR(RocAuc({0.5, 0.5, 0.5, 0.5}, labels), 0.5, 1e-9) << "all ties -> midrank 0.5";
+  EXPECT_NEAR(RocAuc({0.9, 0.1, 0.5, 0.5}, {1, 1, 1, 1}), 0.5, 1e-9) << "single class";
+}
+
+TEST(RocAucTest, PartialOrdering) {
+  // positives {0.9, 0.4}, negatives {0.6, 0.1}: pairs won = 3 of 4.
+  EXPECT_NEAR(RocAuc({0.9, 0.4, 0.6, 0.1}, {1, 1, 0, 0}), 0.75, 1e-9);
+}
+
+TEST(RocAucTest, TiesGetHalfCredit) {
+  // positive 0.5 ties negative 0.5: U = 0.5 of 1.
+  EXPECT_NEAR(RocAuc({0.5, 0.5}, {1, 0}), 0.5, 1e-9);
+}
+
+class FidelityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Small trained model on a two-community graph so probabilities react to
+    // edge removal in a meaningful way.
+    graph_ = graph::Graph(10);
+    for (int i = 0; i < 5; ++i) graph_.AddUndirectedEdge(i, (i + 1) % 5);
+    for (int i = 5; i < 10; ++i) graph_.AddUndirectedEdge(i, 5 + (i + 1 - 5) % 5);
+    graph_.AddUndirectedEdge(0, 5);  // weak bridge
+    // Only even nodes carry their class feature; odd nodes (including the
+    // explanation target) are feature-blank, so the model must rely on
+    // message passing — edge removal then changes predictions.
+    features_ = tensor::Tensor::Zeros(10, 2);
+    for (int v = 0; v < 10; ++v) {
+      labels_.push_back(v < 5 ? 0 : 1);
+      if (v % 2 == 0) features_.SetAt(v, labels_[v], 1.0f);
+    }
+    gnn::GnnConfig config;
+    config.arch = gnn::GnnArch::kGcn;
+    config.input_dim = 2;
+    config.hidden_dim = 8;
+    config.num_classes = 2;
+    model_ = std::make_unique<gnn::GnnModel>(config);
+    util::Rng rng(3);
+    gnn::Split split = gnn::MakeSplit(10, 0.8, 0.1, &rng);
+    gnn::TrainConfig train_config;
+    train_config.epochs = 60;
+    gnn::TrainNodeModel(model_.get(), graph_, features_, labels_, split, train_config);
+
+    task_.model = model_.get();
+    task_.graph = &graph_;
+    task_.features = features_;
+    task_.target_node = 3;  // feature-blank: prediction driven by neighbors
+    task_.target_class = explain::PredictedClass(task_);
+  }
+
+  graph::Graph graph_;
+  tensor::Tensor features_;
+  std::vector<int> labels_;
+  std::unique_ptr<gnn::GnnModel> model_;
+  explain::ExplanationTask task_;
+};
+
+TEST_F(FidelityTest, RemovingNothingGivesZeroProbabilityChange) {
+  const double p = explain::PredictedProbability(task_);
+  EXPECT_NEAR(ProbabilityWithoutEdges(task_, {}), p, 1e-6);
+}
+
+TEST_F(FidelityTest, FidelityMinusAtZeroSparsityIsZero) {
+  std::vector<double> scores(graph_.num_edges(), 0.5);
+  EXPECT_NEAR(FidelityMinus(task_, scores, 0.0), 0.0, 1e-6)
+      << "sparsity 0 keeps every edge";
+}
+
+TEST_F(FidelityTest, FidelityBoundsHold) {
+  // Theoretical range (1/C - 1, 1) for any score vector and sparsity.
+  util::Rng rng(9);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<double> scores(graph_.num_edges());
+    for (auto& s : scores) s = rng.Uniform();
+    for (double sparsity : {0.3, 0.5, 0.7, 0.9}) {
+      const double fm = FidelityMinus(task_, scores, sparsity);
+      const double fp = FidelityPlus(task_, scores, sparsity);
+      EXPECT_GT(fm, 1.0 / 2 - 1);
+      EXPECT_LT(fm, 1.0);
+      EXPECT_GT(fp, 1.0 / 2 - 1);
+      EXPECT_LT(fp, 1.0);
+    }
+  }
+}
+
+TEST_F(FidelityTest, OracleScoresBeatAntiOracleOnFidelityPlus) {
+  // Scores that rank same-community edges first should, when removed (the
+  // Fidelity+ protocol), hurt the prediction more than removing the
+  // cross-community bridge and far-community edges first.
+  std::vector<double> oracle(graph_.num_edges());
+  std::vector<double> anti(graph_.num_edges());
+  for (int e = 0; e < graph_.num_edges(); ++e) {
+    const auto& edge = graph_.edge(e);
+    const bool near_target = edge.src < 5 && edge.dst < 5;
+    oracle[e] = near_target ? 1.0 : 0.0;
+    anti[e] = near_target ? 0.0 : 1.0;
+  }
+  const double fp_oracle = FidelityPlus(task_, oracle, 0.5);
+  const double fp_anti = FidelityPlus(task_, anti, 0.5);
+  EXPECT_GT(fp_oracle, fp_anti);
+}
+
+}  // namespace
+}  // namespace revelio::eval

@@ -1,0 +1,152 @@
+// Tests for the nn module: parameter registry, Linear/MLP, losses, optimizers.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "nn/linear.h"
+#include "nn/loss.h"
+#include "nn/module.h"
+#include "nn/optimizer.h"
+#include "tensor/ops.h"
+#include "test_util.h"
+
+namespace revelio::nn {
+namespace {
+
+using tensor::Tensor;
+
+TEST(ModuleTest, ParameterRegistryCollectsRecursively) {
+  util::Rng rng(1);
+  Mlp mlp({4, 8, 2}, &rng);
+  // Two Linear layers, each with weight + bias.
+  EXPECT_EQ(mlp.Parameters().size(), 4u);
+  EXPECT_EQ(mlp.NumParameters(), 4 * 8 + 8 + 8 * 2 + 2);
+  for (const auto& p : mlp.Parameters()) EXPECT_TRUE(p.requires_grad());
+}
+
+TEST(LinearTest, ForwardMatchesManualComputation) {
+  util::Rng rng(2);
+  Linear linear(2, 2, &rng);
+  Tensor x = Tensor::FromData(1, 2, {1.0f, -1.0f});
+  Tensor y = linear.Forward(x);
+  const auto& w = linear.weight();
+  const auto& b = linear.bias();
+  for (int c = 0; c < 2; ++c) {
+    const float expected = w.At(0, c) * 1.0f + w.At(1, c) * -1.0f + b.At(0, c);
+    EXPECT_NEAR(y.At(0, c), expected, 1e-5);
+  }
+}
+
+TEST(LinearTest, NoBiasVariant) {
+  util::Rng rng(3);
+  Linear linear(3, 2, &rng, /*bias=*/false);
+  EXPECT_EQ(linear.Parameters().size(), 1u);
+  Tensor zero = Tensor::Zeros(1, 3);
+  Tensor y = linear.Forward(zero);
+  EXPECT_EQ(y.At(0, 0), 0.0f);
+  EXPECT_EQ(y.At(0, 1), 0.0f);
+}
+
+TEST(MlpTest, HiddenReluIsApplied) {
+  util::Rng rng(4);
+  Mlp mlp({2, 4, 1}, &rng);
+  EXPECT_EQ(mlp.num_layers(), 2);
+  // Output is a linear function of the hidden ReLU activations; just check
+  // the forward runs and shape is right.
+  Tensor y = mlp.Forward(Tensor::Randn(5, 2, &rng));
+  EXPECT_EQ(y.rows(), 5);
+  EXPECT_EQ(y.cols(), 1);
+}
+
+TEST(LossTest, CrossEntropyOfUniformLogits) {
+  Tensor logits = Tensor::Zeros(4, 3);
+  Tensor loss = CrossEntropyFromLogits(logits, {0, 1, 2, 0});
+  EXPECT_NEAR(loss.Value(), std::log(3.0f), 1e-5);
+}
+
+TEST(LossTest, ClassProbabilityMatchesSoftmax) {
+  Tensor logits = Tensor::FromData(2, 3, {1.0f, 2.0f, 0.0f, 0.0f, 0.0f, 5.0f});
+  const auto probs = SoftmaxRow(logits, 0);
+  EXPECT_NEAR(ClassProbability(logits, 0, 1).Value(), probs[1], 1e-5);
+}
+
+TEST(LossTest, FactualObjectiveIsNegLogProb) {
+  Tensor logits = Tensor::FromData(1, 2, {0.3f, 1.7f});
+  const double p = SoftmaxRow(logits, 0)[1];
+  EXPECT_NEAR(FactualObjective(logits, 0, 1).Value(), -std::log(p), 1e-5);
+}
+
+TEST(LossTest, CounterfactualObjectiveIsNegLogOneMinusProb) {
+  Tensor logits = Tensor::FromData(1, 2, {0.3f, 1.7f});
+  const double p = SoftmaxRow(logits, 0)[1];
+  EXPECT_NEAR(CounterfactualObjective(logits, 0, 1).Value(), -std::log(1.0 - p), 1e-4);
+}
+
+TEST(LossTest, ObjectivesAreDifferentiable) {
+  util::Rng rng(5);
+  Tensor logits = Tensor::Randn(2, 3, &rng).WithRequiresGrad();
+  revelio::testing::CheckGradient(
+      logits, [&](const Tensor& x) { return FactualObjective(x, 1, 2); });
+  revelio::testing::CheckGradient(
+      logits, [&](const Tensor& x) { return CounterfactualObjective(x, 1, 2); });
+}
+
+TEST(LossTest, AccuracyCountsArgmaxMatches) {
+  Tensor logits = Tensor::FromData(3, 2, {2.0f, 1.0f, 0.0f, 3.0f, 5.0f, 4.0f});
+  EXPECT_NEAR(Accuracy(logits, {0, 1, 1}), 2.0 / 3.0, 1e-9);
+  EXPECT_NEAR(Accuracy(logits, {0, 1, 1}, {0, 1}), 1.0, 1e-9);
+  EXPECT_EQ(ArgmaxRow(logits, 2), 0);
+}
+
+TEST(OptimizerTest, SgdDescendsQuadratic) {
+  Tensor x = Tensor::Full(1, 1, 5.0f).WithRequiresGrad();
+  Sgd sgd({x}, 0.1f);
+  for (int i = 0; i < 100; ++i) {
+    sgd.ZeroGrad();
+    Tensor loss = tensor::Mul(x, x);
+    loss.Backward();
+    sgd.Step();
+  }
+  EXPECT_NEAR(x.Value(), 0.0f, 1e-3);
+}
+
+TEST(OptimizerTest, AdamDescendsQuadraticWithOffset) {
+  // loss = (x - 3)^2 -> minimum at 3.
+  Tensor x = Tensor::Full(1, 1, -2.0f).WithRequiresGrad();
+  Adam adam({x}, 0.1f);
+  for (int i = 0; i < 300; ++i) {
+    adam.ZeroGrad();
+    Tensor diff = tensor::AddScalar(x, -3.0f);
+    Tensor loss = tensor::Mul(diff, diff);
+    loss.Backward();
+    adam.Step();
+  }
+  EXPECT_NEAR(x.Value(), 3.0f, 1e-2);
+}
+
+TEST(OptimizerTest, WeightDecayShrinksParameters) {
+  Tensor x = Tensor::Full(1, 1, 1.0f).WithRequiresGrad();
+  Sgd sgd({x}, 0.1f, /*weight_decay=*/0.5f);
+  // Zero gradient: only decay acts.
+  sgd.ZeroGrad();
+  Tensor loss = tensor::MulScalar(x, 0.0f);
+  loss.Backward();
+  sgd.Step();
+  EXPECT_NEAR(x.Value(), 1.0f - 0.1f * 0.5f, 1e-6);
+}
+
+TEST(OptimizerTest, SkipsParametersWithoutGradients) {
+  Tensor used = Tensor::Full(1, 1, 1.0f).WithRequiresGrad();
+  Tensor unused = Tensor::Full(1, 1, 7.0f).WithRequiresGrad();
+  Adam adam({used, unused}, 0.1f);
+  adam.ZeroGrad();
+  Tensor loss = tensor::Mul(used, used);
+  loss.Backward();
+  adam.Step();
+  EXPECT_EQ(unused.Value(), 7.0f);
+  EXPECT_LT(used.Value(), 1.0f);
+}
+
+}  // namespace
+}  // namespace revelio::nn

@@ -1,0 +1,117 @@
+// Tests for the eval runner: instance selection invariants, symmetrization,
+// and configuration plumbing.
+
+#include "eval/runner.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+#include "flow/message_flow.h"
+
+namespace revelio::eval {
+namespace {
+
+TEST(SymmetrizeTest, AveragesDirectedPairs) {
+  graph::Graph g(3);
+  g.AddUndirectedEdge(0, 1);  // edges 0 and 1
+  g.AddEdge(2, 0);            // edge 2 has no reverse
+  const auto result = SymmetrizeEdgeScores(g, {0.2, 0.8, 0.4});
+  EXPECT_NEAR(result[0], 0.5, 1e-12);
+  EXPECT_NEAR(result[1], 0.5, 1e-12);
+  EXPECT_NEAR(result[2], 0.4, 1e-12) << "one-directional edges keep their score";
+}
+
+TEST(DefaultEpochsTest, PerDatasetValues) {
+  EXPECT_EQ(DefaultGnnTrainEpochs("ba_shapes"), 500);
+  EXPECT_EQ(DefaultGnnTrainEpochs("tree_cycles"), 500);
+  EXPECT_EQ(DefaultGnnTrainEpochs("ba_2motifs"), 300);
+  EXPECT_EQ(DefaultGnnTrainEpochs("cora_like"), 150);
+  EXPECT_EQ(DefaultGnnTrainEpochs("mutag_like"), 100);
+}
+
+class SelectInstancesTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    RunnerConfig config;
+    config.num_instances = 6;
+    config.gnn_train_epochs = 30;  // instance selection needs no strong model
+    prepared_ = new PreparedModel(PrepareModel("tree_cycles", gnn::GnnArch::kGcn, config));
+    config_ = config;
+  }
+  static void TearDownTestSuite() {
+    delete prepared_;
+    prepared_ = nullptr;
+  }
+  static PreparedModel* prepared_;
+  static RunnerConfig config_;
+};
+
+PreparedModel* SelectInstancesTest::prepared_ = nullptr;
+RunnerConfig SelectInstancesTest::config_;
+
+TEST_F(SelectInstancesTest, NodeInstanceInvariants) {
+  const auto instances = SelectInstances(*prepared_, config_, InstanceFilter::kAny);
+  EXPECT_LE(static_cast<int>(instances.size()), config_.num_instances);
+  EXPECT_FALSE(instances.empty());
+  for (const auto& instance : instances) {
+    EXPECT_GE(instance.graph.num_edges(), config_.min_instance_edges);
+    EXPECT_GE(instance.target_node, 0);
+    EXPECT_LT(instance.target_node, instance.graph.num_nodes());
+    EXPECT_EQ(instance.features.rows(), instance.graph.num_nodes());
+    // Flow count matches an independent recount.
+    const gnn::LayerEdgeSet edges = gnn::BuildLayerEdges(instance.graph);
+    EXPECT_EQ(instance.num_flows,
+              flow::CountFlowsToTarget(edges, instance.target_node, 3));
+    EXPECT_LE(instance.num_flows, config_.max_flows);
+    // Ground truth arrays line up with the subgraph.
+    EXPECT_EQ(static_cast<int>(instance.edge_in_motif.size()), instance.graph.num_edges());
+  }
+}
+
+TEST_F(SelectInstancesTest, MotifFilterOnlyKeepsCorrectMotifTargets) {
+  const auto instances =
+      SelectInstances(*prepared_, config_, InstanceFilter::kMotifCorrect);
+  for (const auto& instance : instances) {
+    EXPECT_TRUE(instance.target_in_motif);
+    EXPECT_TRUE(instance.correct_prediction);
+  }
+}
+
+TEST_F(SelectInstancesTest, SelectionIsDeterministic) {
+  const auto a = SelectInstances(*prepared_, config_, InstanceFilter::kAny);
+  const auto b = SelectInstances(*prepared_, config_, InstanceFilter::kAny);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].target_node, b[i].target_node);
+    EXPECT_EQ(a[i].graph.num_edges(), b[i].graph.num_edges());
+    EXPECT_EQ(a[i].target_class, b[i].target_class);
+  }
+}
+
+TEST_F(SelectInstancesTest, TaskConstructionPointsAtInstanceStorage) {
+  const auto instances = SelectInstances(*prepared_, config_, InstanceFilter::kAny);
+  const explain::ExplanationTask task = instances[0].MakeTask(prepared_->model.get());
+  EXPECT_EQ(task.graph, &instances[0].graph);
+  EXPECT_EQ(task.model, prepared_->model.get());
+  EXPECT_EQ(task.logit_row(), task.target_node);
+}
+
+TEST(GraphInstanceSelectionTest, GraphTaskUsesWholeGraphs) {
+  RunnerConfig config;
+  config.num_instances = 3;
+  config.gnn_train_epochs = 10;
+  PreparedModel prepared = PrepareModel("mutag_like", gnn::GnnArch::kGin, config);
+  const auto instances = SelectInstances(prepared, config, InstanceFilter::kAny);
+  EXPECT_FALSE(instances.empty());
+  for (const auto& instance : instances) {
+    EXPECT_EQ(instance.target_node, -1);
+    const explain::ExplanationTask task = instance.MakeTask(prepared.model.get());
+    EXPECT_FALSE(task.is_node_task());
+    EXPECT_EQ(task.logit_row(), 0);
+    const gnn::LayerEdgeSet edges = gnn::BuildLayerEdges(instance.graph);
+    EXPECT_EQ(instance.num_flows, flow::CountAllFlows(edges, 3));
+  }
+}
+
+}  // namespace
+}  // namespace revelio::eval

@@ -1,0 +1,51 @@
+#ifndef REVELIO_TESTS_TEST_UTIL_H_
+#define REVELIO_TESTS_TEST_UTIL_H_
+
+// Shared helpers for the Revelio test suites, most importantly the
+// finite-difference gradient checker that validates every autograd op.
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tensor/tensor.h"
+
+namespace revelio::testing {
+
+// Checks d(loss)/d(input) against central finite differences for every
+// entry of `input`. `forward` must map the (mutated) input to a scalar
+// tensor. Returns the max absolute deviation for diagnostics.
+inline void CheckGradient(tensor::Tensor input,
+                          const std::function<tensor::Tensor(const tensor::Tensor&)>& forward,
+                          float epsilon = 1e-3f, float tolerance = 2e-2f) {
+  input.ZeroGrad();  // a prior check on the same tensor may have accumulated
+  tensor::Tensor loss = forward(input);
+  ASSERT_TRUE(loss.is_scalar());
+  loss.Backward();
+  std::vector<float> analytic(input.numel());
+  for (int r = 0; r < input.rows(); ++r) {
+    for (int c = 0; c < input.cols(); ++c) {
+      analytic[static_cast<size_t>(r) * input.cols() + c] = input.GradAt(r, c);
+    }
+  }
+  for (int r = 0; r < input.rows(); ++r) {
+    for (int c = 0; c < input.cols(); ++c) {
+      const float original = input.At(r, c);
+      input.SetAt(r, c, original + epsilon);
+      const float plus = forward(input).Value();
+      input.SetAt(r, c, original - epsilon);
+      const float minus = forward(input).Value();
+      input.SetAt(r, c, original);
+      const float numeric = (plus - minus) / (2.0f * epsilon);
+      const float got = analytic[static_cast<size_t>(r) * input.cols() + c];
+      EXPECT_NEAR(got, numeric, tolerance + tolerance * std::fabs(numeric))
+          << "gradient mismatch at (" << r << "," << c << ")";
+    }
+  }
+}
+
+}  // namespace revelio::testing
+
+#endif  // REVELIO_TESTS_TEST_UTIL_H_
