@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_prefilter.dir/bench_ext_prefilter.cc.o"
+  "CMakeFiles/bench_ext_prefilter.dir/bench_ext_prefilter.cc.o.d"
+  "bench_ext_prefilter"
+  "bench_ext_prefilter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_prefilter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

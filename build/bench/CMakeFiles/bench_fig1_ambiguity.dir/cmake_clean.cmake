@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_ambiguity.dir/bench_fig1_ambiguity.cc.o"
+  "CMakeFiles/bench_fig1_ambiguity.dir/bench_fig1_ambiguity.cc.o.d"
+  "bench_fig1_ambiguity"
+  "bench_fig1_ambiguity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_ambiguity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_fidelity_minus.dir/bench_fig3_fidelity_minus.cc.o"
+  "CMakeFiles/bench_fig3_fidelity_minus.dir/bench_fig3_fidelity_minus.cc.o.d"
+  "bench_fig3_fidelity_minus"
+  "bench_fig3_fidelity_minus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_fidelity_minus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_fidelity_plus.dir/bench_fig4_fidelity_plus.cc.o"
+  "CMakeFiles/bench_fig4_fidelity_plus.dir/bench_fig4_fidelity_plus.cc.o.d"
+  "bench_fig4_fidelity_plus"
+  "bench_fig4_fidelity_plus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_fidelity_plus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

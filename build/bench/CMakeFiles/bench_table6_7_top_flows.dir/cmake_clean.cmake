@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_7_top_flows.dir/bench_table6_7_top_flows.cc.o"
+  "CMakeFiles/bench_table6_7_top_flows.dir/bench_table6_7_top_flows.cc.o.d"
+  "bench_table6_7_top_flows"
+  "bench_table6_7_top_flows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_7_top_flows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table6_7_top_flows.
+# This may be replaced when dependencies are built.

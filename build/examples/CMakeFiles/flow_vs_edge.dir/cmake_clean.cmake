@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flow_vs_edge.dir/flow_vs_edge.cpp.o"
+  "CMakeFiles/flow_vs_edge.dir/flow_vs_edge.cpp.o.d"
+  "flow_vs_edge"
+  "flow_vs_edge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flow_vs_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/molecule_explanation.dir/molecule_explanation.cpp.o"
+  "CMakeFiles/molecule_explanation.dir/molecule_explanation.cpp.o.d"
+  "molecule_explanation"
+  "molecule_explanation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/molecule_explanation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for molecule_explanation.
+# This may be replaced when dependencies are built.

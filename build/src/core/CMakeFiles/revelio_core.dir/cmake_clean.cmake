@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/revelio_core.dir/revelio.cc.o"
+  "CMakeFiles/revelio_core.dir/revelio.cc.o.d"
+  "librevelio_core.a"
+  "librevelio_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/revelio_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

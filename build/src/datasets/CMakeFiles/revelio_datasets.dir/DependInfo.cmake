@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datasets/citation.cc" "src/datasets/CMakeFiles/revelio_datasets.dir/citation.cc.o" "gcc" "src/datasets/CMakeFiles/revelio_datasets.dir/citation.cc.o.d"
+  "/root/repo/src/datasets/dataset.cc" "src/datasets/CMakeFiles/revelio_datasets.dir/dataset.cc.o" "gcc" "src/datasets/CMakeFiles/revelio_datasets.dir/dataset.cc.o.d"
+  "/root/repo/src/datasets/generators.cc" "src/datasets/CMakeFiles/revelio_datasets.dir/generators.cc.o" "gcc" "src/datasets/CMakeFiles/revelio_datasets.dir/generators.cc.o.d"
+  "/root/repo/src/datasets/molecules.cc" "src/datasets/CMakeFiles/revelio_datasets.dir/molecules.cc.o" "gcc" "src/datasets/CMakeFiles/revelio_datasets.dir/molecules.cc.o.d"
+  "/root/repo/src/datasets/synthetic.cc" "src/datasets/CMakeFiles/revelio_datasets.dir/synthetic.cc.o" "gcc" "src/datasets/CMakeFiles/revelio_datasets.dir/synthetic.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gnn/CMakeFiles/revelio_gnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/revelio_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/revelio_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/revelio_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/revelio_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/revelio_datasets.dir/citation.cc.o"
+  "CMakeFiles/revelio_datasets.dir/citation.cc.o.d"
+  "CMakeFiles/revelio_datasets.dir/dataset.cc.o"
+  "CMakeFiles/revelio_datasets.dir/dataset.cc.o.d"
+  "CMakeFiles/revelio_datasets.dir/generators.cc.o"
+  "CMakeFiles/revelio_datasets.dir/generators.cc.o.d"
+  "CMakeFiles/revelio_datasets.dir/molecules.cc.o"
+  "CMakeFiles/revelio_datasets.dir/molecules.cc.o.d"
+  "CMakeFiles/revelio_datasets.dir/synthetic.cc.o"
+  "CMakeFiles/revelio_datasets.dir/synthetic.cc.o.d"
+  "librevelio_datasets.a"
+  "librevelio_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/revelio_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

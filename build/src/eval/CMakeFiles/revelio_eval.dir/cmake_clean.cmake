@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/revelio_eval.dir/metrics.cc.o"
+  "CMakeFiles/revelio_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/revelio_eval.dir/runner.cc.o"
+  "CMakeFiles/revelio_eval.dir/runner.cc.o.d"
+  "librevelio_eval.a"
+  "librevelio_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/revelio_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/explain/deeplift.cc" "src/explain/CMakeFiles/revelio_explain.dir/deeplift.cc.o" "gcc" "src/explain/CMakeFiles/revelio_explain.dir/deeplift.cc.o.d"
+  "/root/repo/src/explain/explainer.cc" "src/explain/CMakeFiles/revelio_explain.dir/explainer.cc.o" "gcc" "src/explain/CMakeFiles/revelio_explain.dir/explainer.cc.o.d"
+  "/root/repo/src/explain/flowx.cc" "src/explain/CMakeFiles/revelio_explain.dir/flowx.cc.o" "gcc" "src/explain/CMakeFiles/revelio_explain.dir/flowx.cc.o.d"
+  "/root/repo/src/explain/gnnexplainer.cc" "src/explain/CMakeFiles/revelio_explain.dir/gnnexplainer.cc.o" "gcc" "src/explain/CMakeFiles/revelio_explain.dir/gnnexplainer.cc.o.d"
+  "/root/repo/src/explain/gnnlrp.cc" "src/explain/CMakeFiles/revelio_explain.dir/gnnlrp.cc.o" "gcc" "src/explain/CMakeFiles/revelio_explain.dir/gnnlrp.cc.o.d"
+  "/root/repo/src/explain/gradcam.cc" "src/explain/CMakeFiles/revelio_explain.dir/gradcam.cc.o" "gcc" "src/explain/CMakeFiles/revelio_explain.dir/gradcam.cc.o.d"
+  "/root/repo/src/explain/graphmask.cc" "src/explain/CMakeFiles/revelio_explain.dir/graphmask.cc.o" "gcc" "src/explain/CMakeFiles/revelio_explain.dir/graphmask.cc.o.d"
+  "/root/repo/src/explain/pgexplainer.cc" "src/explain/CMakeFiles/revelio_explain.dir/pgexplainer.cc.o" "gcc" "src/explain/CMakeFiles/revelio_explain.dir/pgexplainer.cc.o.d"
+  "/root/repo/src/explain/pgm_explainer.cc" "src/explain/CMakeFiles/revelio_explain.dir/pgm_explainer.cc.o" "gcc" "src/explain/CMakeFiles/revelio_explain.dir/pgm_explainer.cc.o.d"
+  "/root/repo/src/explain/random_explainer.cc" "src/explain/CMakeFiles/revelio_explain.dir/random_explainer.cc.o" "gcc" "src/explain/CMakeFiles/revelio_explain.dir/random_explainer.cc.o.d"
+  "/root/repo/src/explain/subgraphx.cc" "src/explain/CMakeFiles/revelio_explain.dir/subgraphx.cc.o" "gcc" "src/explain/CMakeFiles/revelio_explain.dir/subgraphx.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gnn/CMakeFiles/revelio_gnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/revelio_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/revelio_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/revelio_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/revelio_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/revelio_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

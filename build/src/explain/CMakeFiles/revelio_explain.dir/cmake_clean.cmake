@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/revelio_explain.dir/deeplift.cc.o"
+  "CMakeFiles/revelio_explain.dir/deeplift.cc.o.d"
+  "CMakeFiles/revelio_explain.dir/explainer.cc.o"
+  "CMakeFiles/revelio_explain.dir/explainer.cc.o.d"
+  "CMakeFiles/revelio_explain.dir/flowx.cc.o"
+  "CMakeFiles/revelio_explain.dir/flowx.cc.o.d"
+  "CMakeFiles/revelio_explain.dir/gnnexplainer.cc.o"
+  "CMakeFiles/revelio_explain.dir/gnnexplainer.cc.o.d"
+  "CMakeFiles/revelio_explain.dir/gnnlrp.cc.o"
+  "CMakeFiles/revelio_explain.dir/gnnlrp.cc.o.d"
+  "CMakeFiles/revelio_explain.dir/gradcam.cc.o"
+  "CMakeFiles/revelio_explain.dir/gradcam.cc.o.d"
+  "CMakeFiles/revelio_explain.dir/graphmask.cc.o"
+  "CMakeFiles/revelio_explain.dir/graphmask.cc.o.d"
+  "CMakeFiles/revelio_explain.dir/pgexplainer.cc.o"
+  "CMakeFiles/revelio_explain.dir/pgexplainer.cc.o.d"
+  "CMakeFiles/revelio_explain.dir/pgm_explainer.cc.o"
+  "CMakeFiles/revelio_explain.dir/pgm_explainer.cc.o.d"
+  "CMakeFiles/revelio_explain.dir/random_explainer.cc.o"
+  "CMakeFiles/revelio_explain.dir/random_explainer.cc.o.d"
+  "CMakeFiles/revelio_explain.dir/subgraphx.cc.o"
+  "CMakeFiles/revelio_explain.dir/subgraphx.cc.o.d"
+  "librevelio_explain.a"
+  "librevelio_explain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/revelio_explain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librevelio_explain.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flow/flow_scores.cc" "src/flow/CMakeFiles/revelio_flow.dir/flow_scores.cc.o" "gcc" "src/flow/CMakeFiles/revelio_flow.dir/flow_scores.cc.o.d"
+  "/root/repo/src/flow/message_flow.cc" "src/flow/CMakeFiles/revelio_flow.dir/message_flow.cc.o" "gcc" "src/flow/CMakeFiles/revelio_flow.dir/message_flow.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gnn/CMakeFiles/revelio_gnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/revelio_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/revelio_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/revelio_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/revelio_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/revelio_flow.dir/flow_scores.cc.o"
+  "CMakeFiles/revelio_flow.dir/flow_scores.cc.o.d"
+  "CMakeFiles/revelio_flow.dir/message_flow.cc.o"
+  "CMakeFiles/revelio_flow.dir/message_flow.cc.o.d"
+  "librevelio_flow.a"
+  "librevelio_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/revelio_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gnn/layer_edges.cc" "src/gnn/CMakeFiles/revelio_gnn.dir/layer_edges.cc.o" "gcc" "src/gnn/CMakeFiles/revelio_gnn.dir/layer_edges.cc.o.d"
+  "/root/repo/src/gnn/layers.cc" "src/gnn/CMakeFiles/revelio_gnn.dir/layers.cc.o" "gcc" "src/gnn/CMakeFiles/revelio_gnn.dir/layers.cc.o.d"
+  "/root/repo/src/gnn/model.cc" "src/gnn/CMakeFiles/revelio_gnn.dir/model.cc.o" "gcc" "src/gnn/CMakeFiles/revelio_gnn.dir/model.cc.o.d"
+  "/root/repo/src/gnn/serialization.cc" "src/gnn/CMakeFiles/revelio_gnn.dir/serialization.cc.o" "gcc" "src/gnn/CMakeFiles/revelio_gnn.dir/serialization.cc.o.d"
+  "/root/repo/src/gnn/trainer.cc" "src/gnn/CMakeFiles/revelio_gnn.dir/trainer.cc.o" "gcc" "src/gnn/CMakeFiles/revelio_gnn.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/revelio_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/revelio_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/revelio_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/revelio_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

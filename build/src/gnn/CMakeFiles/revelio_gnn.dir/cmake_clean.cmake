@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/revelio_gnn.dir/layer_edges.cc.o"
+  "CMakeFiles/revelio_gnn.dir/layer_edges.cc.o.d"
+  "CMakeFiles/revelio_gnn.dir/layers.cc.o"
+  "CMakeFiles/revelio_gnn.dir/layers.cc.o.d"
+  "CMakeFiles/revelio_gnn.dir/model.cc.o"
+  "CMakeFiles/revelio_gnn.dir/model.cc.o.d"
+  "CMakeFiles/revelio_gnn.dir/serialization.cc.o"
+  "CMakeFiles/revelio_gnn.dir/serialization.cc.o.d"
+  "CMakeFiles/revelio_gnn.dir/trainer.cc.o"
+  "CMakeFiles/revelio_gnn.dir/trainer.cc.o.d"
+  "librevelio_gnn.a"
+  "librevelio_gnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/revelio_gnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/batch.cc" "src/graph/CMakeFiles/revelio_graph.dir/batch.cc.o" "gcc" "src/graph/CMakeFiles/revelio_graph.dir/batch.cc.o.d"
+  "/root/repo/src/graph/dot_export.cc" "src/graph/CMakeFiles/revelio_graph.dir/dot_export.cc.o" "gcc" "src/graph/CMakeFiles/revelio_graph.dir/dot_export.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/graph/CMakeFiles/revelio_graph.dir/graph.cc.o" "gcc" "src/graph/CMakeFiles/revelio_graph.dir/graph.cc.o.d"
+  "/root/repo/src/graph/subgraph.cc" "src/graph/CMakeFiles/revelio_graph.dir/subgraph.cc.o" "gcc" "src/graph/CMakeFiles/revelio_graph.dir/subgraph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/revelio_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/revelio_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

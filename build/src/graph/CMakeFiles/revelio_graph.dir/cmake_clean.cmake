@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/revelio_graph.dir/batch.cc.o"
+  "CMakeFiles/revelio_graph.dir/batch.cc.o.d"
+  "CMakeFiles/revelio_graph.dir/dot_export.cc.o"
+  "CMakeFiles/revelio_graph.dir/dot_export.cc.o.d"
+  "CMakeFiles/revelio_graph.dir/graph.cc.o"
+  "CMakeFiles/revelio_graph.dir/graph.cc.o.d"
+  "CMakeFiles/revelio_graph.dir/subgraph.cc.o"
+  "CMakeFiles/revelio_graph.dir/subgraph.cc.o.d"
+  "librevelio_graph.a"
+  "librevelio_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/revelio_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/revelio_nn.dir/linear.cc.o"
+  "CMakeFiles/revelio_nn.dir/linear.cc.o.d"
+  "CMakeFiles/revelio_nn.dir/loss.cc.o"
+  "CMakeFiles/revelio_nn.dir/loss.cc.o.d"
+  "CMakeFiles/revelio_nn.dir/module.cc.o"
+  "CMakeFiles/revelio_nn.dir/module.cc.o.d"
+  "CMakeFiles/revelio_nn.dir/optimizer.cc.o"
+  "CMakeFiles/revelio_nn.dir/optimizer.cc.o.d"
+  "librevelio_nn.a"
+  "librevelio_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/revelio_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

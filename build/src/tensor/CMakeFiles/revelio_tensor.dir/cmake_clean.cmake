@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/revelio_tensor.dir/init.cc.o"
+  "CMakeFiles/revelio_tensor.dir/init.cc.o.d"
+  "CMakeFiles/revelio_tensor.dir/op_helpers.cc.o"
+  "CMakeFiles/revelio_tensor.dir/op_helpers.cc.o.d"
+  "CMakeFiles/revelio_tensor.dir/ops.cc.o"
+  "CMakeFiles/revelio_tensor.dir/ops.cc.o.d"
+  "CMakeFiles/revelio_tensor.dir/ops_index.cc.o"
+  "CMakeFiles/revelio_tensor.dir/ops_index.cc.o.d"
+  "CMakeFiles/revelio_tensor.dir/tensor.cc.o"
+  "CMakeFiles/revelio_tensor.dir/tensor.cc.o.d"
+  "librevelio_tensor.a"
+  "librevelio_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/revelio_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/revelio_util.dir/check.cc.o"
+  "CMakeFiles/revelio_util.dir/check.cc.o.d"
+  "CMakeFiles/revelio_util.dir/flags.cc.o"
+  "CMakeFiles/revelio_util.dir/flags.cc.o.d"
+  "CMakeFiles/revelio_util.dir/logging.cc.o"
+  "CMakeFiles/revelio_util.dir/logging.cc.o.d"
+  "CMakeFiles/revelio_util.dir/rng.cc.o"
+  "CMakeFiles/revelio_util.dir/rng.cc.o.d"
+  "CMakeFiles/revelio_util.dir/status.cc.o"
+  "CMakeFiles/revelio_util.dir/status.cc.o.d"
+  "CMakeFiles/revelio_util.dir/table_printer.cc.o"
+  "CMakeFiles/revelio_util.dir/table_printer.cc.o.d"
+  "librevelio_util.a"
+  "librevelio_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/revelio_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/layers_extra_test.dir/layers_extra_test.cc.o"
+  "CMakeFiles/layers_extra_test.dir/layers_extra_test.cc.o.d"
+  "layers_extra_test"
+  "layers_extra_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/layers_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/revelio_test.dir/revelio_test.cc.o"
+  "CMakeFiles/revelio_test.dir/revelio_test.cc.o.d"
+  "revelio_test"
+  "revelio_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/revelio_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/runner_test.cc" "tests/CMakeFiles/runner_test.dir/runner_test.cc.o" "gcc" "tests/CMakeFiles/runner_test.dir/runner_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/revelio_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/revelio_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/explain/CMakeFiles/revelio_explain.dir/DependInfo.cmake"
+  "/root/repo/build/src/datasets/CMakeFiles/revelio_datasets.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/revelio_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/gnn/CMakeFiles/revelio_gnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/revelio_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/revelio_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/revelio_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/revelio_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
