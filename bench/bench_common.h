@@ -13,6 +13,9 @@
 //   --instances N          instances per dataset
 //   --epochs N             learning-based explainer epochs
 //   --seed S
+//   --threads N            worker threads (default: REVELIO_NUM_THREADS env
+//                          or hardware concurrency); results are identical
+//                          for any value
 
 #include <memory>
 #include <string>
@@ -21,6 +24,7 @@
 #include "eval/runner.h"
 #include "util/flags.h"
 #include "util/logging.h"
+#include "util/parallel.h"
 #include "util/table_printer.h"
 
 namespace revelio::bench {
@@ -85,6 +89,7 @@ inline BenchScope ParseScope(const util::Flags& flags,
   // Micro-subgraphs (a handful of edges) make fidelity pure noise; skip them
   // unless explicitly requested.
   scope.config.min_instance_edges = flags.GetInt("min-edges", 12);
+  if (flags.Has("threads")) util::SetNumThreads(flags.GetInt("threads", 1));
   return scope;
 }
 
@@ -93,6 +98,7 @@ inline void PrintScope(const char* what, const BenchScope& scope) {
   for (const auto& d : scope.datasets) datasets += d + " ";
   LOG_INFO << what << ": instances/dataset=" << scope.config.num_instances
            << " explainer epochs=" << scope.config.explainer_epochs
+           << " threads=" << util::NumThreads()
            << (scope.full ? " (paper scale)" : " (reduced 1-core defaults; --full for paper scale)")
            << " datasets: " << datasets;
 }

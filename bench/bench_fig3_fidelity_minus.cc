@@ -43,6 +43,8 @@ int main(int argc, char** argv) {
         auto explainer = eval::MakeExplainer(method, scope.config);
         eval::TrainAmortized(explainer.get(), prepared, instances,
                              explain::Objective::kFactual, scope.config);
+        // RunFidelity explains the instances concurrently under --threads;
+        // results are identical for any thread count (eval::ExplainAll).
         const auto curve = eval::RunFidelity(explainer.get(), prepared, instances,
                                              explain::Objective::kFactual, sparsities);
         std::vector<std::string> row{dataset, gnn::GnnArchName(arch), method};

@@ -1,13 +1,26 @@
 // google-benchmark microbenchmarks for the hot kernels every experiment sits
 // on: matmul, message-passing gather/scatter, flow enumeration, the Eq. 5/7
 // mask transformation, and a full masked GNN forward pass.
+//
+// Before the registered benchmarks run, main() sweeps the worker-thread count
+// (1/2/4/8) over the three parallel hot paths — 512^3 matmul, scatter-add,
+// and a batched Revelio explain — and writes machine-readable timings plus a
+// bitwise-equality check against the 1-thread run to BENCH_parallel.json.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/revelio.h"
+#include "eval/runner.h"
 #include "flow/message_flow.h"
 #include "gnn/model.h"
 #include "tensor/ops.h"
+#include "util/parallel.h"
 #include "util/rng.h"
+#include "util/timer.h"
 
 namespace {
 
@@ -130,6 +143,173 @@ void BM_MaskedGnnForward(benchmark::State& state) {
 }
 BENCHMARK(BM_MaskedGnnForward)->Arg(128)->Arg(1024);
 
+// --- Thread-count sweep (BENCH_parallel.json) --------------------------------
+
+struct SweepPoint {
+  int threads = 1;
+  double seconds = 0.0;
+  bool bitwise_equal = true;  // vs the 1-thread run of the same kernel
+};
+
+struct SweepResult {
+  std::string kernel;
+  std::vector<SweepPoint> points;
+};
+
+constexpr int kSweepThreads[] = {1, 2, 4, 8};
+
+// Times `run` at each thread count. `run` returns a fingerprint vector that
+// must match the 1-thread run bitwise (the determinism contract).
+template <typename Fn>
+SweepResult SweepKernel(const std::string& kernel, Fn run) {
+  SweepResult result;
+  result.kernel = kernel;
+  std::vector<float> reference;
+  for (int threads : kSweepThreads) {
+    util::SetNumThreads(threads);
+    util::Timer timer;
+    std::vector<float> fingerprint = run();
+    SweepPoint point;
+    point.threads = threads;
+    point.seconds = timer.ElapsedSeconds();
+    if (threads == 1) {
+      reference = std::move(fingerprint);
+    } else {
+      point.bitwise_equal = fingerprint == reference;
+    }
+    result.points.push_back(point);
+  }
+  util::SetNumThreads(1);
+  return result;
+}
+
+SweepResult SweepMatMul() {
+  util::Rng rng(11);
+  const int n = 512;
+  tensor::Tensor a = tensor::Tensor::Randn(n, n, &rng);
+  tensor::Tensor b = tensor::Tensor::Randn(n, n, &rng);
+  return SweepKernel("matmul_512", [&] {
+    tensor::Tensor c = tensor::MatMul(a, b);
+    return c.values();
+  });
+}
+
+SweepResult SweepScatterAdd() {
+  util::Rng rng(12);
+  const int edges = 1 << 17;
+  const int nodes = 1 << 15;
+  const int dim = 64;
+  tensor::Tensor messages = tensor::Tensor::Randn(edges, dim, &rng);
+  std::vector<int> dst(edges);
+  for (int e = 0; e < edges; ++e) dst[e] = rng.UniformInt(nodes);
+  return SweepKernel("scatter_add_128k", [&] {
+    tensor::Tensor out = tensor::ScatterAddRows(messages, dst, nodes);
+    return out.values();
+  });
+}
+
+SweepResult SweepRevelioExplain() {
+  // A batch of small random graphs explained through eval::ExplainAll, the
+  // same path the evaluation harness parallelizes per instance. The model is
+  // untrained (runtime does not depend on the weights) but must be frozen so
+  // concurrent backward passes skip the shared weight nodes.
+  util::Rng rng(13);
+  gnn::GnnConfig config;
+  config.arch = gnn::GnnArch::kGcn;
+  config.input_dim = 16;
+  config.hidden_dim = 32;
+  config.num_classes = 4;
+  gnn::GnnModel model(config);
+  model.Freeze();
+
+  const int batch = 8;
+  const int nodes = 36;
+  std::vector<graph::Graph> graphs;
+  std::vector<tensor::Tensor> features;
+  graphs.reserve(batch);
+  features.reserve(batch);
+  for (int i = 0; i < batch; ++i) {
+    graph::Graph g(nodes);
+    for (int v = 1; v < nodes; ++v) g.AddUndirectedEdge(v, rng.UniformInt(v));
+    graphs.push_back(std::move(g));
+    features.push_back(tensor::Tensor::Randn(nodes, config.input_dim, &rng));
+  }
+  std::vector<explain::ExplanationTask> tasks(batch);
+  for (int i = 0; i < batch; ++i) {
+    tasks[i].model = &model;
+    tasks[i].graph = &graphs[i];
+    tasks[i].features = features[i];
+    tasks[i].target_node = 0;
+    tasks[i].target_class = 0;
+  }
+
+  core::RevelioOptions options;
+  options.epochs = 12;
+  core::RevelioExplainer explainer(options);
+  return SweepKernel("revelio_explain_batch8", [&] {
+    const std::vector<explain::Explanation> explanations =
+        eval::ExplainAll(&explainer, tasks, explain::Objective::kFactual);
+    std::vector<float> fingerprint;
+    for (const auto& e : explanations) {
+      for (double s : e.edge_scores) fingerprint.push_back(static_cast<float>(s));
+    }
+    return fingerprint;
+  });
+}
+
+void WriteSweepJson(const std::vector<SweepResult>& results, const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"hardware_threads\": %d,\n  \"kernels\": [\n",
+               util::HardwareThreads());
+  for (size_t k = 0; k < results.size(); ++k) {
+    const SweepResult& r = results[k];
+    const double base = r.points.empty() ? 0.0 : r.points[0].seconds;
+    std::fprintf(f, "    {\"kernel\": \"%s\", \"points\": [\n", r.kernel.c_str());
+    for (size_t i = 0; i < r.points.size(); ++i) {
+      const SweepPoint& p = r.points[i];
+      const double speedup = p.seconds > 0.0 ? base / p.seconds : 0.0;
+      std::fprintf(f,
+                   "      {\"threads\": %d, \"seconds\": %.6f, \"speedup_vs_1\": %.3f, "
+                   "\"bitwise_equal_vs_1thread\": %s}%s\n",
+                   p.threads, p.seconds, speedup, p.bitwise_equal ? "true" : "false",
+                   i + 1 < r.points.size() ? "," : "");
+    }
+    std::fprintf(f, "    ]}%s\n", k + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+void RunThreadSweep() {
+  std::printf("== thread-count sweep (writes BENCH_parallel.json) ==\n");
+  std::vector<SweepResult> results;
+  results.push_back(SweepMatMul());
+  results.push_back(SweepScatterAdd());
+  results.push_back(SweepRevelioExplain());
+  for (const SweepResult& r : results) {
+    const double base = r.points[0].seconds;
+    for (const SweepPoint& p : r.points) {
+      std::printf("%-24s threads=%d  %8.4fs  speedup=%5.2fx  bitwise_equal=%s\n",
+                  r.kernel.c_str(), p.threads, p.seconds,
+                  p.seconds > 0.0 ? base / p.seconds : 0.0,
+                  p.bitwise_equal ? "yes" : "NO");
+    }
+  }
+  WriteSweepJson(results, "BENCH_parallel.json");
+  std::printf("hardware threads: %d (speedups are bounded by physical cores)\n\n",
+              util::HardwareThreads());
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  RunThreadSweep();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

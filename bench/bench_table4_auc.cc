@@ -44,6 +44,8 @@ int main(int argc, char** argv) {
       LOG_INFO << dataset << "/" << gnn::GnnArchName(arch) << " acc "
                << prepared.metrics.test_accuracy << ", " << instances.size()
                << " motif instances";
+      // RunAuc explains the instances concurrently under --threads; AUC values
+      // are identical for any thread count (eval::ExplainAll).
       for (const std::string& method : scope.methods) {
         if (!MethodSupportsArch(method, arch)) continue;
         if (!TrainsPerObjective(method)) {

@@ -18,6 +18,7 @@
 #include "graph/subgraph.h"
 #include "nn/loss.h"
 #include "util/logging.h"
+#include "util/parallel.h"
 
 namespace revelio::eval {
 
@@ -75,6 +76,10 @@ PreparedModel PrepareModel(const std::string& dataset_name, gnn::GnnArch arch,
         gnn::TrainGraphModel(prepared.model.get(), prepared.dataset.instances, split,
                              train_config);
   }
+  // Evaluation only reads the weights from here on. Freezing them keeps
+  // explainer backward passes off the shared weight grad buffers, which is
+  // what makes concurrent per-instance explanation (ExplainAll) race-free.
+  prepared.model->Freeze();
   return prepared;
 }
 
@@ -253,6 +258,29 @@ void TrainAmortized(explain::Explainer* explainer, const PreparedModel& prepared
   }
 }
 
+std::vector<explain::Explanation> ExplainAll(explain::Explainer* explainer,
+                                             const std::vector<ExplanationTask>& tasks,
+                                             Objective objective) {
+  std::vector<explain::Explanation> explanations(tasks.size());
+  explain::Explanation* out = explanations.data();
+  const ExplanationTask* in = tasks.data();
+  if (!explainer->thread_safe_explain()) {
+    for (size_t i = 0; i < tasks.size(); ++i) out[i] = explainer->Explain(in[i], objective);
+    return explanations;
+  }
+  // One slot per instance, one writer per slot; each Explain call is
+  // deterministic on its own, so the result does not depend on the thread
+  // count. Tensor ops inside Explain detect the enclosing region and run
+  // serially (instance-level parallelism wins over kernel-level).
+  util::ParallelFor(0, static_cast<int64_t>(tasks.size()), 1,
+                    [explainer, out, in, objective](int64_t begin, int64_t end) {
+                      for (int64_t i = begin; i < end; ++i) {
+                        out[i] = explainer->Explain(in[i], objective);
+                      }
+                    });
+  return explanations;
+}
+
 FidelityCurve RunFidelity(explain::Explainer* explainer, const PreparedModel& prepared,
                           const std::vector<EvalInstance>& instances, Objective objective,
                           const std::vector<double>& sparsities) {
@@ -261,14 +289,21 @@ FidelityCurve RunFidelity(explain::Explainer* explainer, const PreparedModel& pr
   curve.values.assign(sparsities.size(), 0.0);
   TrainAmortized(explainer, prepared, instances, objective,
                  RunnerConfig{});  // default group size if not pre-trained
+  std::vector<ExplanationTask> tasks;
+  tasks.reserve(instances.size());
   for (const EvalInstance& instance : instances) {
-    const ExplanationTask task = instance.MakeTask(prepared.model.get());
-    const explain::Explanation explanation = explainer->Explain(task, objective);
+    tasks.push_back(instance.MakeTask(prepared.model.get()));
+  }
+  const std::vector<explain::Explanation> explanations =
+      ExplainAll(explainer, tasks, objective);
+  // Serial reduction in instance order: parallel explanation changes neither
+  // the per-instance values nor the order they are summed in.
+  for (size_t i = 0; i < tasks.size(); ++i) {
     for (size_t s = 0; s < sparsities.size(); ++s) {
       const double value =
           objective == Objective::kFactual
-              ? FidelityMinus(task, explanation.edge_scores, sparsities[s])
-              : FidelityPlus(task, explanation.edge_scores, sparsities[s]);
+              ? FidelityMinus(tasks[i], explanations[i].edge_scores, sparsities[s])
+              : FidelityPlus(tasks[i], explanations[i].edge_scores, sparsities[s]);
       curve.values[s] += value;
     }
     ++curve.instances_evaluated;
@@ -282,16 +317,20 @@ FidelityCurve RunFidelity(explain::Explainer* explainer, const PreparedModel& pr
 double RunAuc(explain::Explainer* explainer, const PreparedModel& prepared,
               const std::vector<EvalInstance>& instances, Objective objective) {
   TrainAmortized(explainer, prepared, instances, objective, RunnerConfig{});
-  double total = 0.0;
-  int evaluated = 0;
+  std::vector<ExplanationTask> tasks;
+  std::vector<const EvalInstance*> evaluated_instances;
   for (const EvalInstance& instance : instances) {
     if (instance.edge_in_motif.empty()) continue;
-    const ExplanationTask task = instance.MakeTask(prepared.model.get());
-    const explain::Explanation explanation = explainer->Explain(task, objective);
-    total += RocAuc(explanation.edge_scores, instance.edge_in_motif);
-    ++evaluated;
+    tasks.push_back(instance.MakeTask(prepared.model.get()));
+    evaluated_instances.push_back(&instance);
   }
-  return evaluated > 0 ? total / evaluated : 0.5;
+  const std::vector<explain::Explanation> explanations =
+      ExplainAll(explainer, tasks, objective);
+  double total = 0.0;
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    total += RocAuc(explanations[i].edge_scores, evaluated_instances[i]->edge_in_motif);
+  }
+  return tasks.empty() ? 0.5 : total / static_cast<double>(tasks.size());
 }
 
 }  // namespace revelio::eval

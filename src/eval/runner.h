@@ -88,6 +88,14 @@ void TrainAmortized(explain::Explainer* explainer, const PreparedModel& prepared
 
 // --- Protocols -----------------------------------------------------------------
 
+// Explains every task with a shared explainer, concurrently across instances
+// when the explainer reports thread_safe_explain() (requires the model to be
+// frozen, which PrepareModel does after training). Results are index-aligned
+// with `tasks` and identical to the serial loop for any thread count.
+std::vector<explain::Explanation> ExplainAll(explain::Explainer* explainer,
+                                             const std::vector<explain::ExplanationTask>& tasks,
+                                             explain::Objective objective);
+
 // Mean Fidelity-/Fidelity+ over instances for each sparsity level.
 struct FidelityCurve {
   std::vector<double> sparsities;

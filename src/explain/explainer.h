@@ -67,6 +67,12 @@ class Explainer {
     return true;
   }
 
+  // True when concurrent Explain() calls on this object are safe (no mutable
+  // per-call state shared across calls; the model must be frozen). Methods
+  // with stateful members (RandomExplainer's RNG) override to false and the
+  // harness falls back to the serial per-instance loop.
+  virtual bool thread_safe_explain() const { return true; }
+
   virtual Explanation Explain(const ExplanationTask& task, Objective objective) = 0;
 };
 

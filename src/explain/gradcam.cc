@@ -10,7 +10,11 @@ Explanation GradCamExplainer::Explain(const ExplanationTask& task, Objective obj
   (void)objective;  // Grad-CAM has a single importance notion.
   const gnn::GnnModel& model = *task.model;
   const gnn::LayerEdgeSet edges = gnn::BuildLayerEdges(*task.graph);
-  const auto forward = model.Run(*task.graph, edges, task.features, {});
+  // Differentiate through a feature clone rather than the model weights, so
+  // the pass works against frozen models and never touches shared weight
+  // grad buffers (required for concurrent per-instance explanation).
+  const tensor::Tensor features = CloneFeatures(task).WithRequiresGrad();
+  const auto forward = model.Run(*task.graph, edges, features, {});
 
   // Gradient of the explained logit w.r.t. the final node embeddings.
   tensor::Tensor target_logit =

@@ -14,6 +14,8 @@ class RandomExplainer : public Explainer {
 
   std::string name() const override { return "Random"; }
   bool supports_counterfactual() const override { return true; }
+  // The RNG advances across calls, so concurrent Explain() would race.
+  bool thread_safe_explain() const override { return false; }
 
   Explanation Explain(const ExplanationTask& task, Objective objective) override;
 

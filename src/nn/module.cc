@@ -17,6 +17,11 @@ int64_t Module::NumParameters() const {
   return total;
 }
 
+void Module::Freeze() {
+  for (auto& p : parameters_) p.DisableGrad();
+  for (Module* child : children_) child->Freeze();
+}
+
 tensor::Tensor Module::RegisterParameter(tensor::Tensor parameter) {
   parameter.WithRequiresGrad();
   parameters_.push_back(parameter);

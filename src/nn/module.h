@@ -24,6 +24,12 @@ class Module {
   // Number of scalar parameters (for reporting).
   int64_t NumParameters() const;
 
+  // Clears requires_grad on every parameter (recursively). A frozen module
+  // can be shared by concurrent backward passes: autograd never visits its
+  // parameter nodes, so no thread writes their grad buffers. Training after
+  // Freeze() is not supported.
+  void Freeze();
+
  protected:
   // Records a leaf tensor as trainable and returns it (sets requires_grad).
   tensor::Tensor RegisterParameter(tensor::Tensor parameter);

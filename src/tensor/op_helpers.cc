@@ -41,7 +41,12 @@ void AccumulateInto(TensorNode* target, const std::vector<float>& grad, float sc
   if (!target->requires_grad) return;
   target->EnsureGrad();
   CHECK_EQ(target->grad.size(), grad.size());
-  for (size_t i = 0; i < grad.size(); ++i) target->grad[i] += scale * grad[i];
+  const float* g = grad.data();
+  float* t = target->grad.data();
+  util::ParallelFor(0, static_cast<int64_t>(grad.size()), kElementwiseGrain,
+                    [g, t, scale](int64_t begin, int64_t end) {
+                      for (int64_t i = begin; i < end; ++i) t[i] += scale * g[i];
+                    });
 }
 
 void CheckSameShape(const Tensor& a, const Tensor& b, const char* op_name) {

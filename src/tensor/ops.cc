@@ -4,17 +4,38 @@
 #include <cmath>
 
 #include "tensor/op_helpers.h"
+#include "util/parallel.h"
+
+// Parallelization strategy (see DESIGN.md "Parallel execution"): every
+// kernel partitions its OUTPUT range — rows for matmul/row-wise ops, the
+// flat index space for elementwise ops — so each output element is written
+// by exactly one chunk and the accumulation order within an element matches
+// the serial loop. Results are bitwise-identical for any thread count.
 
 namespace revelio::tensor {
 
 using internal::TensorNode;
 
+namespace {
+
+// Elementwise loops share one shape: hoist the raw pointers once, then
+// split the flat range.
+template <typename Fn>
+void ElementwiseFor(int64_t n, const Fn& fn) {
+  util::ParallelFor(0, n, kElementwiseGrain, fn);
+}
+
+}  // namespace
+
 Tensor Add(const Tensor& a, const Tensor& b) {
   CheckSameShape(a, b, "Add");
   auto out = NewNodeLike(a);
-  const auto& av = a.values();
-  const auto& bv = b.values();
-  for (size_t i = 0; i < av.size(); ++i) out->values[i] = av[i] + bv[i];
+  const float* av = a.values().data();
+  const float* bv = b.values().data();
+  float* ov = out->values.data();
+  ElementwiseFor(out->numel(), [av, bv, ov](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) ov[i] = av[i] + bv[i];
+  });
   AttachBackward(out, {a, b}, [](TensorNode* o) {
     AccumulateInto(o->parents[0].get(), o->grad, 1.0f);
     AccumulateInto(o->parents[1].get(), o->grad, 1.0f);
@@ -25,9 +46,12 @@ Tensor Add(const Tensor& a, const Tensor& b) {
 Tensor Sub(const Tensor& a, const Tensor& b) {
   CheckSameShape(a, b, "Sub");
   auto out = NewNodeLike(a);
-  const auto& av = a.values();
-  const auto& bv = b.values();
-  for (size_t i = 0; i < av.size(); ++i) out->values[i] = av[i] - bv[i];
+  const float* av = a.values().data();
+  const float* bv = b.values().data();
+  float* ov = out->values.data();
+  ElementwiseFor(out->numel(), [av, bv, ov](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) ov[i] = av[i] - bv[i];
+  });
   AttachBackward(out, {a, b}, [](TensorNode* o) {
     AccumulateInto(o->parents[0].get(), o->grad, 1.0f);
     AccumulateInto(o->parents[1].get(), o->grad, -1.0f);
@@ -38,19 +62,32 @@ Tensor Sub(const Tensor& a, const Tensor& b) {
 Tensor Mul(const Tensor& a, const Tensor& b) {
   CheckSameShape(a, b, "Mul");
   auto out = NewNodeLike(a);
-  const auto& av = a.values();
-  const auto& bv = b.values();
-  for (size_t i = 0; i < av.size(); ++i) out->values[i] = av[i] * bv[i];
+  const float* av = a.values().data();
+  const float* bv = b.values().data();
+  float* ov = out->values.data();
+  ElementwiseFor(out->numel(), [av, bv, ov](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) ov[i] = av[i] * bv[i];
+  });
   AttachBackward(out, {a, b}, [](TensorNode* o) {
     TensorNode* an = o->parents[0].get();
     TensorNode* bn = o->parents[1].get();
+    const int64_t n = static_cast<int64_t>(o->grad.size());
+    const float* g = o->grad.data();
     if (an->requires_grad) {
       an->EnsureGrad();
-      for (size_t i = 0; i < o->grad.size(); ++i) an->grad[i] += o->grad[i] * bn->values[i];
+      float* ga = an->grad.data();
+      const float* bv = bn->values.data();
+      ElementwiseFor(n, [g, ga, bv](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) ga[i] += g[i] * bv[i];
+      });
     }
     if (bn->requires_grad) {
       bn->EnsureGrad();
-      for (size_t i = 0; i < o->grad.size(); ++i) bn->grad[i] += o->grad[i] * an->values[i];
+      float* gb = bn->grad.data();
+      const float* av = an->values.data();
+      ElementwiseFor(n, [g, gb, av](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) gb[i] += g[i] * av[i];
+      });
     }
   });
   return Tensor::FromNode(out);
@@ -60,14 +97,17 @@ Tensor AddRowBroadcast(const Tensor& matrix, const Tensor& row) {
   CHECK_EQ(row.rows(), 1);
   CHECK_EQ(row.cols(), matrix.cols());
   auto out = NewNodeLike(matrix);
-  const auto& mv = matrix.values();
-  const auto& rv = row.values();
+  const float* mv = matrix.values().data();
+  const float* rv = row.values().data();
+  float* ov = out->values.data();
   const int cols = matrix.cols();
-  for (int r = 0; r < matrix.rows(); ++r) {
-    for (int c = 0; c < cols; ++c) {
-      out->values[static_cast<size_t>(r) * cols + c] = mv[static_cast<size_t>(r) * cols + c] + rv[c];
-    }
-  }
+  util::ParallelFor(0, matrix.rows(), RowGrain(cols),
+                    [mv, rv, ov, cols](int64_t rb, int64_t re) {
+                      for (int64_t r = rb; r < re; ++r) {
+                        const size_t base = static_cast<size_t>(r) * cols;
+                        for (int c = 0; c < cols; ++c) ov[base + c] = mv[base + c] + rv[c];
+                      }
+                    });
   AttachBackward(out, {matrix, row}, [](TensorNode* o) {
     TensorNode* mn = o->parents[0].get();
     TensorNode* rn = o->parents[1].get();
@@ -75,11 +115,18 @@ Tensor AddRowBroadcast(const Tensor& matrix, const Tensor& row) {
     if (rn->requires_grad) {
       rn->EnsureGrad();
       const int cols = o->cols;
-      for (int r = 0; r < o->rows; ++r) {
-        for (int c = 0; c < cols; ++c) {
-          rn->grad[c] += o->grad[static_cast<size_t>(r) * cols + c];
+      const int rows = o->rows;
+      const float* g = o->grad.data();
+      float* gr = rn->grad.data();
+      // Column-partitioned so each grad entry has one owner; the per-column
+      // sum keeps the serial row order.
+      util::ParallelFor(0, cols, RowGrain(rows), [g, gr, cols, rows](int64_t cb, int64_t ce) {
+        for (int64_t c = cb; c < ce; ++c) {
+          float acc = 0.0f;
+          for (int r = 0; r < rows; ++r) acc += g[static_cast<size_t>(r) * cols + c];
+          gr[c] += acc;
         }
-      }
+      });
     }
   });
   return Tensor::FromNode(out);
@@ -87,8 +134,11 @@ Tensor AddRowBroadcast(const Tensor& matrix, const Tensor& row) {
 
 Tensor AddScalar(const Tensor& a, float s) {
   auto out = NewNodeLike(a);
-  const auto& av = a.values();
-  for (size_t i = 0; i < av.size(); ++i) out->values[i] = av[i] + s;
+  const float* av = a.values().data();
+  float* ov = out->values.data();
+  ElementwiseFor(out->numel(), [av, ov, s](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) ov[i] = av[i] + s;
+  });
   AttachBackward(out, {a},
                  [](TensorNode* o) { AccumulateInto(o->parents[0].get(), o->grad, 1.0f); });
   return Tensor::FromNode(out);
@@ -96,8 +146,11 @@ Tensor AddScalar(const Tensor& a, float s) {
 
 Tensor MulScalar(const Tensor& a, float s) {
   auto out = NewNodeLike(a);
-  const auto& av = a.values();
-  for (size_t i = 0; i < av.size(); ++i) out->values[i] = av[i] * s;
+  const float* av = a.values().data();
+  float* ov = out->values.data();
+  ElementwiseFor(out->numel(), [av, ov, s](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) ov[i] = av[i] * s;
+  });
   AttachBackward(out, {a},
                  [s](TensorNode* o) { AccumulateInto(o->parents[0].get(), o->grad, s); });
   return Tensor::FromNode(out);
@@ -108,21 +161,31 @@ Tensor Neg(const Tensor& a) { return MulScalar(a, -1.0f); }
 Tensor ScaleByScalarTensor(const Tensor& a, const Tensor& scalar) {
   CHECK(scalar.is_scalar());
   auto out = NewNodeLike(a);
-  const auto& av = a.values();
+  const float* av = a.values().data();
+  float* ov = out->values.data();
   const float s = scalar.Value();
-  for (size_t i = 0; i < av.size(); ++i) out->values[i] = av[i] * s;
+  ElementwiseFor(out->numel(), [av, ov, s](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) ov[i] = av[i] * s;
+  });
   AttachBackward(out, {a, scalar}, [](TensorNode* o) {
     TensorNode* an = o->parents[0].get();
     TensorNode* sn = o->parents[1].get();
     const float s = sn->values[0];
+    const int64_t n = static_cast<int64_t>(o->grad.size());
+    const float* g = o->grad.data();
     if (an->requires_grad) {
       an->EnsureGrad();
-      for (size_t i = 0; i < o->grad.size(); ++i) an->grad[i] += o->grad[i] * s;
+      float* ga = an->grad.data();
+      ElementwiseFor(n, [g, ga, s](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) ga[i] += g[i] * s;
+      });
     }
     if (sn->requires_grad) {
       sn->EnsureGrad();
+      // Scalar reduction: serial, in index order, for determinism.
+      const float* av = an->values.data();
       float acc = 0.0f;
-      for (size_t i = 0; i < o->grad.size(); ++i) acc += o->grad[i] * an->values[i];
+      for (int64_t i = 0; i < n; ++i) acc += g[i] * av[i];
       sn->grad[0] += acc;
     }
   });
@@ -131,110 +194,173 @@ Tensor ScaleByScalarTensor(const Tensor& a, const Tensor& scalar) {
 
 Tensor Relu(const Tensor& a) {
   auto out = NewNodeLike(a);
-  const auto& av = a.values();
-  for (size_t i = 0; i < av.size(); ++i) out->values[i] = av[i] > 0.0f ? av[i] : 0.0f;
+  const float* av = a.values().data();
+  float* ov = out->values.data();
+  ElementwiseFor(out->numel(), [av, ov](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) ov[i] = av[i] > 0.0f ? av[i] : 0.0f;
+  });
   AttachBackward(out, {a}, [](TensorNode* o) {
     TensorNode* an = o->parents[0].get();
     if (!an->requires_grad) return;
     an->EnsureGrad();
-    for (size_t i = 0; i < o->grad.size(); ++i) {
-      if (an->values[i] > 0.0f) an->grad[i] += o->grad[i];
-    }
+    const float* g = o->grad.data();
+    const float* av = an->values.data();
+    float* ga = an->grad.data();
+    ElementwiseFor(static_cast<int64_t>(o->grad.size()),
+                   [g, av, ga](int64_t begin, int64_t end) {
+                     for (int64_t i = begin; i < end; ++i) {
+                       if (av[i] > 0.0f) ga[i] += g[i];
+                     }
+                   });
   });
   return Tensor::FromNode(out);
 }
 
 Tensor LeakyRelu(const Tensor& a, float negative_slope) {
   auto out = NewNodeLike(a);
-  const auto& av = a.values();
-  for (size_t i = 0; i < av.size(); ++i) {
-    out->values[i] = av[i] > 0.0f ? av[i] : negative_slope * av[i];
-  }
+  const float* av = a.values().data();
+  float* ov = out->values.data();
+  ElementwiseFor(out->numel(), [av, ov, negative_slope](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      ov[i] = av[i] > 0.0f ? av[i] : negative_slope * av[i];
+    }
+  });
   AttachBackward(out, {a}, [negative_slope](TensorNode* o) {
     TensorNode* an = o->parents[0].get();
     if (!an->requires_grad) return;
     an->EnsureGrad();
-    for (size_t i = 0; i < o->grad.size(); ++i) {
-      an->grad[i] += o->grad[i] * (an->values[i] > 0.0f ? 1.0f : negative_slope);
-    }
+    const float* g = o->grad.data();
+    const float* av = an->values.data();
+    float* ga = an->grad.data();
+    ElementwiseFor(static_cast<int64_t>(o->grad.size()),
+                   [g, av, ga, negative_slope](int64_t begin, int64_t end) {
+                     for (int64_t i = begin; i < end; ++i) {
+                       ga[i] += g[i] * (av[i] > 0.0f ? 1.0f : negative_slope);
+                     }
+                   });
   });
   return Tensor::FromNode(out);
 }
 
 Tensor Tanh(const Tensor& a) {
   auto out = NewNodeLike(a);
-  const auto& av = a.values();
-  for (size_t i = 0; i < av.size(); ++i) out->values[i] = std::tanh(av[i]);
+  const float* av = a.values().data();
+  float* ov = out->values.data();
+  ElementwiseFor(out->numel(), [av, ov](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) ov[i] = std::tanh(av[i]);
+  });
   AttachBackward(out, {a}, [](TensorNode* o) {
     TensorNode* an = o->parents[0].get();
     if (!an->requires_grad) return;
     an->EnsureGrad();
-    for (size_t i = 0; i < o->grad.size(); ++i) {
-      an->grad[i] += o->grad[i] * (1.0f - o->values[i] * o->values[i]);
-    }
+    const float* g = o->grad.data();
+    const float* ov = o->values.data();
+    float* ga = an->grad.data();
+    ElementwiseFor(static_cast<int64_t>(o->grad.size()),
+                   [g, ov, ga](int64_t begin, int64_t end) {
+                     for (int64_t i = begin; i < end; ++i) {
+                       ga[i] += g[i] * (1.0f - ov[i] * ov[i]);
+                     }
+                   });
   });
   return Tensor::FromNode(out);
 }
 
 Tensor Sigmoid(const Tensor& a) {
   auto out = NewNodeLike(a);
-  const auto& av = a.values();
-  for (size_t i = 0; i < av.size(); ++i) out->values[i] = 1.0f / (1.0f + std::exp(-av[i]));
+  const float* av = a.values().data();
+  float* ov = out->values.data();
+  ElementwiseFor(out->numel(), [av, ov](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) ov[i] = 1.0f / (1.0f + std::exp(-av[i]));
+  });
   AttachBackward(out, {a}, [](TensorNode* o) {
     TensorNode* an = o->parents[0].get();
     if (!an->requires_grad) return;
     an->EnsureGrad();
-    for (size_t i = 0; i < o->grad.size(); ++i) {
-      an->grad[i] += o->grad[i] * o->values[i] * (1.0f - o->values[i]);
-    }
+    const float* g = o->grad.data();
+    const float* ov = o->values.data();
+    float* ga = an->grad.data();
+    ElementwiseFor(static_cast<int64_t>(o->grad.size()),
+                   [g, ov, ga](int64_t begin, int64_t end) {
+                     for (int64_t i = begin; i < end; ++i) {
+                       ga[i] += g[i] * ov[i] * (1.0f - ov[i]);
+                     }
+                   });
   });
   return Tensor::FromNode(out);
 }
 
 Tensor Exp(const Tensor& a) {
   auto out = NewNodeLike(a);
-  const auto& av = a.values();
-  for (size_t i = 0; i < av.size(); ++i) out->values[i] = std::exp(av[i]);
+  const float* av = a.values().data();
+  float* ov = out->values.data();
+  ElementwiseFor(out->numel(), [av, ov](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) ov[i] = std::exp(av[i]);
+  });
   AttachBackward(out, {a}, [](TensorNode* o) {
     TensorNode* an = o->parents[0].get();
     if (!an->requires_grad) return;
     an->EnsureGrad();
-    for (size_t i = 0; i < o->grad.size(); ++i) an->grad[i] += o->grad[i] * o->values[i];
+    const float* g = o->grad.data();
+    const float* ov = o->values.data();
+    float* ga = an->grad.data();
+    ElementwiseFor(static_cast<int64_t>(o->grad.size()),
+                   [g, ov, ga](int64_t begin, int64_t end) {
+                     for (int64_t i = begin; i < end; ++i) ga[i] += g[i] * ov[i];
+                   });
   });
   return Tensor::FromNode(out);
 }
 
 Tensor Log(const Tensor& a, float eps) {
   auto out = NewNodeLike(a);
-  const auto& av = a.values();
-  for (size_t i = 0; i < av.size(); ++i) out->values[i] = std::log(std::max(av[i], eps));
+  const float* av = a.values().data();
+  float* ov = out->values.data();
+  ElementwiseFor(out->numel(), [av, ov, eps](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) ov[i] = std::log(std::max(av[i], eps));
+  });
   AttachBackward(out, {a}, [eps](TensorNode* o) {
     TensorNode* an = o->parents[0].get();
     if (!an->requires_grad) return;
     an->EnsureGrad();
-    for (size_t i = 0; i < o->grad.size(); ++i) {
-      an->grad[i] += o->grad[i] / std::max(an->values[i], eps);
-    }
+    const float* g = o->grad.data();
+    const float* av = an->values.data();
+    float* ga = an->grad.data();
+    ElementwiseFor(static_cast<int64_t>(o->grad.size()),
+                   [g, av, ga, eps](int64_t begin, int64_t end) {
+                     for (int64_t i = begin; i < end; ++i) {
+                       ga[i] += g[i] / std::max(av[i], eps);
+                     }
+                   });
   });
   return Tensor::FromNode(out);
 }
 
 Tensor Softplus(const Tensor& a) {
   auto out = NewNodeLike(a);
-  const auto& av = a.values();
-  for (size_t i = 0; i < av.size(); ++i) {
-    // Numerically stable softplus: log(1 + exp(x)) = max(x, 0) + log1p(exp(-|x|)).
-    const float x = av[i];
-    out->values[i] = std::max(x, 0.0f) + std::log1p(std::exp(-std::fabs(x)));
-  }
+  const float* av = a.values().data();
+  float* ov = out->values.data();
+  ElementwiseFor(out->numel(), [av, ov](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      // Numerically stable softplus: log(1 + exp(x)) = max(x, 0) + log1p(exp(-|x|)).
+      const float x = av[i];
+      ov[i] = std::max(x, 0.0f) + std::log1p(std::exp(-std::fabs(x)));
+    }
+  });
   AttachBackward(out, {a}, [](TensorNode* o) {
     TensorNode* an = o->parents[0].get();
     if (!an->requires_grad) return;
     an->EnsureGrad();
-    for (size_t i = 0; i < o->grad.size(); ++i) {
-      const float s = 1.0f / (1.0f + std::exp(-an->values[i]));
-      an->grad[i] += o->grad[i] * s;
-    }
+    const float* g = o->grad.data();
+    const float* av = an->values.data();
+    float* ga = an->grad.data();
+    ElementwiseFor(static_cast<int64_t>(o->grad.size()),
+                   [g, av, ga](int64_t begin, int64_t end) {
+                     for (int64_t i = begin; i < end; ++i) {
+                       const float s = 1.0f / (1.0f + std::exp(-av[i]));
+                       ga[i] += g[i] * s;
+                     }
+                   });
   });
   return Tensor::FromNode(out);
 }
@@ -246,54 +372,67 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   const int k = a.cols();
   const int m = b.cols();
   auto out = NewNode(n, m);
-  // ikj loop order: unit-stride inner loop, autovectorizes well.
+  // ikj loop order: unit-stride inner loop, autovectorizes well. Rows of the
+  // output are independent, so the i loop is partitioned across threads.
   const float* av = a.values().data();
   const float* bv = b.values().data();
   float* ov = out->values.data();
-  for (int i = 0; i < n; ++i) {
-    float* orow = ov + static_cast<size_t>(i) * m;
-    for (int kk = 0; kk < k; ++kk) {
-      const float aik = av[static_cast<size_t>(i) * k + kk];
-      if (aik == 0.0f) continue;
-      const float* brow = bv + static_cast<size_t>(kk) * m;
-      for (int j = 0; j < m; ++j) orow[j] += aik * brow[j];
+  const int64_t row_flops = int64_t{2} * k * m;
+  util::ParallelFor(0, n, RowGrain(row_flops), [av, bv, ov, k, m](int64_t ib, int64_t ie) {
+    for (int64_t i = ib; i < ie; ++i) {
+      float* orow = ov + static_cast<size_t>(i) * m;
+      for (int kk = 0; kk < k; ++kk) {
+        const float aik = av[static_cast<size_t>(i) * k + kk];
+        if (aik == 0.0f) continue;
+        const float* brow = bv + static_cast<size_t>(kk) * m;
+        for (int j = 0; j < m; ++j) orow[j] += aik * brow[j];
+      }
     }
-  }
+  });
   AttachBackward(out, {a, b}, [n, k, m](TensorNode* o) {
     TensorNode* an = o->parents[0].get();
     TensorNode* bn = o->parents[1].get();
     const float* g = o->grad.data();
+    const int64_t row_flops = int64_t{2} * k * m;
     if (an->requires_grad) {
-      // dA = G * B^T  (n x m)(m x k^T) -> iterate to keep unit stride.
+      // dA = G * B^T, computed as dot products against rows of B (the
+      // transposed-B fast path: both factors are read with unit stride).
+      // dA rows are independent -> partition over i.
       an->EnsureGrad();
       float* ga = an->grad.data();
       const float* bv = bn->values.data();
-      for (int i = 0; i < n; ++i) {
-        const float* grow = g + static_cast<size_t>(i) * m;
-        float* garow = ga + static_cast<size_t>(i) * k;
-        for (int kk = 0; kk < k; ++kk) {
-          const float* brow = bv + static_cast<size_t>(kk) * m;
-          float acc = 0.0f;
-          for (int j = 0; j < m; ++j) acc += grow[j] * brow[j];
-          garow[kk] += acc;
+      util::ParallelFor(0, n, RowGrain(row_flops), [g, ga, bv, k, m](int64_t ib, int64_t ie) {
+        for (int64_t i = ib; i < ie; ++i) {
+          const float* grow = g + static_cast<size_t>(i) * m;
+          float* garow = ga + static_cast<size_t>(i) * k;
+          for (int kk = 0; kk < k; ++kk) {
+            const float* brow = bv + static_cast<size_t>(kk) * m;
+            float acc = 0.0f;
+            for (int j = 0; j < m; ++j) acc += grow[j] * brow[j];
+            garow[kk] += acc;
+          }
         }
-      }
+      });
     }
     if (bn->requires_grad) {
-      // dB = A^T * G.
+      // dB = A^T * G. Partitioned over dB rows (kk); the i loop stays
+      // innermost-outer so each dB element accumulates in serial order.
       bn->EnsureGrad();
       float* gb = bn->grad.data();
       const float* av = an->values.data();
-      for (int i = 0; i < n; ++i) {
-        const float* grow = g + static_cast<size_t>(i) * m;
-        const float* arow = av + static_cast<size_t>(i) * k;
-        for (int kk = 0; kk < k; ++kk) {
-          const float aik = arow[kk];
-          if (aik == 0.0f) continue;
-          float* gbrow = gb + static_cast<size_t>(kk) * m;
-          for (int j = 0; j < m; ++j) gbrow[j] += aik * grow[j];
+      const int64_t col_flops = int64_t{2} * n * m;
+      util::ParallelFor(0, k, RowGrain(col_flops), [g, gb, av, n, k, m](int64_t kb, int64_t ke) {
+        for (int i = 0; i < n; ++i) {
+          const float* grow = g + static_cast<size_t>(i) * m;
+          const float* arow = av + static_cast<size_t>(i) * k;
+          for (int64_t kk = kb; kk < ke; ++kk) {
+            const float aik = arow[kk];
+            if (aik == 0.0f) continue;
+            float* gbrow = gb + static_cast<size_t>(kk) * m;
+            for (int j = 0; j < m; ++j) gbrow[j] += aik * grow[j];
+          }
         }
-      }
+      });
     }
   });
   return Tensor::FromNode(out);
@@ -301,6 +440,8 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
 
 Tensor Sum(const Tensor& a) {
   auto out = NewNode(1, 1);
+  // Scalar reduction stays serial: a single double accumulator in index
+  // order keeps the result independent of the thread count.
   double acc = 0.0;
   for (float v : a.values()) acc += v;
   out->values[0] = static_cast<float>(acc);
@@ -309,7 +450,11 @@ Tensor Sum(const Tensor& a) {
     if (!an->requires_grad) return;
     an->EnsureGrad();
     const float g = o->grad[0];
-    for (auto& v : an->grad) v += g;
+    float* ga = an->grad.data();
+    ElementwiseFor(static_cast<int64_t>(an->grad.size()),
+                   [ga, g](int64_t begin, int64_t end) {
+                     for (int64_t i = begin; i < end; ++i) ga[i] += g;
+                   });
   });
   return Tensor::FromNode(out);
 }
@@ -322,31 +467,38 @@ Tensor Mean(const Tensor& a) {
 Tensor RowSoftmax(const Tensor& a) {
   auto out = NewNodeLike(a);
   const int cols = a.cols();
-  const auto& av = a.values();
-  for (int r = 0; r < a.rows(); ++r) {
-    const size_t base = static_cast<size_t>(r) * cols;
-    float max_v = av[base];
-    for (int c = 1; c < cols; ++c) max_v = std::max(max_v, av[base + c]);
-    double denom = 0.0;
-    for (int c = 0; c < cols; ++c) {
-      out->values[base + c] = std::exp(av[base + c] - max_v);
-      denom += out->values[base + c];
+  const float* av = a.values().data();
+  float* ov = out->values.data();
+  util::ParallelFor(0, a.rows(), RowGrain(3 * cols), [av, ov, cols](int64_t rb, int64_t re) {
+    for (int64_t r = rb; r < re; ++r) {
+      const size_t base = static_cast<size_t>(r) * cols;
+      float max_v = av[base];
+      for (int c = 1; c < cols; ++c) max_v = std::max(max_v, av[base + c]);
+      double denom = 0.0;
+      for (int c = 0; c < cols; ++c) {
+        ov[base + c] = std::exp(av[base + c] - max_v);
+        denom += ov[base + c];
+      }
+      for (int c = 0; c < cols; ++c) ov[base + c] /= static_cast<float>(denom);
     }
-    for (int c = 0; c < cols; ++c) out->values[base + c] /= static_cast<float>(denom);
-  }
+  });
   AttachBackward(out, {a}, [cols](TensorNode* o) {
     TensorNode* an = o->parents[0].get();
     if (!an->requires_grad) return;
     an->EnsureGrad();
-    for (int r = 0; r < o->rows; ++r) {
-      const size_t base = static_cast<size_t>(r) * cols;
-      double dot = 0.0;
-      for (int c = 0; c < cols; ++c) dot += o->grad[base + c] * o->values[base + c];
-      for (int c = 0; c < cols; ++c) {
-        an->grad[base + c] +=
-            o->values[base + c] * (o->grad[base + c] - static_cast<float>(dot));
+    const float* g = o->grad.data();
+    const float* ov = o->values.data();
+    float* ga = an->grad.data();
+    util::ParallelFor(0, o->rows, RowGrain(3 * cols), [g, ov, ga, cols](int64_t rb, int64_t re) {
+      for (int64_t r = rb; r < re; ++r) {
+        const size_t base = static_cast<size_t>(r) * cols;
+        double dot = 0.0;
+        for (int c = 0; c < cols; ++c) dot += g[base + c] * ov[base + c];
+        for (int c = 0; c < cols; ++c) {
+          ga[base + c] += ov[base + c] * (g[base + c] - static_cast<float>(dot));
+        }
       }
-    }
+    });
   });
   return Tensor::FromNode(out);
 }
@@ -354,29 +506,36 @@ Tensor RowSoftmax(const Tensor& a) {
 Tensor RowLogSoftmax(const Tensor& a) {
   auto out = NewNodeLike(a);
   const int cols = a.cols();
-  const auto& av = a.values();
-  for (int r = 0; r < a.rows(); ++r) {
-    const size_t base = static_cast<size_t>(r) * cols;
-    float max_v = av[base];
-    for (int c = 1; c < cols; ++c) max_v = std::max(max_v, av[base + c]);
-    double denom = 0.0;
-    for (int c = 0; c < cols; ++c) denom += std::exp(av[base + c] - max_v);
-    const float log_denom = max_v + static_cast<float>(std::log(denom));
-    for (int c = 0; c < cols; ++c) out->values[base + c] = av[base + c] - log_denom;
-  }
+  const float* av = a.values().data();
+  float* ov = out->values.data();
+  util::ParallelFor(0, a.rows(), RowGrain(3 * cols), [av, ov, cols](int64_t rb, int64_t re) {
+    for (int64_t r = rb; r < re; ++r) {
+      const size_t base = static_cast<size_t>(r) * cols;
+      float max_v = av[base];
+      for (int c = 1; c < cols; ++c) max_v = std::max(max_v, av[base + c]);
+      double denom = 0.0;
+      for (int c = 0; c < cols; ++c) denom += std::exp(av[base + c] - max_v);
+      const float log_denom = max_v + static_cast<float>(std::log(denom));
+      for (int c = 0; c < cols; ++c) ov[base + c] = av[base + c] - log_denom;
+    }
+  });
   AttachBackward(out, {a}, [cols](TensorNode* o) {
     TensorNode* an = o->parents[0].get();
     if (!an->requires_grad) return;
     an->EnsureGrad();
-    for (int r = 0; r < o->rows; ++r) {
-      const size_t base = static_cast<size_t>(r) * cols;
-      double grad_sum = 0.0;
-      for (int c = 0; c < cols; ++c) grad_sum += o->grad[base + c];
-      for (int c = 0; c < cols; ++c) {
-        an->grad[base + c] += o->grad[base + c] -
-                              std::exp(o->values[base + c]) * static_cast<float>(grad_sum);
+    const float* g = o->grad.data();
+    const float* ov = o->values.data();
+    float* ga = an->grad.data();
+    util::ParallelFor(0, o->rows, RowGrain(3 * cols), [g, ov, ga, cols](int64_t rb, int64_t re) {
+      for (int64_t r = rb; r < re; ++r) {
+        const size_t base = static_cast<size_t>(r) * cols;
+        double grad_sum = 0.0;
+        for (int c = 0; c < cols; ++c) grad_sum += g[base + c];
+        for (int c = 0; c < cols; ++c) {
+          ga[base + c] += g[base + c] - std::exp(ov[base + c]) * static_cast<float>(grad_sum);
+        }
       }
-    }
+    });
   });
   return Tensor::FromNode(out);
 }

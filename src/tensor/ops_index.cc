@@ -4,31 +4,73 @@
 
 #include "tensor/op_helpers.h"
 #include "tensor/ops.h"
+#include "util/parallel.h"
+
+// Irregular (index-driven) kernels. Parallel variants partition the OUTPUT
+// rows: chunks that scatter scan the whole index list and keep only the
+// entries landing in their row range, so every output row has exactly one
+// writer and accumulates in the serial scan order (bitwise-identical results
+// for any thread count). The scan is redundant across chunks, which is the
+// standard trade for deterministic lock-free scatter on CPUs; the grain
+// thresholds keep small tensors on the single-scan serial path.
 
 namespace revelio::tensor {
 
 using internal::TensorNode;
 
+namespace {
+
+// Rows per chunk for a scatter partitioned over `num_rows` output rows when
+// the full index scan costs `indices` lookups and the useful work per
+// landing row is `cols` floats. Forces the serial path when the total work
+// is too small to amortize a per-chunk scan.
+int64_t ScatterGrain(int64_t num_rows, int64_t indices, int64_t cols) {
+  constexpr int64_t kMinScatterWork = int64_t{1} << 14;
+  if (indices * cols < kMinScatterWork) return std::max<int64_t>(1, num_rows);
+  return 1;  // ParallelFor caps the chunk count at the thread count
+}
+
+}  // namespace
+
 Tensor GatherRows(const Tensor& a, const std::vector<int>& indices) {
   const int cols = a.cols();
   auto out = NewNode(static_cast<int>(indices.size()), cols);
-  const auto& av = a.values();
-  for (size_t i = 0; i < indices.size(); ++i) {
-    const int src = indices[i];
-    DCHECK(src >= 0 && src < a.rows()) << "GatherRows index " << src << " out of range";
-    std::copy(av.begin() + static_cast<size_t>(src) * cols,
-              av.begin() + static_cast<size_t>(src + 1) * cols,
-              out->values.begin() + i * cols);
-  }
+  const float* av = a.values().data();
+  float* ov = out->values.data();
+  const int num_src_rows = a.rows();
+  const int* idx = indices.data();
+  // Output rows are independent -> partition over i.
+  util::ParallelFor(0, static_cast<int64_t>(indices.size()), RowGrain(cols),
+                    [av, ov, idx, cols, num_src_rows](int64_t ib, int64_t ie) {
+                      (void)num_src_rows;
+                      for (int64_t i = ib; i < ie; ++i) {
+                        const int src = idx[i];
+                        DCHECK(src >= 0 && src < num_src_rows)
+                            << "GatherRows index " << src << " out of range";
+                        std::copy(av + static_cast<size_t>(src) * cols,
+                                  av + static_cast<size_t>(src + 1) * cols,
+                                  ov + static_cast<size_t>(i) * cols);
+                      }
+                    });
   AttachBackward(out, {a}, [indices, cols](TensorNode* o) {
     TensorNode* an = o->parents[0].get();
     if (!an->requires_grad) return;
     an->EnsureGrad();
-    for (size_t i = 0; i < indices.size(); ++i) {
-      const size_t dst_base = static_cast<size_t>(indices[i]) * cols;
-      const size_t src_base = i * cols;
-      for (int c = 0; c < cols; ++c) an->grad[dst_base + c] += o->grad[src_base + c];
-    }
+    const float* g = o->grad.data();
+    float* ga = an->grad.data();
+    const int* idx = indices.data();
+    const int64_t n = static_cast<int64_t>(indices.size());
+    // Scatter into the source grad: partition over destination rows.
+    util::ParallelFor(0, an->rows, ScatterGrain(an->rows, n, cols),
+                      [g, ga, idx, cols, n](int64_t rb, int64_t re) {
+                        for (int64_t i = 0; i < n; ++i) {
+                          const int dst = idx[i];
+                          if (dst < rb || dst >= re) continue;
+                          const size_t dst_base = static_cast<size_t>(dst) * cols;
+                          const size_t src_base = static_cast<size_t>(i) * cols;
+                          for (int c = 0; c < cols; ++c) ga[dst_base + c] += g[src_base + c];
+                        }
+                      });
   });
   return Tensor::FromNode(out);
 }
@@ -37,23 +79,42 @@ Tensor ScatterAddRows(const Tensor& src, const std::vector<int>& indices, int nu
   CHECK_EQ(src.rows(), static_cast<int>(indices.size()));
   const int cols = src.cols();
   auto out = NewNode(num_rows, cols);
-  const auto& sv = src.values();
-  for (size_t i = 0; i < indices.size(); ++i) {
-    const int dst = indices[i];
-    DCHECK(dst >= 0 && dst < num_rows) << "ScatterAddRows index " << dst << " out of range";
-    const size_t dst_base = static_cast<size_t>(dst) * cols;
-    const size_t src_base = i * cols;
-    for (int c = 0; c < cols; ++c) out->values[dst_base + c] += sv[src_base + c];
-  }
+  const float* sv = src.values().data();
+  float* ov = out->values.data();
+  const int* idx = indices.data();
+  const int64_t n = static_cast<int64_t>(indices.size());
+  // Partition over destination rows; each chunk scans all indices and adds
+  // the rows landing in its range, in the serial scan order.
+  util::ParallelFor(0, num_rows, ScatterGrain(num_rows, n, cols),
+                    [sv, ov, idx, cols, n, num_rows](int64_t rb, int64_t re) {
+                      (void)num_rows;
+                      for (int64_t i = 0; i < n; ++i) {
+                        const int dst = idx[i];
+                        DCHECK(dst >= 0 && dst < num_rows)
+                            << "ScatterAddRows index " << dst << " out of range";
+                        if (dst < rb || dst >= re) continue;
+                        const size_t dst_base = static_cast<size_t>(dst) * cols;
+                        const size_t src_base = static_cast<size_t>(i) * cols;
+                        for (int c = 0; c < cols; ++c) ov[dst_base + c] += sv[src_base + c];
+                      }
+                    });
   AttachBackward(out, {src}, [indices, cols](TensorNode* o) {
     TensorNode* sn = o->parents[0].get();
     if (!sn->requires_grad) return;
     sn->EnsureGrad();
-    for (size_t i = 0; i < indices.size(); ++i) {
-      const size_t src_base = static_cast<size_t>(indices[i]) * cols;
-      const size_t dst_base = i * cols;
-      for (int c = 0; c < cols; ++c) sn->grad[dst_base + c] += o->grad[src_base + c];
-    }
+    const float* g = o->grad.data();
+    float* gs = sn->grad.data();
+    const int* idx = indices.data();
+    // The backward of a scatter is a gather: row i reads exactly one source
+    // row, so the i loop partitions directly.
+    util::ParallelFor(0, static_cast<int64_t>(indices.size()), RowGrain(cols),
+                      [g, gs, idx, cols](int64_t ib, int64_t ie) {
+                        for (int64_t i = ib; i < ie; ++i) {
+                          const size_t src_base = static_cast<size_t>(idx[i]) * cols;
+                          const size_t dst_base = static_cast<size_t>(i) * cols;
+                          for (int c = 0; c < cols; ++c) gs[dst_base + c] += g[src_base + c];
+                        }
+                      });
   });
   return Tensor::FromNode(out);
 }
@@ -63,31 +124,43 @@ Tensor RowScale(const Tensor& a, const Tensor& scale) {
   CHECK_EQ(scale.cols(), 1);
   const int cols = a.cols();
   auto out = NewNodeLike(a);
-  const auto& av = a.values();
-  const auto& sv = scale.values();
-  for (int r = 0; r < a.rows(); ++r) {
-    const size_t base = static_cast<size_t>(r) * cols;
-    for (int c = 0; c < cols; ++c) out->values[base + c] = av[base + c] * sv[r];
-  }
+  const float* av = a.values().data();
+  const float* sv = scale.values().data();
+  float* ov = out->values.data();
+  util::ParallelFor(0, a.rows(), RowGrain(cols), [av, sv, ov, cols](int64_t rb, int64_t re) {
+    for (int64_t r = rb; r < re; ++r) {
+      const size_t base = static_cast<size_t>(r) * cols;
+      for (int c = 0; c < cols; ++c) ov[base + c] = av[base + c] * sv[r];
+    }
+  });
   AttachBackward(out, {a, scale}, [cols](TensorNode* o) {
     TensorNode* an = o->parents[0].get();
     TensorNode* sn = o->parents[1].get();
+    const float* g = o->grad.data();
     if (an->requires_grad) {
       an->EnsureGrad();
-      for (int r = 0; r < o->rows; ++r) {
-        const size_t base = static_cast<size_t>(r) * cols;
-        const float s = sn->values[r];
-        for (int c = 0; c < cols; ++c) an->grad[base + c] += o->grad[base + c] * s;
-      }
+      float* ga = an->grad.data();
+      const float* sv = sn->values.data();
+      util::ParallelFor(0, o->rows, RowGrain(cols), [g, ga, sv, cols](int64_t rb, int64_t re) {
+        for (int64_t r = rb; r < re; ++r) {
+          const size_t base = static_cast<size_t>(r) * cols;
+          const float s = sv[r];
+          for (int c = 0; c < cols; ++c) ga[base + c] += g[base + c] * s;
+        }
+      });
     }
     if (sn->requires_grad) {
       sn->EnsureGrad();
-      for (int r = 0; r < o->rows; ++r) {
-        const size_t base = static_cast<size_t>(r) * cols;
-        float acc = 0.0f;
-        for (int c = 0; c < cols; ++c) acc += o->grad[base + c] * an->values[base + c];
-        sn->grad[r] += acc;
-      }
+      float* gs = sn->grad.data();
+      const float* av = an->values.data();
+      util::ParallelFor(0, o->rows, RowGrain(cols), [g, gs, av, cols](int64_t rb, int64_t re) {
+        for (int64_t r = rb; r < re; ++r) {
+          const size_t base = static_cast<size_t>(r) * cols;
+          float acc = 0.0f;
+          for (int c = 0; c < cols; ++c) acc += g[base + c] * av[base + c];
+          gs[r] += acc;
+        }
+      });
     }
   });
   return Tensor::FromNode(out);
@@ -98,33 +171,47 @@ Tensor ConcatCols(const Tensor& a, const Tensor& b) {
   const int ac = a.cols();
   const int bc = b.cols();
   auto out = NewNode(a.rows(), ac + bc);
-  const auto& av = a.values();
-  const auto& bv = b.values();
-  for (int r = 0; r < a.rows(); ++r) {
-    std::copy(av.begin() + static_cast<size_t>(r) * ac,
-              av.begin() + static_cast<size_t>(r + 1) * ac,
-              out->values.begin() + static_cast<size_t>(r) * (ac + bc));
-    std::copy(bv.begin() + static_cast<size_t>(r) * bc,
-              bv.begin() + static_cast<size_t>(r + 1) * bc,
-              out->values.begin() + static_cast<size_t>(r) * (ac + bc) + ac);
-  }
+  const float* av = a.values().data();
+  const float* bv = b.values().data();
+  float* ov = out->values.data();
+  util::ParallelFor(0, a.rows(), RowGrain(ac + bc),
+                    [av, bv, ov, ac, bc](int64_t rb, int64_t re) {
+                      for (int64_t r = rb; r < re; ++r) {
+                        std::copy(av + static_cast<size_t>(r) * ac,
+                                  av + static_cast<size_t>(r + 1) * ac,
+                                  ov + static_cast<size_t>(r) * (ac + bc));
+                        std::copy(bv + static_cast<size_t>(r) * bc,
+                                  bv + static_cast<size_t>(r + 1) * bc,
+                                  ov + static_cast<size_t>(r) * (ac + bc) + ac);
+                      }
+                    });
   AttachBackward(out, {a, b}, [ac, bc](TensorNode* o) {
     TensorNode* an = o->parents[0].get();
     TensorNode* bn = o->parents[1].get();
-    for (int r = 0; r < o->rows; ++r) {
-      const size_t out_base = static_cast<size_t>(r) * (ac + bc);
-      if (an->requires_grad) {
-        an->EnsureGrad();
-        for (int c = 0; c < ac; ++c) {
-          an->grad[static_cast<size_t>(r) * ac + c] += o->grad[out_base + c];
+    const float* g = o->grad.data();
+    if (an->requires_grad) {
+      an->EnsureGrad();
+      float* ga = an->grad.data();
+      util::ParallelFor(0, o->rows, RowGrain(ac), [g, ga, ac, bc](int64_t rb, int64_t re) {
+        for (int64_t r = rb; r < re; ++r) {
+          const size_t out_base = static_cast<size_t>(r) * (ac + bc);
+          for (int c = 0; c < ac; ++c) {
+            ga[static_cast<size_t>(r) * ac + c] += g[out_base + c];
+          }
         }
-      }
-      if (bn->requires_grad) {
-        bn->EnsureGrad();
-        for (int c = 0; c < bc; ++c) {
-          bn->grad[static_cast<size_t>(r) * bc + c] += o->grad[out_base + ac + c];
+      });
+    }
+    if (bn->requires_grad) {
+      bn->EnsureGrad();
+      float* gb = bn->grad.data();
+      util::ParallelFor(0, o->rows, RowGrain(bc), [g, gb, ac, bc](int64_t rb, int64_t re) {
+        for (int64_t r = rb; r < re; ++r) {
+          const size_t out_base = static_cast<size_t>(r) * (ac + bc);
+          for (int c = 0; c < bc; ++c) {
+            gb[static_cast<size_t>(r) * bc + c] += g[out_base + ac + c];
+          }
         }
-      }
+      });
     }
   });
   return Tensor::FromNode(out);
@@ -136,33 +223,62 @@ Tensor SegmentSoftmax(const Tensor& values, const std::vector<int>& segment_ids,
   CHECK_EQ(values.rows(), static_cast<int>(segment_ids.size()));
   const int n = values.rows();
   auto out = NewNode(n, 1);
-  const auto& v = values.values();
-  // Per-segment max for numerical stability, then normalize.
+  const float* v = values.values().data();
+  float* ov = out->values.data();
+  const int* seg = segment_ids.data();
+  // Per-segment max for numerical stability, then normalize. Partitioned
+  // over segments (each chunk owns a segment range and scans all entries),
+  // so both the reductions and the normalized outputs have one writer each.
   std::vector<float> seg_max(num_segments, -std::numeric_limits<float>::infinity());
-  for (int i = 0; i < n; ++i) {
-    const int s = segment_ids[i];
-    DCHECK(s >= 0 && s < num_segments);
-    seg_max[s] = std::max(seg_max[s], v[i]);
-  }
   std::vector<double> seg_sum(num_segments, 0.0);
-  for (int i = 0; i < n; ++i) {
-    out->values[i] = std::exp(v[i] - seg_max[segment_ids[i]]);
-    seg_sum[segment_ids[i]] += out->values[i];
-  }
-  for (int i = 0; i < n; ++i) {
-    out->values[i] /= static_cast<float>(seg_sum[segment_ids[i]]);
-  }
+  float* max_data = seg_max.data();
+  double* sum_data = seg_sum.data();
+  const int64_t seg_grain = ScatterGrain(num_segments, n, 2);
+  util::ParallelFor(0, num_segments, seg_grain,
+                    [v, ov, seg, max_data, sum_data, n, num_segments](int64_t sb, int64_t se) {
+                      (void)num_segments;
+                      for (int64_t i = 0; i < n; ++i) {
+                        const int s = seg[i];
+                        DCHECK(s >= 0 && s < num_segments);
+                        if (s < sb || s >= se) continue;
+                        max_data[s] = std::max(max_data[s], v[i]);
+                      }
+                      for (int64_t i = 0; i < n; ++i) {
+                        const int s = seg[i];
+                        if (s < sb || s >= se) continue;
+                        ov[i] = std::exp(v[i] - max_data[s]);
+                        sum_data[s] += ov[i];
+                      }
+                      for (int64_t i = 0; i < n; ++i) {
+                        const int s = seg[i];
+                        if (s < sb || s >= se) continue;
+                        ov[i] /= static_cast<float>(sum_data[s]);
+                      }
+                    });
   AttachBackward(out, {values}, [segment_ids, num_segments, n](TensorNode* o) {
     TensorNode* vn = o->parents[0].get();
     if (!vn->requires_grad) return;
     vn->EnsureGrad();
+    const float* g = o->grad.data();
+    const float* ov = o->values.data();
+    float* gv = vn->grad.data();
+    const int* seg = segment_ids.data();
     // d v_i = y_i * (g_i - sum_{j in seg(i)} g_j y_j).
     std::vector<double> seg_dot(num_segments, 0.0);
-    for (int i = 0; i < n; ++i) seg_dot[segment_ids[i]] += o->grad[i] * o->values[i];
-    for (int i = 0; i < n; ++i) {
-      vn->grad[i] +=
-          o->values[i] * (o->grad[i] - static_cast<float>(seg_dot[segment_ids[i]]));
-    }
+    double* dot_data = seg_dot.data();
+    util::ParallelFor(0, num_segments, ScatterGrain(num_segments, n, 2),
+                      [g, ov, gv, seg, dot_data, n](int64_t sb, int64_t se) {
+                        for (int64_t i = 0; i < n; ++i) {
+                          const int s = seg[i];
+                          if (s < sb || s >= se) continue;
+                          dot_data[s] += g[i] * ov[i];
+                        }
+                        for (int64_t i = 0; i < n; ++i) {
+                          const int s = seg[i];
+                          if (s < sb || s >= se) continue;
+                          gv[i] += ov[i] * (g[i] - static_cast<float>(dot_data[s]));
+                        }
+                      });
   });
   return Tensor::FromNode(out);
 }
@@ -176,25 +292,41 @@ Tensor SegmentMeanRows(const Tensor& a, const std::vector<int>& segment_ids, int
     DCHECK(s >= 0 && s < num_segments);
     ++counts[s];
   }
-  const auto& av = a.values();
-  for (int r = 0; r < a.rows(); ++r) {
-    const int s = segment_ids[r];
-    const float inv = 1.0f / static_cast<float>(counts[s]);
-    const size_t src = static_cast<size_t>(r) * cols;
-    const size_t dst = static_cast<size_t>(s) * cols;
-    for (int c = 0; c < cols; ++c) out->values[dst + c] += av[src + c] * inv;
-  }
+  const float* av = a.values().data();
+  float* ov = out->values.data();
+  const int* seg = segment_ids.data();
+  const int* cnt = counts.data();
+  const int64_t rows = a.rows();
+  // Partition over destination segments (owner computes).
+  util::ParallelFor(0, num_segments, ScatterGrain(num_segments, rows, cols),
+                    [av, ov, seg, cnt, cols, rows](int64_t sb, int64_t se) {
+                      for (int64_t r = 0; r < rows; ++r) {
+                        const int s = seg[r];
+                        if (s < sb || s >= se) continue;
+                        const float inv = 1.0f / static_cast<float>(cnt[s]);
+                        const size_t src = static_cast<size_t>(r) * cols;
+                        const size_t dst = static_cast<size_t>(s) * cols;
+                        for (int c = 0; c < cols; ++c) ov[dst + c] += av[src + c] * inv;
+                      }
+                    });
   AttachBackward(out, {a}, [segment_ids, counts, cols](TensorNode* o) {
     TensorNode* an = o->parents[0].get();
     if (!an->requires_grad) return;
     an->EnsureGrad();
-    for (int r = 0; r < an->rows; ++r) {
-      const int s = segment_ids[r];
-      const float inv = 1.0f / static_cast<float>(counts[s]);
-      const size_t src = static_cast<size_t>(s) * cols;
-      const size_t dst = static_cast<size_t>(r) * cols;
-      for (int c = 0; c < cols; ++c) an->grad[dst + c] += o->grad[src + c] * inv;
-    }
+    const float* g = o->grad.data();
+    float* ga = an->grad.data();
+    const int* seg = segment_ids.data();
+    const int* cnt = counts.data();
+    // Gather shape: each source row reads one segment row -> partition over r.
+    util::ParallelFor(0, an->rows, RowGrain(cols), [g, ga, seg, cnt, cols](int64_t rb, int64_t re) {
+      for (int64_t r = rb; r < re; ++r) {
+        const int s = seg[r];
+        const float inv = 1.0f / static_cast<float>(cnt[s]);
+        const size_t src = static_cast<size_t>(s) * cols;
+        const size_t dst = static_cast<size_t>(r) * cols;
+        for (int c = 0; c < cols; ++c) ga[dst + c] += g[src + c] * inv;
+      }
+    });
   });
   return Tensor::FromNode(out);
 }
@@ -205,27 +337,48 @@ Tensor SegmentMaxRows(const Tensor& a, const std::vector<int>& segment_ids, int 
   auto out = NewNode(num_segments, cols);
   // argmax[(s, c)] = row index feeding the max (-1 for empty segments).
   std::vector<int> argmax(static_cast<size_t>(num_segments) * cols, -1);
-  const auto& av = a.values();
-  for (int r = 0; r < a.rows(); ++r) {
-    const int s = segment_ids[r];
-    DCHECK(s >= 0 && s < num_segments);
-    for (int c = 0; c < cols; ++c) {
-      const size_t flat = static_cast<size_t>(s) * cols + c;
-      const float value = av[static_cast<size_t>(r) * cols + c];
-      if (argmax[flat] < 0 || value > out->values[flat]) {
-        out->values[flat] = value;
-        argmax[flat] = r;
-      }
-    }
-  }
+  const float* av = a.values().data();
+  float* ov = out->values.data();
+  const int* seg = segment_ids.data();
+  int* arg = argmax.data();
+  const int64_t rows = a.rows();
+  // Partition over destination segments (owner computes).
+  util::ParallelFor(0, num_segments, ScatterGrain(num_segments, rows, cols),
+                    [av, ov, seg, arg, cols, rows, num_segments](int64_t sb, int64_t se) {
+                      (void)num_segments;
+                      for (int64_t r = 0; r < rows; ++r) {
+                        const int s = seg[r];
+                        DCHECK(s >= 0 && s < num_segments);
+                        if (s < sb || s >= se) continue;
+                        for (int c = 0; c < cols; ++c) {
+                          const size_t flat = static_cast<size_t>(s) * cols + c;
+                          const float value = av[static_cast<size_t>(r) * cols + c];
+                          if (arg[flat] < 0 || value > ov[flat]) {
+                            ov[flat] = value;
+                            arg[flat] = static_cast<int>(r);
+                          }
+                        }
+                      }
+                    });
   AttachBackward(out, {a}, [argmax, cols](TensorNode* o) {
     TensorNode* an = o->parents[0].get();
     if (!an->requires_grad) return;
     an->EnsureGrad();
-    for (size_t flat = 0; flat < argmax.size(); ++flat) {
-      if (argmax[flat] < 0) continue;
-      an->grad[static_cast<size_t>(argmax[flat]) * cols + flat % cols] += o->grad[flat];
-    }
+    const float* g = o->grad.data();
+    float* ga = an->grad.data();
+    const int* arg = argmax.data();
+    const int64_t flats = static_cast<int64_t>(argmax.size());
+    // Two (segment, c) slots can share an argmax row but never a column, so
+    // partitioning over columns gives every grad element a single writer.
+    util::ParallelFor(0, cols, ScatterGrain(cols, flats, 1),
+                      [g, ga, arg, cols, flats](int64_t cb, int64_t ce) {
+                        for (int64_t flat = 0; flat < flats; ++flat) {
+                          const int64_t c = flat % cols;
+                          if (c < cb || c >= ce) continue;
+                          if (arg[flat] < 0) continue;
+                          ga[static_cast<size_t>(arg[flat]) * cols + c] += g[flat];
+                        }
+                      });
   });
   return Tensor::FromNode(out);
 }

@@ -69,6 +69,13 @@ Tensor Tensor::WithRequiresGrad() {
   return *this;
 }
 
+void Tensor::DisableGrad() {
+  CHECK(node_ != nullptr);
+  CHECK(!node_->backward_fn) << "DisableGrad is only valid on leaf tensors";
+  node_->requires_grad = false;
+  node_->grad.clear();
+}
+
 float Tensor::At(int r, int c) const {
   CHECK(node_ != nullptr);
   DCHECK(r >= 0 && r < node_->rows && c >= 0 && c < node_->cols)

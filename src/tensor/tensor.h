@@ -78,6 +78,11 @@ class Tensor {
   // Marks this (leaf) tensor as a trainable parameter and returns it.
   Tensor WithRequiresGrad();
 
+  // Clears requires_grad on this leaf tensor and drops any accumulated
+  // gradient. Frozen parameters are skipped by Backward(), which keeps
+  // concurrent backward passes through a shared model race-free.
+  void DisableGrad();
+
   // --- Shape and element access --------------------------------------------
 
   bool defined() const { return node_ != nullptr; }

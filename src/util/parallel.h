@@ -1,0 +1,53 @@
+#ifndef REVELIO_UTIL_PARALLEL_H_
+#define REVELIO_UTIL_PARALLEL_H_
+
+// Shared thread pool and ParallelFor for the tensor kernels and the
+// per-instance evaluation loops.
+//
+// Thread count resolution (first match wins):
+//   1. SetNumThreads(n)            — CLI flags (`--threads` in the benches)
+//   2. REVELIO_NUM_THREADS env var — deployment knob
+//   3. std::thread::hardware_concurrency()
+//
+// Determinism contract: every parallel kernel in this repo partitions its
+// OUTPUT range so each element is written by exactly one chunk, and the
+// accumulation order within an element matches the serial loop. Results are
+// therefore bitwise-identical for any thread count, including the n == 1
+// serial fallback (see DESIGN.md "Parallel execution").
+//
+// ParallelFor calls issued from inside a running ParallelFor chunk (nested
+// parallelism, e.g. a parallel tensor kernel inside a parallel per-instance
+// explanation) execute serially on the calling thread, so the pool never
+// deadlocks on itself and thread budgets are not multiplied.
+
+#include <cstdint>
+#include <functional>
+
+namespace revelio::util {
+
+// Worker threads available to ParallelFor (>= 1). Lazily resolved on first
+// use; cheap to call afterwards.
+int NumThreads();
+
+// Overrides the thread count (n >= 1; clamped to kMaxThreads). Safe to call
+// between parallel regions, e.g. for the bench thread sweeps.
+void SetNumThreads(int n);
+
+// What hardware_concurrency reports (>= 1).
+int HardwareThreads();
+
+// True while the calling thread executes a ParallelFor chunk; nested
+// ParallelFor calls run serially when set.
+bool InParallelRegion();
+
+// Runs fn(chunk_begin, chunk_end) over contiguous chunks covering
+// [begin, end). Chunks hold at least `grain` items (grain < 1 is treated as
+// 1), so a range of at most `grain` items — or NumThreads() == 1, or a
+// nested call — degenerates to a single fn(begin, end) call on the calling
+// thread. fn must not throw; chunks may run on any thread, concurrently.
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn);
+
+}  // namespace revelio::util
+
+#endif  // REVELIO_UTIL_PARALLEL_H_

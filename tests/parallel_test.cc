@@ -1,0 +1,233 @@
+// Tests for util::ParallelFor and the determinism contract of the parallel
+// tensor kernels: every index covered exactly once under adversarial grain
+// sizes, and bitwise-identical results for 1 vs N worker threads.
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gnn/model.h"
+#include "gnn/trainer.h"
+#include "graph/graph.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace revelio {
+namespace {
+
+// Every test leaves the process-wide thread count back at 1 so test order
+// does not matter.
+class ParallelTest : public ::testing::Test {
+ protected:
+  void TearDown() override { util::SetNumThreads(1); }
+};
+
+TEST_F(ParallelTest, CoversEveryIndexExactlyOnce) {
+  util::SetNumThreads(4);
+  const int64_t kRanges[] = {0, 1, 2, 3, 7, 64, 1000, 1001};
+  const int64_t kGrains[] = {-3, 0, 1, 3, 7, 63, 64, 65, 1005};
+  for (int64_t n : kRanges) {
+    for (int64_t grain : kGrains) {
+      std::vector<std::atomic<int>> hits(n);
+      for (auto& h : hits) h.store(0);
+      util::ParallelFor(0, n, grain, [&hits, n](int64_t begin, int64_t end) {
+        ASSERT_GE(begin, 0);
+        ASSERT_LE(end, n);
+        ASSERT_LE(begin, end);
+        for (int64_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+      });
+      for (int64_t i = 0; i < n; ++i) {
+        ASSERT_EQ(hits[i].load(), 1) << "index " << i << " range " << n << " grain " << grain;
+      }
+    }
+  }
+}
+
+TEST_F(ParallelTest, NonZeroBeginCoversExactRange) {
+  util::SetNumThreads(3);
+  std::vector<std::atomic<int>> hits(100);
+  for (auto& h : hits) h.store(0);
+  util::ParallelFor(17, 83, 5, [&hits](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (int64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(hits[i].load(), (i >= 17 && i < 83) ? 1 : 0) << i;
+  }
+}
+
+TEST_F(ParallelTest, EmptyAndReversedRangesAreNoOps) {
+  util::SetNumThreads(4);
+  int calls = 0;
+  util::ParallelFor(5, 5, 1, [&calls](int64_t, int64_t) { ++calls; });
+  util::ParallelFor(9, 2, 1, [&calls](int64_t, int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST_F(ParallelTest, NestedCallsRunSerially) {
+  util::SetNumThreads(4);
+  std::atomic<int> inner_total{0};
+  util::ParallelFor(0, 8, 1, [&inner_total](int64_t begin, int64_t end) {
+    EXPECT_TRUE(util::InParallelRegion());
+    for (int64_t i = begin; i < end; ++i) {
+      // Must not deadlock and must still cover its range (serially).
+      util::ParallelFor(0, 10, 1,
+                        [&inner_total](int64_t b, int64_t e) {
+                          inner_total.fetch_add(static_cast<int>(e - b));
+                        });
+    }
+  });
+  EXPECT_EQ(inner_total.load(), 80);
+  EXPECT_FALSE(util::InParallelRegion());
+}
+
+TEST_F(ParallelTest, ConcurrentParallelForFromManyThreads) {
+  util::SetNumThreads(4);
+  constexpr int kCallers = 6;
+  std::vector<int64_t> sums(kCallers, 0);
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int t = 0; t < kCallers; ++t) {
+    callers.emplace_back([t, &sums] {
+      std::vector<std::atomic<int64_t>> partial(1);
+      partial[0].store(0);
+      util::ParallelFor(0, 5000, 64, [&partial](int64_t begin, int64_t end) {
+        int64_t local = 0;
+        for (int64_t i = begin; i < end; ++i) local += i;
+        partial[0].fetch_add(local);
+      });
+      sums[t] = partial[0].load();
+    });
+  }
+  for (auto& caller : callers) caller.join();
+  for (int t = 0; t < kCallers; ++t) EXPECT_EQ(sums[t], 5000LL * 4999 / 2);
+}
+
+TEST_F(ParallelTest, SetNumThreadsIsRespected) {
+  util::SetNumThreads(2);
+  EXPECT_EQ(util::NumThreads(), 2);
+  util::SetNumThreads(7);
+  EXPECT_EQ(util::NumThreads(), 7);
+}
+
+// --- Bitwise 1-vs-N determinism of the tensor kernels -----------------------
+
+// Runs `compute` under `threads` workers and returns the flat values of its
+// result tensors.
+template <typename Fn>
+std::vector<float> RunWithThreads(int threads, Fn compute) {
+  util::SetNumThreads(threads);
+  return compute();
+}
+
+TEST_F(ParallelTest, MatMulForwardBackwardBitwiseIdentical) {
+  // Non-divisible sizes, above the parallel grain thresholds.
+  auto compute = [] {
+    util::Rng rng(5);
+    tensor::Tensor a = tensor::Tensor::Randn(64, 129, &rng).WithRequiresGrad();
+    tensor::Tensor b = tensor::Tensor::Randn(129, 97, &rng).WithRequiresGrad();
+    tensor::Tensor c = tensor::MatMul(a, b);
+    tensor::Sum(c).Backward();
+    std::vector<float> flat = c.values();
+    const std::vector<float> ga = a.GradData();
+    const std::vector<float> gb = b.GradData();
+    flat.insert(flat.end(), ga.begin(), ga.end());
+    flat.insert(flat.end(), gb.begin(), gb.end());
+    return flat;
+  };
+  const std::vector<float> serial = RunWithThreads(1, compute);
+  for (int threads : {2, 4, 5}) {
+    EXPECT_EQ(RunWithThreads(threads, compute), serial) << threads << " threads";
+  }
+}
+
+TEST_F(ParallelTest, GatherScatterGradientsBitwiseIdentical) {
+  auto compute = [] {
+    util::Rng rng(6);
+    const int nodes = 700;
+    const int edges = 4000;
+    tensor::Tensor h = tensor::Tensor::Randn(nodes, 24, &rng).WithRequiresGrad();
+    std::vector<int> src(edges), dst(edges);
+    for (int e = 0; e < edges; ++e) {
+      src[e] = rng.UniformInt(nodes);
+      dst[e] = rng.UniformInt(nodes);
+    }
+    tensor::Tensor messages = tensor::GatherRows(h, src);
+    tensor::Tensor aggregated = tensor::ScatterAddRows(messages, dst, nodes);
+    tensor::Sum(tensor::Mul(aggregated, aggregated)).Backward();
+    std::vector<float> flat = aggregated.values();
+    const std::vector<float> gh = h.GradData();
+    flat.insert(flat.end(), gh.begin(), gh.end());
+    return flat;
+  };
+  const std::vector<float> serial = RunWithThreads(1, compute);
+  for (int threads : {2, 4}) {
+    EXPECT_EQ(RunWithThreads(threads, compute), serial) << threads << " threads";
+  }
+}
+
+TEST_F(ParallelTest, SegmentSoftmaxBitwiseIdentical) {
+  auto compute = [] {
+    util::Rng rng(7);
+    const int entries = 5000;
+    const int segments = 40;
+    tensor::Tensor values = tensor::Tensor::Randn(entries, 1, &rng).WithRequiresGrad();
+    std::vector<int> seg(entries);
+    for (int i = 0; i < entries; ++i) seg[i] = rng.UniformInt(segments);
+    tensor::Tensor soft = tensor::SegmentSoftmax(values, seg, segments);
+    tensor::Sum(tensor::Mul(soft, soft)).Backward();
+    std::vector<float> flat = soft.values();
+    const std::vector<float> gv = values.GradData();
+    flat.insert(flat.end(), gv.begin(), gv.end());
+    return flat;
+  };
+  const std::vector<float> serial = RunWithThreads(1, compute);
+  for (int threads : {2, 4}) {
+    EXPECT_EQ(RunWithThreads(threads, compute), serial) << threads << " threads";
+  }
+}
+
+TEST_F(ParallelTest, GcnTrainingStepBitwiseIdentical) {
+  // A full training run: forward, loss, backward, SGD updates. Any ordering
+  // difference in any kernel would compound across epochs and show up here.
+  auto compute = [] {
+    util::Rng rng(8);
+    const int nodes = 400;
+    graph::Graph g(nodes);
+    for (int v = 1; v < nodes; ++v) g.AddUndirectedEdge(v, rng.UniformInt(v));
+    tensor::Tensor features = tensor::Tensor::Randn(nodes, 16, &rng);
+    std::vector<int> labels(nodes);
+    for (int v = 0; v < nodes; ++v) labels[v] = rng.UniformInt(3);
+
+    gnn::GnnConfig config;
+    config.arch = gnn::GnnArch::kGcn;
+    config.input_dim = 16;
+    config.hidden_dim = 64;
+    config.num_classes = 3;
+    config.seed = 99;
+    gnn::GnnModel model(config);
+
+    gnn::TrainConfig train_config;
+    train_config.epochs = 2;
+    util::Rng split_rng(9);
+    const gnn::Split split = gnn::MakeSplit(nodes, 0.8, 0.1, &split_rng);
+    gnn::TrainNodeModel(&model, g, features, labels, split, train_config);
+
+    std::vector<float> flat;
+    for (const auto& p : model.Parameters()) {
+      flat.insert(flat.end(), p.values().begin(), p.values().end());
+    }
+    return flat;
+  };
+  const std::vector<float> serial = RunWithThreads(1, compute);
+  for (int threads : {2, 4}) {
+    EXPECT_EQ(RunWithThreads(threads, compute), serial) << threads << " threads";
+  }
+}
+
+}  // namespace
+}  // namespace revelio

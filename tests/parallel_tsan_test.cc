@@ -1,0 +1,89 @@
+// ThreadSanitizer smoke test for the thread pool and the parallel tensor
+// kernels. Built with -fsanitize=thread regardless of the REVELIO_SANITIZE
+// setting (see tests/CMakeLists.txt) and run as part of tier-1 ctest, so a
+// data race in ParallelFor or any owner-computes kernel fails the suite. No
+// gtest: the binary exits 0 when TSan stays silent (TSan aborts with a
+// non-zero exit on the first race) and the few logic checks below hold.
+
+#include <cstdint>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace {
+
+using revelio::tensor::Tensor;
+
+bool ExpectEqual(const std::vector<float>& a, const std::vector<float>& b, const char* what) {
+  if (a == b) return true;
+  std::fprintf(stderr, "FAIL: %s differs between thread counts\n", what);
+  return false;
+}
+
+std::vector<float> TensorWorkload() {
+  revelio::util::Rng rng(3);
+  Tensor a = Tensor::Randn(96, 131, &rng).WithRequiresGrad();
+  Tensor b = Tensor::Randn(131, 64, &rng).WithRequiresGrad();
+  Tensor c = revelio::tensor::Relu(revelio::tensor::MatMul(a, b));
+
+  const int edges = 3000;
+  std::vector<int> src(edges), dst(edges);
+  for (int e = 0; e < edges; ++e) {
+    src[e] = rng.UniformInt(96);
+    dst[e] = rng.UniformInt(96);
+  }
+  Tensor gathered = revelio::tensor::GatherRows(c, src);
+  Tensor scattered = revelio::tensor::ScatterAddRows(gathered, dst, 96);
+  revelio::tensor::Sum(scattered).Backward();
+
+  std::vector<float> flat = scattered.values();
+  const std::vector<float> ga = a.GradData();
+  flat.insert(flat.end(), ga.begin(), ga.end());
+  return flat;
+}
+
+}  // namespace
+
+int main() {
+  namespace util = revelio::util;
+  bool ok = true;
+
+  // Raw ParallelFor: overlapping claims or a lost chunk would trip TSan or
+  // the coverage check.
+  util::SetNumThreads(4);
+  std::vector<int> hits(10000, 0);
+  util::ParallelFor(0, static_cast<int64_t>(hits.size()), 7,
+                    [&hits](int64_t begin, int64_t end) {
+                      for (int64_t i = begin; i < end; ++i) ++hits[i];
+                    });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    if (hits[i] != 1) {
+      std::fprintf(stderr, "FAIL: index %zu hit %d times\n", i, hits[i]);
+      ok = false;
+      break;
+    }
+  }
+
+  // Concurrent independent ParallelFor callers sharing the pool.
+  std::vector<std::thread> callers;
+  for (int t = 0; t < 4; ++t) {
+    callers.emplace_back([] { (void)TensorWorkload(); });
+  }
+  for (auto& caller : callers) caller.join();
+
+  // Parallel tensor kernels: run the same workload at 1 and 4 threads under
+  // the instrumented runtime and require identical bits.
+  util::SetNumThreads(1);
+  const std::vector<float> serial = TensorWorkload();
+  util::SetNumThreads(4);
+  const std::vector<float> parallel = TensorWorkload();
+  ok = ExpectEqual(serial, parallel, "tensor workload") && ok;
+
+  if (ok) std::printf("parallel_tsan_test: OK\n");
+  return ok ? 0 : 1;
+}
