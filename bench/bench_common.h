@@ -16,12 +16,22 @@
 //   --threads N            worker threads (default: REVELIO_NUM_THREADS env
 //                          or hardware concurrency); results are identical
 //                          for any value
+//   --gnn-epochs N         target-GNN pretraining epochs (0 = per-dataset
+//                          default)
+//   --trace-out FILE       enable telemetry; write Chrome trace JSON at exit
+//   --metrics-out FILE     enable telemetry; write metrics snapshot at exit
+//   --profile              enable telemetry; print the span profile at exit
 
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "eval/runner.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/flags.h"
 #include "util/logging.h"
 #include "util/parallel.h"
@@ -50,7 +60,70 @@ struct BenchScope {
   std::vector<std::string> methods;
   eval::RunnerConfig config;
   bool full = false;
+  bool profile = false;  // print the span profile table at exit
 };
+
+namespace internal {
+
+// Exit-time telemetry sinks, set once by InitTelemetry.
+struct TelemetrySinks {
+  std::string trace_out;
+  std::string metrics_out;
+  bool profile = false;
+};
+
+inline TelemetrySinks& Sinks() {
+  static TelemetrySinks sinks;
+  return sinks;
+}
+
+}  // namespace internal
+
+// Writes the configured telemetry outputs. Registered with atexit by
+// InitTelemetry; safe to call directly (e.g. before a mid-run abort).
+inline void FlushTelemetry() {
+  const internal::TelemetrySinks& sinks = internal::Sinks();
+  if (!sinks.trace_out.empty()) {
+    if (obs::TraceRecorder::Global().WriteChromeTrace(sinks.trace_out)) {
+      LOG_INFO << "wrote trace to " << sinks.trace_out;
+    } else {
+      LOG_ERROR << "failed to write trace to " << sinks.trace_out;
+    }
+  }
+  if (!sinks.metrics_out.empty()) {
+    if (obs::WriteMetricsJsonFile(sinks.metrics_out)) {
+      LOG_INFO << "wrote metrics to " << sinks.metrics_out;
+    } else {
+      LOG_ERROR << "failed to write metrics to " << sinks.metrics_out;
+    }
+  }
+  if (sinks.profile) {
+    const std::string table = obs::TraceRecorder::Global().ProfileTable();
+    if (!table.empty()) std::fprintf(stderr, "\n== span profile ==\n%s", table.c_str());
+  }
+}
+
+// Enables the obs subsystem when any telemetry flag is set and registers the
+// exit-time flush. Called by ParseScope.
+inline void InitTelemetry(const util::Flags& flags, eval::RunnerConfig* config,
+                          bool* profile) {
+  internal::TelemetrySinks& sinks = internal::Sinks();
+  sinks.trace_out = flags.GetString("trace-out", "");
+  sinks.metrics_out = flags.GetString("metrics-out", "");
+  sinks.profile = flags.GetBool("profile", false);
+  if (config != nullptr) {
+    config->trace_out = sinks.trace_out;
+    config->metrics_out = sinks.metrics_out;
+  }
+  if (profile != nullptr) *profile = sinks.profile;
+  if (sinks.trace_out.empty() && sinks.metrics_out.empty() && !sinks.profile) return;
+  obs::SetEnabled(true);
+  static bool registered = false;
+  if (!registered) {
+    registered = true;
+    std::atexit(+[] { FlushTelemetry(); });
+  }
+}
 
 inline gnn::GnnArch ArchFromName(const std::string& name) {
   if (name == "GCN" || name == "gcn") return gnn::GnnArch::kGcn;
@@ -86,11 +159,46 @@ inline BenchScope ParseScope(const util::Flags& flags,
   scope.config.num_instances =
       flags.GetInt("instances", scope.full ? 50 : default_instances);
   scope.config.explainer_epochs = flags.GetInt("epochs", scope.full ? 500 : default_epochs);
+  scope.config.gnn_train_epochs = flags.GetInt("gnn-epochs", 0);
   // Micro-subgraphs (a handful of edges) make fidelity pure noise; skip them
   // unless explicitly requested.
   scope.config.min_instance_edges = flags.GetInt("min-edges", 12);
   if (flags.Has("threads")) util::SetNumThreads(flags.GetInt("threads", 1));
+  InitTelemetry(flags, &scope.config, &scope.profile);
   return scope;
+}
+
+// Shared BENCH_*.json writer: every bench result file carries the same
+// envelope (schema version, bench name, thread count, and the run's metric
+// snapshot) around a bench-specific payload written by `payload`.
+template <typename PayloadFn>
+inline bool WriteBenchJson(const std::string& path, const std::string& bench_name,
+                           const PayloadFn& payload) {
+  obs::JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("schema_version");
+  writer.Int(1);
+  writer.Key("bench");
+  writer.String(bench_name);
+  writer.Key("threads");
+  writer.Int(util::NumThreads());
+  writer.Key("hardware_threads");
+  writer.Int(util::HardwareThreads());
+  writer.Key("data");
+  payload(&writer);
+  writer.Key("metrics");
+  obs::AppendMetricsSnapshot(&writer);
+  writer.EndObject();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    LOG_ERROR << "cannot write " << path;
+    return false;
+  }
+  const std::string& doc = writer.str();
+  const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+  std::fclose(f);
+  LOG_INFO << "wrote " << path;
+  return ok;
 }
 
 inline void PrintScope(const char* what, const BenchScope& scope) {

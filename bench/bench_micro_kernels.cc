@@ -9,14 +9,18 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
+#include <limits>
 #include <string>
 #include <vector>
 
+#include "bench_common.h"
 #include "core/revelio.h"
 #include "eval/runner.h"
 #include "flow/message_flow.h"
 #include "gnn/model.h"
+#include "obs/metrics.h"
 #include "tensor/ops.h"
 #include "util/parallel.h"
 #include "util/rng.h"
@@ -257,31 +261,96 @@ SweepResult SweepRevelioExplain() {
   });
 }
 
-void WriteSweepJson(const std::vector<SweepResult>& results, const char* path) {
-  std::FILE* f = std::fopen(path, "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot write %s\n", path);
-    return;
-  }
-  std::fprintf(f, "{\n  \"hardware_threads\": %d,\n  \"kernels\": [\n",
-               util::HardwareThreads());
-  for (size_t k = 0; k < results.size(); ++k) {
-    const SweepResult& r = results[k];
-    const double base = r.points.empty() ? 0.0 : r.points[0].seconds;
-    std::fprintf(f, "    {\"kernel\": \"%s\", \"points\": [\n", r.kernel.c_str());
-    for (size_t i = 0; i < r.points.size(); ++i) {
-      const SweepPoint& p = r.points[i];
-      const double speedup = p.seconds > 0.0 ? base / p.seconds : 0.0;
-      std::fprintf(f,
-                   "      {\"threads\": %d, \"seconds\": %.6f, \"speedup_vs_1\": %.3f, "
-                   "\"bitwise_equal_vs_1thread\": %s}%s\n",
-                   p.threads, p.seconds, speedup, p.bitwise_equal ? "true" : "false",
-                   i + 1 < r.points.size() ? "," : "");
+// Instrumentation overhead on the matmul hot path: the same 256^3 matmul
+// timed with telemetry disabled and enabled. The disabled path must stay
+// within the DESIGN.md §7 budget (<= 2% slowdown vs the uninstrumented
+// kernel; disabled-mode cost is one relaxed load + branch per metric site).
+struct OverheadResult {
+  double disabled_seconds = 0.0;
+  double enabled_seconds = 0.0;
+  double overhead_pct = 0.0;  // enabled vs disabled
+};
+
+OverheadResult MeasureTelemetryOverhead() {
+  const bool was_enabled = obs::Enabled();
+  util::Rng rng(14);
+  const int n = 256;
+  const int reps = 6;
+  tensor::Tensor a = tensor::Tensor::Randn(n, n, &rng);
+  tensor::Tensor b = tensor::Tensor::Randn(n, n, &rng);
+  auto time_reps = [&] {
+    util::Timer timer;
+    for (int r = 0; r < reps; ++r) {
+      tensor::Tensor c = tensor::MatMul(a, b);
+      benchmark::DoNotOptimize(c);
     }
-    std::fprintf(f, "    ]}%s\n", k + 1 < results.size() ? "," : "");
+    return timer.ElapsedSeconds();
+  };
+  // Interleave the two modes and keep the best trial of each: min-of-trials
+  // cancels the scheduler/frequency noise that dominates a single timed run
+  // on a loaded (or single-core) host.
+  constexpr int kTrials = 5;
+  OverheadResult result;
+  result.disabled_seconds = std::numeric_limits<double>::infinity();
+  result.enabled_seconds = std::numeric_limits<double>::infinity();
+  obs::SetEnabled(false);
+  (void)time_reps();  // warm up caches and the thread pool
+  for (int trial = 0; trial < kTrials; ++trial) {
+    obs::SetEnabled(false);
+    result.disabled_seconds = std::min(result.disabled_seconds, time_reps());
+    obs::SetEnabled(true);
+    result.enabled_seconds = std::min(result.enabled_seconds, time_reps());
   }
-  std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
+  obs::SetEnabled(was_enabled);
+  if (result.disabled_seconds > 0.0) {
+    result.overhead_pct =
+        100.0 * (result.enabled_seconds / result.disabled_seconds - 1.0);
+  }
+  return result;
+}
+
+void WriteSweepJson(const std::vector<SweepResult>& results, const OverheadResult& overhead,
+                    const char* path) {
+  bench::WriteBenchJson(path, "micro_kernels", [&](obs::JsonWriter* w) {
+    w->BeginObject();
+    w->Key("kernels");
+    w->BeginArray();
+    for (const SweepResult& r : results) {
+      const double base = r.points.empty() ? 0.0 : r.points[0].seconds;
+      w->BeginObject();
+      w->Key("kernel");
+      w->String(r.kernel);
+      w->Key("points");
+      w->BeginArray();
+      for (const SweepPoint& p : r.points) {
+        w->BeginObject();
+        w->Key("threads");
+        w->Int(p.threads);
+        w->Key("seconds");
+        w->Double(p.seconds);
+        w->Key("speedup_vs_1");
+        w->Double(p.seconds > 0.0 ? base / p.seconds : 0.0);
+        w->Key("bitwise_equal_vs_1thread");
+        w->Bool(p.bitwise_equal);
+        w->EndObject();
+      }
+      w->EndArray();
+      w->EndObject();
+    }
+    w->EndArray();
+    w->Key("telemetry_overhead");
+    w->BeginObject();
+    w->Key("kernel");
+    w->String("matmul_256_x6");
+    w->Key("disabled_seconds");
+    w->Double(overhead.disabled_seconds);
+    w->Key("enabled_seconds");
+    w->Double(overhead.enabled_seconds);
+    w->Key("overhead_pct");
+    w->Double(overhead.overhead_pct);
+    w->EndObject();
+    w->EndObject();
+  });
 }
 
 void RunThreadSweep() {
@@ -299,7 +368,10 @@ void RunThreadSweep() {
                   p.bitwise_equal ? "yes" : "NO");
     }
   }
-  WriteSweepJson(results, "BENCH_parallel.json");
+  const OverheadResult overhead = MeasureTelemetryOverhead();
+  std::printf("telemetry overhead (matmul 256^3 x6): disabled %.4fs, enabled %.4fs (%+.2f%%)\n",
+              overhead.disabled_seconds, overhead.enabled_seconds, overhead.overhead_pct);
+  WriteSweepJson(results, overhead, "BENCH_parallel.json");
   std::printf("hardware threads: %d (speedups are bounded by physical cores)\n\n",
               util::HardwareThreads());
 }
@@ -308,6 +380,10 @@ void RunThreadSweep() {
 
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
+  // benchmark::Initialize strips its own flags; what remains is ours.
+  util::Flags flags(argc, argv);
+  bench::InitTelemetry(flags, nullptr, nullptr);
+  if (flags.Has("threads")) util::SetNumThreads(flags.GetInt("threads", 1));
   RunThreadSweep();
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

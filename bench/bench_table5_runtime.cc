@@ -9,7 +9,7 @@
 #include "bench_common.h"
 #include "eval/runner.h"
 #include "explain/pgexplainer.h"
-#include "util/timer.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -55,22 +55,27 @@ int main(int argc, char** argv) {
       // Amortized methods: report "training (inference)" like the paper.
       double train_seconds = 0.0;
       if (eval::NeedsAmortizedTraining(*explainer)) {
-        util::Timer train_timer;
+        obs::ScopedSpan train_span("table5.train_amortized");
         eval::TrainAmortized(explainer.get(), prepared[d], instances[d],
                              explain::Objective::kFactual, scope.config);
-        train_seconds = train_timer.ElapsedSeconds();
+        train_seconds = train_span.ElapsedSeconds();
       }
       std::vector<explain::ExplanationTask> tasks;
       tasks.reserve(instances[d].size());
       for (const auto& instance : instances[d]) {
         tasks.push_back(instance.MakeTask(prepared[d].model.get()));
       }
-      util::Timer timer;
-      // Instances run concurrently under --threads > 1; the reported number
-      // is wall-clock per instance, i.e. throughput including the speedup.
-      (void)eval::ExplainAll(explainer.get(), tasks, explain::Objective::kFactual);
+      double explain_seconds = 0.0;
+      {
+        // The span doubles as the wall clock; it also lands in --trace-out.
+        obs::ScopedSpan explain_span("table5.explain_all");
+        // Instances run concurrently under --threads > 1; the reported number
+        // is wall-clock per instance, i.e. throughput including the speedup.
+        (void)eval::ExplainAll(explainer.get(), tasks, explain::Objective::kFactual);
+        explain_seconds = explain_span.ElapsedSeconds();
+      }
       const int count = static_cast<int>(tasks.size());
-      const double per_instance = count > 0 ? timer.ElapsedSeconds() / count : 0.0;
+      const double per_instance = count > 0 ? explain_seconds / count : 0.0;
       if (eval::NeedsAmortizedTraining(*explainer)) {
         row.push_back(util::TablePrinter::FormatDouble(train_seconds, 2) + " (" +
                       util::TablePrinter::FormatDouble(per_instance, 3) + ")");

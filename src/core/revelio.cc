@@ -4,6 +4,7 @@
 
 #include "nn/loss.h"
 #include "nn/optimizer.h"
+#include "obs/trace.h"
 #include "tensor/ops.h"
 #include "util/check.h"
 
@@ -111,11 +112,14 @@ RevelioExplainer::FlowExplanation RevelioExplainer::ExplainFlows(const Explanati
   const gnn::LayerEdgeSet edges = gnn::BuildLayerEdges(*task.graph);
 
   FlowExplanation result;
-  if (task.is_node_task()) {
-    result.flows =
-        flow::EnumerateFlowsToTarget(edges, task.target_node, num_layers, options_.max_flows);
-  } else {
-    result.flows = flow::EnumerateAllFlows(edges, num_layers, options_.max_flows);
+  {
+    obs::ScopedSpan span("revelio.enumerate_flows");
+    if (task.is_node_task()) {
+      result.flows =
+          flow::EnumerateFlowsToTarget(edges, task.target_node, num_layers, options_.max_flows);
+    } else {
+      result.flows = flow::EnumerateAllFlows(edges, num_layers, options_.max_flows);
+    }
   }
   CHECK_GT(result.flows.num_flows(), 0);
 
@@ -123,6 +127,7 @@ RevelioExplainer::FlowExplanation RevelioExplainer::ExplainFlows(const Explanati
   std::vector<int> kept_flows;  // indices into the FULL flow set (empty = all)
   if (options_.prefilter_top_k > 0 &&
       options_.prefilter_top_k < result.flows.num_flows()) {
+    obs::ScopedSpan span("revelio.prefilter");
     const std::vector<double> saliency = InitialFlowSaliency(
         task, edges, result.flows, objective, options_.layer_scaling);
     kept_flows = flow::TopKFlows(saliency, options_.prefilter_top_k);
@@ -140,28 +145,32 @@ RevelioExplainer::FlowExplanation RevelioExplainer::ExplainFlows(const Explanati
   nn::Adam optimizer({flow_mask_params, layer_weights}, options_.learning_rate);
   const int logit_row = task.logit_row();
 
-  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
-    optimizer.ZeroGrad();
-    Tensor omega_flows = options_.use_tanh_flow_masks ? tensor::Tanh(flow_mask_params)
-                                                      : tensor::Sigmoid(flow_mask_params);
-    std::vector<Tensor> masks =
-        BuildLayerEdgeMasks(flows, omega_flows, layer_weights, options_.layer_scaling);
-    Tensor logits = model.Run(*task.graph, edges, task.features, masks).logits;
+  {
+    obs::ScopedSpan optimize_span("revelio.optimize");
+    for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+      optimizer.ZeroGrad();
+      Tensor omega_flows = options_.use_tanh_flow_masks ? tensor::Tanh(flow_mask_params)
+                                                        : tensor::Sigmoid(flow_mask_params);
+      std::vector<Tensor> masks =
+          BuildLayerEdgeMasks(flows, omega_flows, layer_weights, options_.layer_scaling);
+      Tensor logits = model.Run(*task.graph, edges, task.features, masks).logits;
 
-    Tensor objective_loss =
-        objective == Objective::kFactual
-            ? nn::FactualObjective(logits, logit_row, task.target_class)
-            : nn::CounterfactualObjective(logits, logit_row, task.target_class);
-    Tensor regularizer = UsedEdgeMean(flows, masks);
-    if (objective == Objective::kCounterfactual) {
-      // Eq. 9 penalizes mean(1 - omega[E]).
-      regularizer = tensor::AddScalar(tensor::Neg(regularizer), 1.0f);
+      Tensor objective_loss =
+          objective == Objective::kFactual
+              ? nn::FactualObjective(logits, logit_row, task.target_class)
+              : nn::CounterfactualObjective(logits, logit_row, task.target_class);
+      Tensor regularizer = UsedEdgeMean(flows, masks);
+      if (objective == Objective::kCounterfactual) {
+        // Eq. 9 penalizes mean(1 - omega[E]).
+        regularizer = tensor::AddScalar(tensor::Neg(regularizer), 1.0f);
+      }
+      Tensor loss = tensor::Add(objective_loss, tensor::MulScalar(regularizer, options_.alpha));
+      loss.Backward();
+      optimizer.Step();
     }
-    Tensor loss = tensor::Add(objective_loss, tensor::MulScalar(regularizer, options_.alpha));
-    loss.Backward();
-    optimizer.Step();
   }
 
+  obs::ScopedSpan extract_span("revelio.extract");
   // Final scores (detached).
   Tensor omega_flows = options_.use_tanh_flow_masks ? tensor::Tanh(flow_mask_params)
                                                     : tensor::Sigmoid(flow_mask_params);
@@ -190,7 +199,7 @@ RevelioExplainer::FlowExplanation RevelioExplainer::ExplainFlows(const Explanati
   return result;
 }
 
-Explanation RevelioExplainer::Explain(const ExplanationTask& task, Objective objective) {
+Explanation RevelioExplainer::ExplainImpl(const ExplanationTask& task, Objective objective) {
   FlowExplanation flow_explanation = ExplainFlows(task, objective);
   Explanation explanation;
   explanation.edge_scores = std::move(flow_explanation.edge_scores);

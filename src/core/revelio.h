@@ -54,9 +54,6 @@ class RevelioExplainer : public explain::Explainer {
   std::string name() const override { return "Revelio"; }
   bool supports_counterfactual() const override { return true; }
 
-  explain::Explanation Explain(const explain::ExplanationTask& task,
-                               explain::Objective objective) override;
-
   // Full flow-level result, used by the qualitative studies (Tables VI/VII).
   struct FlowExplanation {
     flow::FlowSet flows;
@@ -70,6 +67,10 @@ class RevelioExplainer : public explain::Explainer {
 
   const RevelioOptions& options() const { return options_; }
   void set_alpha(float alpha) { options_.alpha = alpha; }
+
+ protected:
+  explain::Explanation ExplainImpl(const explain::ExplanationTask& task,
+                                   explain::Objective objective) override;
 
  private:
   RevelioOptions options_;

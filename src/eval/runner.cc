@@ -17,6 +17,7 @@
 #include "flow/message_flow.h"
 #include "graph/subgraph.h"
 #include "nn/loss.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/parallel.h"
 
@@ -36,6 +37,7 @@ int DefaultGnnTrainEpochs(const std::string& dataset_name) {
 
 PreparedModel PrepareModel(const std::string& dataset_name, gnn::GnnArch arch,
                            const RunnerConfig& config) {
+  obs::ScopedSpan span("eval.PrepareModel");
   PreparedModel prepared;
   prepared.dataset = datasets::MakeDataset(dataset_name, config.seed);
   prepared.arch = arch;
@@ -103,6 +105,7 @@ ExplanationTask EvalInstance::MakeTask(const gnn::GnnModel* model) const {
 
 std::vector<EvalInstance> SelectInstances(const PreparedModel& prepared,
                                           const RunnerConfig& config, InstanceFilter filter) {
+  obs::ScopedSpan span("eval.SelectInstances");
   util::Rng rng(config.seed + 31);
   const gnn::GnnModel& model = *prepared.model;
   const datasets::Dataset& dataset = prepared.dataset;
@@ -244,6 +247,7 @@ void TrainAmortized(explain::Explainer* explainer, const PreparedModel& prepared
                     const std::vector<EvalInstance>& instances, Objective objective,
                     const RunnerConfig& config) {
   if (!NeedsAmortizedTraining(*explainer)) return;
+  obs::ScopedSpan span("eval.TrainAmortized");
   std::vector<ExplanationTask> tasks;
   const int count = std::min<int>(config.pg_train_instances,
                                   static_cast<int>(instances.size()));
@@ -261,6 +265,7 @@ void TrainAmortized(explain::Explainer* explainer, const PreparedModel& prepared
 std::vector<explain::Explanation> ExplainAll(explain::Explainer* explainer,
                                              const std::vector<ExplanationTask>& tasks,
                                              Objective objective) {
+  obs::ScopedSpan span("eval.ExplainAll");
   std::vector<explain::Explanation> explanations(tasks.size());
   explain::Explanation* out = explanations.data();
   const ExplanationTask* in = tasks.data();
@@ -284,6 +289,7 @@ std::vector<explain::Explanation> ExplainAll(explain::Explainer* explainer,
 FidelityCurve RunFidelity(explain::Explainer* explainer, const PreparedModel& prepared,
                           const std::vector<EvalInstance>& instances, Objective objective,
                           const std::vector<double>& sparsities) {
+  obs::ScopedSpan span("eval.RunFidelity");
   FidelityCurve curve;
   curve.sparsities = sparsities;
   curve.values.assign(sparsities.size(), 0.0);
@@ -316,6 +322,7 @@ FidelityCurve RunFidelity(explain::Explainer* explainer, const PreparedModel& pr
 
 double RunAuc(explain::Explainer* explainer, const PreparedModel& prepared,
               const std::vector<EvalInstance>& instances, Objective objective) {
+  obs::ScopedSpan span("eval.RunAuc");
   TrainAmortized(explainer, prepared, instances, objective, RunnerConfig{});
   std::vector<ExplanationTask> tasks;
   std::vector<const EvalInstance*> evaluated_instances;

@@ -24,6 +24,12 @@ struct RunnerConfig {
   int64_t max_flows = 60'000;   // skip instances whose flow count exceeds this
   int min_instance_edges = 6;   // skip degenerate subgraphs
   int pg_train_instances = 12;  // group size for amortized methods
+
+  // Telemetry sinks (empty = disabled). Setting either turns on the obs
+  // subsystem for the run; bench binaries inherit --trace-out/--metrics-out
+  // through bench_common.h.
+  std::string trace_out;    // Chrome trace-event JSON
+  std::string metrics_out;  // metrics snapshot JSON
 };
 
 // A pretrained target model plus its dataset.

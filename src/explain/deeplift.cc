@@ -4,7 +4,7 @@
 
 namespace revelio::explain {
 
-Explanation DeepLiftExplainer::Explain(const ExplanationTask& task, Objective objective) {
+Explanation DeepLiftExplainer::ExplainImpl(const ExplanationTask& task, Objective objective) {
   (void)objective;
   const gnn::GnnModel& model = *task.model;
   const gnn::LayerEdgeSet edges = gnn::BuildLayerEdges(*task.graph);

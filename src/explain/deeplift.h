@@ -17,7 +17,7 @@ class DeepLiftExplainer : public Explainer {
  public:
   std::string name() const override { return "DeepLIFT"; }
 
-  Explanation Explain(const ExplanationTask& task, Objective objective) override;
+  Explanation ExplainImpl(const ExplanationTask& task, Objective objective) override;
 };
 
 }  // namespace revelio::explain

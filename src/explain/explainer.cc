@@ -1,11 +1,22 @@
 #include "explain/explainer.h"
 
 #include "nn/loss.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace revelio::explain {
 
 const char* ObjectiveName(Objective objective) {
   return objective == Objective::kFactual ? "factual" : "counterfactual";
+}
+
+Explanation Explainer::Explain(const ExplanationTask& task, Objective objective) {
+  // Skip the name() call entirely when telemetry is off: the span then costs
+  // one relaxed load and no allocation.
+  obs::ScopedSpan span(obs::Enabled() ? "explain." + name() : std::string());
+  static obs::Counter* calls = obs::MetricsRegistry::Global().GetCounter("explain.calls");
+  calls->Increment();
+  return ExplainImpl(task, objective);
 }
 
 tensor::Tensor CloneFeatures(const ExplanationTask& task) {

@@ -73,7 +73,13 @@ class Explainer {
   // harness falls back to the serial per-instance loop.
   virtual bool thread_safe_explain() const { return true; }
 
-  virtual Explanation Explain(const ExplanationTask& task, Objective objective) = 0;
+  // Shared entry point: opens the "explain.<name()>" telemetry span and
+  // counts the call, then dispatches to ExplainImpl. Non-virtual so every
+  // method is instrumented uniformly regardless of call site.
+  Explanation Explain(const ExplanationTask& task, Objective objective);
+
+ protected:
+  virtual Explanation ExplainImpl(const ExplanationTask& task, Objective objective) = 0;
 };
 
 // Makes a differentiable clone of the task's feature matrix (leaf).

@@ -6,6 +6,7 @@
 #include "flow/flow_scores.h"
 #include "nn/loss.h"
 #include "nn/optimizer.h"
+#include "obs/trace.h"
 #include "tensor/ops.h"
 #include "util/rng.h"
 
@@ -78,17 +79,22 @@ std::vector<double> FlowXExplainer::SampleShapleyScores(const ExplanationTask& t
   return scores;
 }
 
-Explanation FlowXExplainer::Explain(const ExplanationTask& task, Objective objective) {
+Explanation FlowXExplainer::ExplainImpl(const ExplanationTask& task, Objective objective) {
   const gnn::LayerEdgeSet edges = gnn::BuildLayerEdges(*task.graph);
   const int num_layers = task.model->num_layers();
-  flow::FlowSet flows =
-      task.is_node_task()
-          ? flow::EnumerateFlowsToTarget(edges, task.target_node, num_layers,
-                                         options_.max_flows)
-          : flow::EnumerateAllFlows(edges, num_layers, options_.max_flows);
+  flow::FlowSet flows = [&] {
+    obs::ScopedSpan span("flowx.enumerate");
+    return task.is_node_task()
+               ? flow::EnumerateFlowsToTarget(edges, task.target_node, num_layers,
+                                              options_.max_flows)
+               : flow::EnumerateAllFlows(edges, num_layers, options_.max_flows);
+  }();
 
   // Stage 1: sampled Shapley initialization.
-  std::vector<double> initial = SampleShapleyScores(task, edges, flows);
+  std::vector<double> initial = [&] {
+    obs::ScopedSpan span("flowx.shapley_init");
+    return SampleShapleyScores(task, edges, flows);
+  }();
   double max_magnitude = 1e-9;
   for (double s : initial) max_magnitude = std::max(max_magnitude, std::fabs(s));
 
@@ -101,6 +107,7 @@ Explanation FlowXExplainer::Explain(const ExplanationTask& task, Objective objec
   Tensor flow_params = Tensor::FromVector(init_params).WithRequiresGrad();
   nn::Adam optimizer({flow_params}, options_.learning_rate);
 
+  obs::ScopedSpan learn_span("flowx.learn");
   for (int epoch = 0; epoch < options_.learning_epochs; ++epoch) {
     optimizer.ZeroGrad();
     Tensor omega = tensor::Tanh(flow_params);

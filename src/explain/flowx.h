@@ -30,7 +30,7 @@ class FlowXExplainer : public Explainer {
   std::string name() const override { return "FlowX"; }
   bool supports_counterfactual() const override { return true; }
 
-  Explanation Explain(const ExplanationTask& task, Objective objective) override;
+  Explanation ExplainImpl(const ExplanationTask& task, Objective objective) override;
 
   // Stage-1 scores only (used by tests and the complexity bench).
   std::vector<double> SampleShapleyScores(const ExplanationTask& task,

@@ -25,7 +25,7 @@ Tensor ExpandToLayerEdges(const Tensor& base_mask, const gnn::LayerEdgeSet& edge
 
 }  // namespace
 
-Explanation GnnExplainerMethod::Explain(const ExplanationTask& task, Objective objective) {
+Explanation GnnExplainerMethod::ExplainImpl(const ExplanationTask& task, Objective objective) {
   const gnn::GnnModel& model = *task.model;
   const gnn::LayerEdgeSet edges = gnn::BuildLayerEdges(*task.graph);
   const int num_base = edges.num_base_edges;

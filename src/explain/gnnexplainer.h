@@ -26,7 +26,7 @@ class GnnExplainerMethod : public Explainer {
   std::string name() const override { return "GNNExplainer"; }
   bool supports_counterfactual() const override { return true; }
 
-  Explanation Explain(const ExplanationTask& task, Objective objective) override;
+  Explanation ExplainImpl(const ExplanationTask& task, Objective objective) override;
 
  private:
   GnnExplainerOptions options_;

@@ -193,7 +193,7 @@ std::vector<double> GnnLrpExplainer::ScoreFlows(const ExplanationTask& task,
   return scores;
 }
 
-Explanation GnnLrpExplainer::Explain(const ExplanationTask& task, Objective objective) {
+Explanation GnnLrpExplainer::ExplainImpl(const ExplanationTask& task, Objective objective) {
   (void)objective;  // GNN-LRP's original scores serve both studies.
   const gnn::LayerEdgeSet edges = gnn::BuildLayerEdges(*task.graph);
   flow::FlowSet flows =

@@ -30,7 +30,7 @@ class GnnLrpExplainer : public Explainer {
 
   bool SupportsArch(gnn::GnnArch arch) const override { return arch != gnn::GnnArch::kGat; }
 
-  Explanation Explain(const ExplanationTask& task, Objective objective) override;
+  Explanation ExplainImpl(const ExplanationTask& task, Objective objective) override;
 
   // Flow-level scores over an externally enumerated flow set (shared with
   // the top-k flow study).

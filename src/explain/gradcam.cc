@@ -6,7 +6,7 @@
 
 namespace revelio::explain {
 
-Explanation GradCamExplainer::Explain(const ExplanationTask& task, Objective objective) {
+Explanation GradCamExplainer::ExplainImpl(const ExplanationTask& task, Objective objective) {
   (void)objective;  // Grad-CAM has a single importance notion.
   const gnn::GnnModel& model = *task.model;
   const gnn::LayerEdgeSet edges = gnn::BuildLayerEdges(*task.graph);

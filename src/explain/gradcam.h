@@ -15,7 +15,7 @@ class GradCamExplainer : public Explainer {
  public:
   std::string name() const override { return "GradCAM"; }
 
-  Explanation Explain(const ExplanationTask& task, Objective objective) override;
+  Explanation ExplainImpl(const ExplanationTask& task, Objective objective) override;
 };
 
 }  // namespace revelio::explain

@@ -99,7 +99,7 @@ bool GraphMaskExplainer::is_trained(Objective objective) const {
                                           : counterfactual_gates_ != nullptr;
 }
 
-Explanation GraphMaskExplainer::Explain(const ExplanationTask& task, Objective objective) {
+Explanation GraphMaskExplainer::ExplainImpl(const ExplanationTask& task, Objective objective) {
   const LayerGates* gates =
       objective == Objective::kFactual ? factual_gates_.get() : counterfactual_gates_.get();
   CHECK(gates != nullptr) << "GraphMaskExplainer::Train must run before Explain";

@@ -36,7 +36,7 @@ class GraphMaskExplainer : public Explainer {
   void Train(const std::vector<ExplanationTask>& tasks, Objective objective);
   bool is_trained(Objective objective) const;
 
-  Explanation Explain(const ExplanationTask& task, Objective objective) override;
+  Explanation ExplainImpl(const ExplanationTask& task, Objective objective) override;
 
  private:
   struct LayerGates;

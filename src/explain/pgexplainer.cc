@@ -102,7 +102,7 @@ double PgExplainer::last_train_seconds(Objective objective) const {
                                           : counterfactual_train_seconds_;
 }
 
-Explanation PgExplainer::Explain(const ExplanationTask& task, Objective objective) {
+Explanation PgExplainer::ExplainImpl(const ExplanationTask& task, Objective objective) {
   const GateNet* net =
       objective == Objective::kFactual ? factual_net_.get() : counterfactual_net_.get();
   CHECK(net != nullptr) << "PgExplainer::Train must run before Explain";

@@ -40,7 +40,7 @@ class PgExplainer : public Explainer {
   bool is_trained(Objective objective) const;
   double last_train_seconds(Objective objective) const;
 
-  Explanation Explain(const ExplanationTask& task, Objective objective) override;
+  Explanation ExplainImpl(const ExplanationTask& task, Objective objective) override;
 
  private:
   struct GateNet;  // MLP over edge-endpoint (and target) embeddings

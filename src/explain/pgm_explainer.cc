@@ -7,7 +7,7 @@
 
 namespace revelio::explain {
 
-Explanation PgmExplainer::Explain(const ExplanationTask& task, Objective objective) {
+Explanation PgmExplainer::ExplainImpl(const ExplanationTask& task, Objective objective) {
   (void)objective;  // PGM-Explainer's scores serve both studies (paper §V-B).
   util::Rng rng(options_.seed);
   const int num_nodes = task.graph->num_nodes();

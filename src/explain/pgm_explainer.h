@@ -25,7 +25,7 @@ class PgmExplainer : public Explainer {
 
   std::string name() const override { return "PGMExplainer"; }
 
-  Explanation Explain(const ExplanationTask& task, Objective objective) override;
+  Explanation ExplainImpl(const ExplanationTask& task, Objective objective) override;
 
  private:
   PgmExplainerOptions options_;

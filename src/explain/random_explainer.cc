@@ -2,7 +2,7 @@
 
 namespace revelio::explain {
 
-Explanation RandomExplainer::Explain(const ExplanationTask& task, Objective objective) {
+Explanation RandomExplainer::ExplainImpl(const ExplanationTask& task, Objective objective) {
   (void)objective;
   Explanation explanation;
   explanation.edge_scores.resize(task.graph->num_edges());

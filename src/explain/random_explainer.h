@@ -17,7 +17,7 @@ class RandomExplainer : public Explainer {
   // The RNG advances across calls, so concurrent Explain() would race.
   bool thread_safe_explain() const override { return false; }
 
-  Explanation Explain(const ExplanationTask& task, Objective objective) override;
+  Explanation ExplainImpl(const ExplanationTask& task, Objective objective) override;
 
  private:
   util::Rng rng_;

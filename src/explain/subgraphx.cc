@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "nn/loss.h"
+#include "obs/trace.h"
 #include "tensor/ops.h"
 
 namespace revelio::explain {
@@ -37,7 +38,7 @@ struct MctsNode {
 
 }  // namespace
 
-Explanation SubgraphXExplainer::Explain(const ExplanationTask& task, Objective objective) {
+Explanation SubgraphXExplainer::ExplainImpl(const ExplanationTask& task, Objective objective) {
   (void)objective;  // SubgraphX scores serve both studies (paper §V-B).
   util::Rng rng(options_.seed);
   const gnn::LayerEdgeSet edges = gnn::BuildLayerEdges(*task.graph);
@@ -82,6 +83,7 @@ Explanation SubgraphXExplainer::Explain(const ExplanationTask& task, Objective o
     }
   };
 
+  obs::ScopedSpan mcts_span("subgraphx.mcts");
   for (int iteration = 0; iteration < options_.mcts_iterations; ++iteration) {
     // Selection.
     std::vector<MctsNode*> path{&root};

@@ -27,7 +27,7 @@ class SubgraphXExplainer : public Explainer {
 
   std::string name() const override { return "SubgraphX"; }
 
-  Explanation Explain(const ExplanationTask& task, Objective objective) override;
+  Explanation ExplainImpl(const ExplanationTask& task, Objective objective) override;
 
  private:
   SubgraphXOptions options_;

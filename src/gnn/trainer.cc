@@ -2,12 +2,27 @@
 
 #include "nn/loss.h"
 #include "nn/optimizer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
 
 namespace revelio::gnn {
 
 using tensor::Tensor;
+
+namespace {
+
+void ReportTrainMetrics(const TrainMetrics& metrics) {
+  if (!obs::Enabled()) return;
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  registry.GetGauge("gnn.train.final_loss")->Set(metrics.final_loss);
+  registry.GetGauge("gnn.train.train_accuracy")->Set(metrics.train_accuracy);
+  registry.GetGauge("gnn.train.val_accuracy")->Set(metrics.val_accuracy);
+  registry.GetGauge("gnn.train.test_accuracy")->Set(metrics.test_accuracy);
+}
+
+}  // namespace
 
 Split MakeSplit(int n, double train_fraction, double val_fraction, util::Rng* rng) {
   CHECK_GT(n, 0);
@@ -40,12 +55,14 @@ TrainMetrics TrainNodeModel(GnnModel* model, const graph::Graph& graph,
                             const Split& split, const TrainConfig& config) {
   CHECK(model->config().task == TaskType::kNodeClassification);
   CHECK_EQ(static_cast<int>(labels.size()), graph.num_nodes());
+  obs::ScopedSpan span("gnn.TrainNodeModel");
   const LayerEdgeSet edges = BuildLayerEdges(graph);
   nn::Adam optimizer(model->Parameters(), config.learning_rate, 0.9f, 0.999f, 1e-8f,
                      config.weight_decay);
   const std::vector<int> train_labels = GatherLabels(labels, split.train);
   TrainMetrics metrics;
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    obs::ScopedSpan epoch_span("gnn.train.epoch");
     optimizer.ZeroGrad();
     Tensor logits = model->Run(graph, edges, features, {}).logits;
     Tensor train_logits = tensor::GatherRows(logits, split.train);
@@ -61,12 +78,14 @@ TrainMetrics TrainNodeModel(GnnModel* model, const graph::Graph& graph,
   metrics.train_accuracy = nn::Accuracy(logits, labels, split.train);
   metrics.val_accuracy = nn::Accuracy(logits, labels, split.val);
   metrics.test_accuracy = nn::Accuracy(logits, labels, split.test);
+  ReportTrainMetrics(metrics);
   return metrics;
 }
 
 TrainMetrics TrainGraphModel(GnnModel* model, const std::vector<graph::GraphInstance>& instances,
                              const Split& split, const TrainConfig& config) {
   CHECK(model->config().task == TaskType::kGraphClassification);
+  obs::ScopedSpan span("gnn.TrainGraphModel");
   auto make_batch = [&](const std::vector<int>& indices) {
     std::vector<const graph::GraphInstance*> members;
     members.reserve(indices.size());
@@ -80,6 +99,7 @@ TrainMetrics TrainGraphModel(GnnModel* model, const std::vector<graph::GraphInst
                      config.weight_decay);
   TrainMetrics metrics;
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    obs::ScopedSpan epoch_span("gnn.train.epoch");
     optimizer.ZeroGrad();
     Tensor logits = model->Run(train_batch.graph, train_edges, train_batch.features, {},
                                &train_batch.node_to_graph, train_batch.num_graphs)
@@ -105,6 +125,7 @@ TrainMetrics TrainGraphModel(GnnModel* model, const std::vector<graph::GraphInst
   metrics.train_accuracy = evaluate(split.train);
   metrics.val_accuracy = evaluate(split.val);
   metrics.test_accuracy = evaluate(split.test);
+  ReportTrainMetrics(metrics);
   return metrics;
 }
 

@@ -1,0 +1,76 @@
+#ifndef REVELIO_OBS_JSON_H_
+#define REVELIO_OBS_JSON_H_
+
+// Minimal JSON support for the telemetry subsystem: a streaming writer used
+// by the Chrome-trace/metrics exporters and the shared BENCH_*.json emitter,
+// and a small recursive-descent parser used by the tests and the
+// trace-validation tool to parse exported files back. No external deps.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace revelio::obs {
+
+// Streaming JSON writer. Call sequence is validated loosely: inside an
+// object, every value must be preceded by Key(); commas and escaping are
+// handled internally. Non-finite doubles are emitted as null (JSON has no
+// NaN/Inf).
+class JsonWriter {
+ public:
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+  void Key(std::string_view key);
+  void String(std::string_view value);
+  void Int(int64_t value);
+  void Uint(uint64_t value);
+  void Double(double value);
+  void Bool(bool value);
+  void Null();
+
+  // The document built so far.
+  const std::string& str() const { return out_; }
+  std::string TakeString() { return std::move(out_); }
+
+  static std::string Escape(std::string_view raw);
+
+ private:
+  void BeforeValue();
+  std::string out_;
+  // One entry per open container: true once the container holds a value
+  // (i.e. the next value needs a leading comma).
+  std::vector<bool> has_value_;
+};
+
+// Parsed JSON document node. Object member order is preserved.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool bool_value = false;
+  double number_value = 0.0;
+  std::string string_value;
+  std::vector<JsonValue> array_items;
+  std::vector<std::pair<std::string, JsonValue>> object_items;
+
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_string() const { return type == Type::kString; }
+  bool is_number() const { return type == Type::kNumber; }
+
+  // First member with the given key, or nullptr (objects only).
+  const JsonValue* Find(std::string_view key) const;
+};
+
+// Parses `text` into `*out`. On failure returns false and, if `error` is
+// non-null, fills it with a message that includes the byte offset.
+bool ParseJson(std::string_view text, JsonValue* out, std::string* error);
+
+}  // namespace revelio::obs
+
+#endif  // REVELIO_OBS_JSON_H_

@@ -1,0 +1,217 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace revelio::obs {
+
+namespace internal {
+
+std::atomic<bool> g_enabled{false};
+
+int ThisThreadShard() {
+  static std::atomic<int> next_shard{0};
+  thread_local const int shard =
+      next_shard.fetch_add(1, std::memory_order_relaxed) & (kMetricShards - 1);
+  return shard;
+}
+
+}  // namespace internal
+
+namespace {
+
+// Relaxed double accumulation via CAS (atomic<double>::fetch_add is C++20
+// but not yet universal across libstdc++ versions in the field).
+void AtomicAddDouble(std::atomic<double>* target, double delta) {
+  double current = target->load(std::memory_order_relaxed);
+  while (!target->compare_exchange_weak(current, current + delta, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void SetEnabled(bool enabled) {
+  internal::g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+// --- Counter -----------------------------------------------------------------
+
+uint64_t Counter::Total() const {
+  uint64_t total = 0;
+  for (const Cell& cell : cells_) total += cell.value.load(std::memory_order_relaxed);
+  return total;
+}
+
+void Counter::Reset() {
+  for (Cell& cell : cells_) cell.value.store(0, std::memory_order_relaxed);
+}
+
+// --- Histogram ---------------------------------------------------------------
+
+Histogram::Histogram(std::string name, std::vector<double> bounds)
+    : name_(std::move(name)), bounds_(std::move(bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  shards_.reserve(kMetricShards);
+  for (int s = 0; s < kMetricShards; ++s) {
+    shards_.push_back(std::make_unique<Shard>(bounds_.size() + 1));
+  }
+}
+
+void Histogram::Observe(double value) {
+  if (!Enabled()) return;
+  const size_t bucket =
+      std::upper_bound(bounds_.begin(), bounds_.end(), value) - bounds_.begin();
+  Shard& shard = *shards_[internal::ThisThreadShard()];
+  shard.counts[bucket].fetch_add(1, std::memory_order_relaxed);
+  shard.total.fetch_add(1, std::memory_order_relaxed);
+  AtomicAddDouble(&shard.sum, value);
+}
+
+uint64_t Histogram::Count() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->total.load(std::memory_order_relaxed);
+  return total;
+}
+
+double Histogram::Sum() const {
+  double total = 0.0;
+  for (const auto& shard : shards_) total += shard->sum.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::vector<uint64_t> Histogram::BucketCounts() const {
+  std::vector<uint64_t> counts(bounds_.size() + 1, 0);
+  for (const auto& shard : shards_) {
+    for (size_t b = 0; b < counts.size(); ++b) {
+      counts[b] += shard->counts[b].load(std::memory_order_relaxed);
+    }
+  }
+  return counts;
+}
+
+void Histogram::Reset() {
+  for (const auto& shard : shards_) {
+    for (auto& count : shard->counts) count.store(0, std::memory_order_relaxed);
+    shard->total.store(0, std::memory_order_relaxed);
+    shard->sum.store(0.0, std::memory_order_relaxed);
+  }
+}
+
+// --- Registry ----------------------------------------------------------------
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked singleton: hot paths cache metric pointers, so the registry must
+  // outlive every static destructor.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot.reset(new Counter(name));
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot.reset(new Gauge(name));
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name, std::vector<double> bounds) {
+  if (bounds.empty()) {
+    // Decade grid for seconds-scale timings: 1us .. 100s.
+    bounds = {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0};
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot.reset(new Histogram(name, std::move(bounds)));
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.emplace_back(name, counter->Total());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.emplace_back(name, gauge->Value());
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    MetricsSnapshot::HistogramEntry entry;
+    entry.name = name;
+    entry.bounds = histogram->bucket_bounds();
+    entry.counts = histogram->BucketCounts();
+    entry.count = histogram->Count();
+    entry.sum = histogram->Sum();
+    snapshot.histograms.push_back(std::move(entry));
+  }
+  return snapshot;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+// --- Export ------------------------------------------------------------------
+
+void AppendMetricsSnapshot(JsonWriter* writer) {
+  const MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  writer->BeginObject();
+  writer->Key("counters");
+  writer->BeginObject();
+  for (const auto& [name, value] : snapshot.counters) {
+    writer->Key(name);
+    writer->Uint(value);
+  }
+  writer->EndObject();
+  writer->Key("gauges");
+  writer->BeginObject();
+  for (const auto& [name, value] : snapshot.gauges) {
+    writer->Key(name);
+    writer->Double(value);
+  }
+  writer->EndObject();
+  writer->Key("histograms");
+  writer->BeginObject();
+  for (const auto& entry : snapshot.histograms) {
+    writer->Key(entry.name);
+    writer->BeginObject();
+    writer->Key("count");
+    writer->Uint(entry.count);
+    writer->Key("sum");
+    writer->Double(entry.sum);
+    writer->Key("bounds");
+    writer->BeginArray();
+    for (double b : entry.bounds) writer->Double(b);
+    writer->EndArray();
+    writer->Key("bucket_counts");
+    writer->BeginArray();
+    for (uint64_t c : entry.counts) writer->Uint(c);
+    writer->EndArray();
+    writer->EndObject();
+  }
+  writer->EndObject();
+  writer->EndObject();
+}
+
+bool WriteMetricsJsonFile(const std::string& path) {
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("metrics");
+  AppendMetricsSnapshot(&writer);
+  writer.EndObject();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string& doc = writer.str();
+  const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace revelio::obs

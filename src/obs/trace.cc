@@ -1,0 +1,283 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "util/table_printer.h"
+
+namespace revelio::obs {
+
+namespace internal {
+
+// Owned jointly by the registering thread (thread_local shared_ptr) and the
+// recorder's registry, so logs survive thread exit until export.
+struct ThreadLog {
+  mutable std::mutex mu;  // guards events/dropped against concurrent export
+  std::vector<TraceEvent> events;
+  uint64_t dropped = 0;
+  int tid = 0;
+  int depth = 0;  // open-span depth; touched only by the owning thread
+};
+
+}  // namespace internal
+
+namespace {
+
+using internal::ThreadLog;
+
+struct LogRegistry {
+  std::mutex mu;  // guards `logs`
+  std::vector<std::shared_ptr<ThreadLog>> logs;
+  std::atomic<size_t> max_events_per_thread{size_t{1} << 20};
+};
+
+LogRegistry& Registry() {
+  static LogRegistry* registry = new LogRegistry();
+  return *registry;
+}
+
+// Process-wide epoch for trace timestamps.
+const util::Timer& Epoch() {
+  static const util::Timer* epoch = new util::Timer();
+  return *epoch;
+}
+
+}  // namespace
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder* recorder = new TraceRecorder();
+  return *recorder;
+}
+
+double TraceRecorder::NowMicros() { return Epoch().ElapsedSeconds() * 1e6; }
+
+internal::ThreadLog* TraceRecorder::ThisThreadLog() {
+  thread_local std::shared_ptr<ThreadLog> log = [] {
+    auto created = std::make_shared<ThreadLog>();
+    LogRegistry& registry = Registry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    created->tid = static_cast<int>(registry.logs.size());
+    registry.logs.push_back(created);
+    return created;
+  }();
+  return log.get();
+}
+
+void TraceRecorder::Clear() {
+  LogRegistry& registry = Registry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  for (const auto& log : registry.logs) {
+    std::lock_guard<std::mutex> log_lock(log->mu);
+    log->events.clear();
+    log->dropped = 0;
+  }
+}
+
+void TraceRecorder::SetMaxEventsPerThread(size_t cap) {
+  Registry().max_events_per_thread.store(std::max<size_t>(1, cap), std::memory_order_relaxed);
+}
+
+size_t TraceRecorder::max_events_per_thread() const {
+  return Registry().max_events_per_thread.load(std::memory_order_relaxed);
+}
+
+uint64_t TraceRecorder::dropped_events() const {
+  LogRegistry& registry = Registry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  uint64_t dropped = 0;
+  for (const auto& log : registry.logs) {
+    std::lock_guard<std::mutex> log_lock(log->mu);
+    dropped += log->dropped;
+  }
+  return dropped;
+}
+
+std::vector<TraceEvent> TraceRecorder::Consolidated() const {
+  std::vector<TraceEvent> events;
+  {
+    LogRegistry& registry = Registry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    for (const auto& log : registry.logs) {
+      std::lock_guard<std::mutex> log_lock(log->mu);
+      events.insert(events.end(), log->events.begin(), log->events.end());
+    }
+  }
+  std::sort(events.begin(), events.end(), [](const TraceEvent& a, const TraceEvent& b) {
+    if (a.start_us != b.start_us) return a.start_us < b.start_us;
+    return a.dur_us > b.dur_us;  // parents before their children
+  });
+  return events;
+}
+
+void TraceRecorder::AppendChromeTrace(JsonWriter* writer) const {
+  const std::vector<TraceEvent> events = Consolidated();
+  int max_tid = 0;
+  for (const TraceEvent& event : events) max_tid = std::max(max_tid, event.tid);
+
+  writer->BeginObject();
+  writer->Key("displayTimeUnit");
+  writer->String("ms");
+  writer->Key("otherData");
+  writer->BeginObject();
+  writer->Key("dropped_events");
+  writer->Uint(dropped_events());
+  writer->EndObject();
+  writer->Key("traceEvents");
+  writer->BeginArray();
+  writer->BeginObject();
+  writer->Key("name");
+  writer->String("process_name");
+  writer->Key("ph");
+  writer->String("M");
+  writer->Key("pid");
+  writer->Int(0);
+  writer->Key("tid");
+  writer->Int(0);
+  writer->Key("args");
+  writer->BeginObject();
+  writer->Key("name");
+  writer->String("revelio");
+  writer->EndObject();
+  writer->EndObject();
+  for (int tid = 0; tid <= max_tid; ++tid) {
+    writer->BeginObject();
+    writer->Key("name");
+    writer->String("thread_name");
+    writer->Key("ph");
+    writer->String("M");
+    writer->Key("pid");
+    writer->Int(0);
+    writer->Key("tid");
+    writer->Int(tid);
+    writer->Key("args");
+    writer->BeginObject();
+    writer->Key("name");
+    writer->String(tid == 0 ? "main" : ("worker-" + std::to_string(tid)));
+    writer->EndObject();
+    writer->EndObject();
+  }
+  for (const TraceEvent& event : events) {
+    writer->BeginObject();
+    writer->Key("name");
+    writer->String(event.name);
+    writer->Key("cat");
+    writer->String("revelio");
+    writer->Key("ph");
+    writer->String("X");
+    writer->Key("ts");
+    writer->Double(event.start_us);
+    writer->Key("dur");
+    writer->Double(event.dur_us);
+    writer->Key("pid");
+    writer->Int(0);
+    writer->Key("tid");
+    writer->Int(event.tid);
+    writer->EndObject();
+  }
+  writer->EndArray();
+  writer->EndObject();
+}
+
+bool TraceRecorder::WriteChromeTrace(const std::string& path) const {
+  JsonWriter writer;
+  AppendChromeTrace(&writer);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string& doc = writer.str();
+  const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+std::string TraceRecorder::ProfileTable() const {
+  const std::vector<TraceEvent> events = Consolidated();
+  if (events.empty()) return "";
+
+  // Self time per event: duration minus the durations of direct children,
+  // reconstructed per thread from interval containment (spans nest properly
+  // within a thread). `Consolidated` already orders parents before children.
+  struct Open {
+    double end_us;
+    size_t index;
+  };
+  struct Aggregate {
+    uint64_t count = 0;
+    double total_us = 0.0;
+    double self_us = 0.0;
+  };
+  std::vector<double> child_us(events.size(), 0.0);
+  std::map<int, std::vector<Open>> stacks;  // tid -> open-span stack
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& event = events[i];
+    std::vector<Open>& stack = stacks[event.tid];
+    while (!stack.empty() && stack.back().end_us <= event.start_us) stack.pop_back();
+    if (!stack.empty()) child_us[stack.back().index] += event.dur_us;
+    stack.push_back({event.start_us + event.dur_us, i});
+  }
+
+  std::map<std::string, Aggregate> by_name;
+  double trace_total_self_us = 0.0;
+  for (size_t i = 0; i < events.size(); ++i) {
+    Aggregate& aggregate = by_name[events[i].name];
+    aggregate.count += 1;
+    aggregate.total_us += events[i].dur_us;
+    aggregate.self_us += std::max(0.0, events[i].dur_us - child_us[i]);
+    trace_total_self_us += std::max(0.0, events[i].dur_us - child_us[i]);
+  }
+
+  std::vector<std::pair<std::string, Aggregate>> rows(by_name.begin(), by_name.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second.total_us > b.second.total_us;
+  });
+
+  util::TablePrinter table({"Span", "Count", "Total s", "Self s", "Self %", "Avg ms"});
+  for (const auto& [name, aggregate] : rows) {
+    const double self_pct =
+        trace_total_self_us > 0.0 ? 100.0 * aggregate.self_us / trace_total_self_us : 0.0;
+    table.AddRow({name, std::to_string(aggregate.count),
+                  util::TablePrinter::FormatDouble(aggregate.total_us / 1e6, 3),
+                  util::TablePrinter::FormatDouble(aggregate.self_us / 1e6, 3),
+                  util::TablePrinter::FormatDouble(self_pct, 1),
+                  util::TablePrinter::FormatDouble(
+                      aggregate.count > 0 ? aggregate.total_us / 1e3 / aggregate.count : 0.0,
+                      3)});
+  }
+  return table.ToString();
+}
+
+// --- ScopedSpan --------------------------------------------------------------
+
+void ScopedSpan::Begin() {
+  if (!Enabled()) return;
+  log_ = TraceRecorder::Global().ThisThreadLog();
+  start_us_ = TraceRecorder::NowMicros();
+  ++log_->depth;
+}
+
+ScopedSpan::ScopedSpan(const char* name) : literal_name_(name) { Begin(); }
+
+ScopedSpan::ScopedSpan(std::string name) : owned_name_(std::move(name)) { Begin(); }
+
+ScopedSpan::~ScopedSpan() {
+  if (log_ == nullptr) return;
+  const double end_us = TraceRecorder::NowMicros();
+  const int depth = --log_->depth;
+  const size_t cap = Registry().max_events_per_thread.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(log_->mu);
+  if (log_->events.size() >= cap) {
+    ++log_->dropped;
+    return;
+  }
+  TraceEvent event;
+  event.name = literal_name_ != nullptr ? std::string(literal_name_) : std::move(owned_name_);
+  event.start_us = start_us_;
+  event.dur_us = end_us - start_us_;
+  event.tid = log_->tid;
+  event.depth = depth;
+  log_->events.push_back(std::move(event));
+}
+
+}  // namespace revelio::obs

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/op_helpers.h"
 #include "util/parallel.h"
 
@@ -371,6 +373,14 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   const int n = a.rows();
   const int k = a.cols();
   const int m = b.cols();
+  obs::ScopedSpan span("tensor.MatMul");
+  static obs::Counter* calls = obs::MetricsRegistry::Global().GetCounter("tensor.matmul.calls");
+  static obs::Counter* flops = obs::MetricsRegistry::Global().GetCounter("tensor.matmul.flops");
+  static obs::Counter* bytes = obs::MetricsRegistry::Global().GetCounter("tensor.matmul.bytes");
+  calls->Increment();
+  flops->Add(uint64_t{2} * n * k * m);
+  bytes->Add(sizeof(float) *
+             (uint64_t{1} * n * k + uint64_t{1} * k * m + uint64_t{1} * n * m));
   auto out = NewNode(n, m);
   // ikj loop order: unit-stride inner loop, autovectorizes well. Rows of the
   // output are independent, so the i loop is partitioned across threads.

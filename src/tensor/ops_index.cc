@@ -2,6 +2,8 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/op_helpers.h"
 #include "tensor/ops.h"
 #include "util/parallel.h"
@@ -34,6 +36,11 @@ int64_t ScatterGrain(int64_t num_rows, int64_t indices, int64_t cols) {
 
 Tensor GatherRows(const Tensor& a, const std::vector<int>& indices) {
   const int cols = a.cols();
+  obs::ScopedSpan span("tensor.GatherRows");
+  static obs::Counter* calls = obs::MetricsRegistry::Global().GetCounter("tensor.gather.calls");
+  static obs::Counter* bytes = obs::MetricsRegistry::Global().GetCounter("tensor.gather.bytes");
+  calls->Increment();
+  bytes->Add(uint64_t{2} * sizeof(float) * indices.size() * cols);
   auto out = NewNode(static_cast<int>(indices.size()), cols);
   const float* av = a.values().data();
   float* ov = out->values.data();
@@ -78,6 +85,13 @@ Tensor GatherRows(const Tensor& a, const std::vector<int>& indices) {
 Tensor ScatterAddRows(const Tensor& src, const std::vector<int>& indices, int num_rows) {
   CHECK_EQ(src.rows(), static_cast<int>(indices.size()));
   const int cols = src.cols();
+  obs::ScopedSpan span("tensor.ScatterAdd");
+  static obs::Counter* calls =
+      obs::MetricsRegistry::Global().GetCounter("tensor.scatter_add.calls");
+  static obs::Counter* bytes =
+      obs::MetricsRegistry::Global().GetCounter("tensor.scatter_add.bytes");
+  calls->Increment();
+  bytes->Add(uint64_t{2} * sizeof(float) * indices.size() * cols);
   auto out = NewNode(num_rows, cols);
   const float* sv = src.values().data();
   float* ov = out->values.data();

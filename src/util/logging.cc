@@ -1,13 +1,21 @@
 #include "util/logging.h"
 
 #include <atomic>
+#include <cctype>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
 
 namespace revelio::util {
 namespace {
 
-std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
+constexpr int kLevelUnresolved = -1;
+
+// Resolved lazily so the env var is honored no matter how early the first
+// log line fires relative to static initialization.
+std::atomic<int> g_log_level{kLevelUnresolved};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -23,19 +31,73 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
+bool EqualsIgnoreCase(const char* a, const char* b) {
+  for (; *a != '\0' && *b != '\0'; ++a, ++b) {
+    if (std::tolower(static_cast<unsigned char>(*a)) !=
+        std::tolower(static_cast<unsigned char>(*b))) {
+      return false;
+    }
+  }
+  return *a == '\0' && *b == '\0';
+}
+
+// REVELIO_LOG_LEVEL accepts a level name (debug/info/warning|warn/error,
+// case-insensitive) or its numeric value 0-3; anything else keeps kInfo.
+int InitialLevel() {
+  const char* env = std::getenv("REVELIO_LOG_LEVEL");
+  if (env == nullptr || *env == '\0') return static_cast<int>(LogLevel::kInfo);
+  if (EqualsIgnoreCase(env, "debug")) return static_cast<int>(LogLevel::kDebug);
+  if (EqualsIgnoreCase(env, "info")) return static_cast<int>(LogLevel::kInfo);
+  if (EqualsIgnoreCase(env, "warning") || EqualsIgnoreCase(env, "warn")) {
+    return static_cast<int>(LogLevel::kWarning);
+  }
+  if (EqualsIgnoreCase(env, "error")) return static_cast<int>(LogLevel::kError);
+  if (env[1] == '\0' && env[0] >= '0' && env[0] <= '3') return env[0] - '0';
+  return static_cast<int>(LogLevel::kInfo);
+}
+
+int CurrentLevel() {
+  int level = g_log_level.load(std::memory_order_relaxed);
+  if (level == kLevelUnresolved) {
+    int expected = kLevelUnresolved;
+    g_log_level.compare_exchange_strong(expected, InitialLevel());
+    level = g_log_level.load(std::memory_order_relaxed);
+  }
+  return level;
+}
+
+// Small dense thread ids for log prefixes (0 = first logging thread; the
+// process main thread in practice). std::this_thread::get_id is opaque and
+// unstable across runs, which makes log diffs noisy.
+int ThisThreadId() {
+  static std::atomic<int> next_id{0};
+  thread_local const int id = next_id.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
 }  // namespace
 
 void SetLogLevel(LogLevel level) { g_log_level.store(static_cast<int>(level)); }
 
-LogLevel GetLogLevel() { return static_cast<LogLevel>(g_log_level.load()); }
+LogLevel GetLogLevel() { return static_cast<LogLevel>(CurrentLevel()); }
 
 void LogMessage(LogLevel level, const std::string& message) {
-  if (static_cast<int>(level) < g_log_level.load()) return;
-  using Clock = std::chrono::steady_clock;
-  static const Clock::time_point start = Clock::now();
-  const double elapsed =
-      std::chrono::duration_cast<std::chrono::duration<double>>(Clock::now() - start).count();
-  std::fprintf(stderr, "[%8.2fs %-5s] %s\n", elapsed, LevelName(level), message.c_str());
+  if (static_cast<int>(level) < CurrentLevel()) return;
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t seconds = std::chrono::system_clock::to_time_t(now);
+  const int millis = static_cast<int>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(now.time_since_epoch()).count() %
+      1000);
+  std::tm utc{};
+#if defined(_WIN32)
+  gmtime_s(&utc, &seconds);
+#else
+  gmtime_r(&seconds, &utc);
+#endif
+  char timestamp[32];
+  std::strftime(timestamp, sizeof(timestamp), "%Y-%m-%dT%H:%M:%S", &utc);
+  std::fprintf(stderr, "[%s.%03dZ %-5s t%d] %s\n", timestamp, millis, LevelName(level),
+               ThisThreadId(), message.c_str());
 }
 
 }  // namespace revelio::util

@@ -3,6 +3,13 @@
 
 // Minimal leveled logging to stderr. Intended for progress reporting in
 // benches and examples; hot paths should not log.
+//
+// Lines are prefixed with an ISO-8601 UTC timestamp (millisecond precision)
+// and a small dense per-thread id, e.g.
+//   [2026-08-05T12:34:56.789Z INFO  t0] message
+// The initial level comes from REVELIO_LOG_LEVEL (debug/info/warning|warn/
+// error, case-insensitive, or 0-3), defaulting to kInfo; SetLogLevel
+// overrides it.
 
 #include <sstream>
 #include <string>

@@ -10,6 +10,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace revelio::util {
@@ -88,7 +90,14 @@ struct Region {
   std::condition_variable done;
 };
 
+obs::Counter* WorkerBusyCounter() {
+  static obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("parallel.worker_busy_us");
+  return counter;
+}
+
 void RunChunks(const std::shared_ptr<Region>& region) {
+  obs::ScopedSpan span("ParallelFor.worker");
   const bool prev = tls_in_parallel_region;
   tls_in_parallel_region = true;
   for (;;) {
@@ -101,6 +110,9 @@ void RunChunks(const std::shared_ptr<Region>& region) {
     }
   }
   tls_in_parallel_region = prev;
+  if (obs::Enabled()) {
+    WorkerBusyCounter()->Add(static_cast<uint64_t>(span.ElapsedSeconds() * 1e6));
+  }
 }
 
 }  // namespace
@@ -138,12 +150,30 @@ void ParallelFor(int64_t begin, int64_t end, int64_t grain,
   if (num_chunks <= 1 || tls_in_parallel_region) {
     // Serial fallback. Still marks the region so kernels called from fn do
     // not try to parallelize underneath a serial decision.
+    static obs::Counter* serial_fallbacks =
+        obs::MetricsRegistry::Global().GetCounter("parallel.serial_fallback");
+    serial_fallbacks->Increment();
     const bool prev = tls_in_parallel_region;
     tls_in_parallel_region = true;
-    fn(begin, end);
+    {
+      // The degenerate one-task execution; traced under the same span name
+      // as pool tasks so profiles cover both paths.
+      obs::ScopedSpan span("ParallelFor.worker");
+      fn(begin, end);
+      if (obs::Enabled()) {
+        WorkerBusyCounter()->Add(static_cast<uint64_t>(span.ElapsedSeconds() * 1e6));
+      }
+    }
     tls_in_parallel_region = prev;
     return;
   }
+
+  static obs::Counter* dispatches =
+      obs::MetricsRegistry::Global().GetCounter("parallel.dispatches");
+  static obs::Counter* tasks_dispatched =
+      obs::MetricsRegistry::Global().GetCounter("parallel.tasks_dispatched");
+  dispatches->Increment();
+  tasks_dispatched->Add(static_cast<uint64_t>(num_chunks));
 
   auto region = std::make_shared<Region>();
   region->fn = &fn;

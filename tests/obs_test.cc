@@ -1,0 +1,397 @@
+// Tests for the obs telemetry subsystem: JSON writer/parser round trips,
+// counter/histogram correctness under ParallelFor contention, span nesting
+// across threads, the disabled-mode zero-allocation contract, and the
+// Chrome-trace / metrics JSON exports parsed back for well-formedness.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <new>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/parallel.h"
+
+// --- Global allocation counting (for the disabled-mode contract) -------------
+// Counting is gated so gtest's own allocations do not interfere; only the
+// window between StartCountingAllocations/StopCountingAllocations counts.
+
+namespace {
+std::atomic<bool> g_count_allocations{false};
+std::atomic<int64_t> g_allocation_count{0};
+
+void StartCountingAllocations() {
+  g_allocation_count.store(0, std::memory_order_relaxed);
+  g_count_allocations.store(true, std::memory_order_relaxed);
+}
+
+int64_t StopCountingAllocations() {
+  g_count_allocations.store(false, std::memory_order_relaxed);
+  return g_allocation_count.load(std::memory_order_relaxed);
+}
+}  // namespace
+
+void* operator new(std::size_t size) {
+  if (g_count_allocations.load(std::memory_order_relaxed)) {
+    g_allocation_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace revelio {
+namespace {
+
+// Every test leaves telemetry disabled and the thread count restored.
+class ObsTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    obs::SetEnabled(false);
+    obs::TraceRecorder::Global().Clear();
+    util::SetNumThreads(util::HardwareThreads());
+  }
+};
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+// --- JSON --------------------------------------------------------------------
+
+TEST_F(ObsTest, JsonWriterRoundTrip) {
+  obs::JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("text");
+  writer.String("line1\nline2 \"quoted\" \\ tab\t");
+  writer.Key("int");
+  writer.Int(-42);
+  writer.Key("uint");
+  writer.Uint(uint64_t{1} << 60);
+  writer.Key("pi");
+  writer.Double(3.25);
+  writer.Key("flag");
+  writer.Bool(true);
+  writer.Key("nothing");
+  writer.Null();
+  writer.Key("items");
+  writer.BeginArray();
+  writer.Int(1);
+  writer.Int(2);
+  writer.BeginObject();
+  writer.Key("nested");
+  writer.String("yes");
+  writer.EndObject();
+  writer.EndArray();
+  writer.EndObject();
+
+  obs::JsonValue root;
+  std::string error;
+  ASSERT_TRUE(obs::ParseJson(writer.str(), &root, &error)) << error;
+  ASSERT_TRUE(root.is_object());
+  ASSERT_NE(root.Find("text"), nullptr);
+  EXPECT_EQ(root.Find("text")->string_value, "line1\nline2 \"quoted\" \\ tab\t");
+  EXPECT_EQ(root.Find("int")->number_value, -42.0);
+  EXPECT_EQ(root.Find("pi")->number_value, 3.25);
+  EXPECT_TRUE(root.Find("flag")->bool_value);
+  EXPECT_EQ(root.Find("nothing")->type, obs::JsonValue::Type::kNull);
+  ASSERT_TRUE(root.Find("items")->is_array());
+  ASSERT_EQ(root.Find("items")->array_items.size(), 3u);
+  EXPECT_EQ(root.Find("items")->array_items[2].Find("nested")->string_value, "yes");
+}
+
+TEST_F(ObsTest, JsonWriterNonFiniteBecomesNull) {
+  obs::JsonWriter writer;
+  writer.BeginArray();
+  writer.Double(std::numeric_limits<double>::infinity());
+  writer.Double(std::numeric_limits<double>::quiet_NaN());
+  writer.EndArray();
+  EXPECT_EQ(writer.str(), "[null,null]");
+}
+
+TEST_F(ObsTest, JsonParserRejectsMalformed) {
+  obs::JsonValue root;
+  std::string error;
+  EXPECT_FALSE(obs::ParseJson("{\"a\": 1,}", &root, &error));
+  EXPECT_FALSE(obs::ParseJson("{\"a\" 1}", &root, &error));
+  EXPECT_FALSE(obs::ParseJson("[1, 2", &root, &error));
+  EXPECT_FALSE(obs::ParseJson("{} trailing", &root, &error));
+  EXPECT_FALSE(obs::ParseJson("", &root, &error));
+}
+
+TEST_F(ObsTest, JsonParserHandlesEscapes) {
+  obs::JsonValue root;
+  std::string error;
+  ASSERT_TRUE(obs::ParseJson(R"({"s": "aA\n\t\"\\"})", &root, &error)) << error;
+  EXPECT_EQ(root.Find("s")->string_value, "aA\n\t\"\\");
+}
+
+// --- Metrics -----------------------------------------------------------------
+
+TEST_F(ObsTest, CounterUnderParallelForContention) {
+  obs::SetEnabled(true);
+  util::SetNumThreads(4);
+  obs::Counter* counter =
+      obs::MetricsRegistry::Global().GetCounter("test.counter.contention");
+  counter->Reset();
+  constexpr int64_t kItems = 200'000;
+  util::ParallelFor(0, kItems, 1000, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) counter->Increment();
+  });
+  EXPECT_EQ(counter->Total(), static_cast<uint64_t>(kItems));
+  counter->Add(0);  // no-op by contract
+  EXPECT_EQ(counter->Total(), static_cast<uint64_t>(kItems));
+}
+
+TEST_F(ObsTest, CounterIgnoredWhenDisabled) {
+  obs::Counter* counter = obs::MetricsRegistry::Global().GetCounter("test.counter.disabled");
+  counter->Reset();
+  obs::SetEnabled(false);
+  counter->Add(7);
+  EXPECT_EQ(counter->Total(), 0u);
+  obs::SetEnabled(true);
+  counter->Add(7);
+  EXPECT_EQ(counter->Total(), 7u);
+}
+
+TEST_F(ObsTest, GaugeGatedOnEnabled) {
+  obs::Gauge* gauge = obs::MetricsRegistry::Global().GetGauge("test.gauge");
+  gauge->Reset();
+  obs::SetEnabled(false);
+  gauge->Set(1.5);
+  EXPECT_EQ(gauge->Value(), 0.0);
+  obs::SetEnabled(true);
+  gauge->Set(2.5);
+  EXPECT_EQ(gauge->Value(), 2.5);
+}
+
+TEST_F(ObsTest, HistogramBucketsAndContention) {
+  obs::SetEnabled(true);
+  util::SetNumThreads(4);
+  obs::Histogram* histogram =
+      obs::MetricsRegistry::Global().GetHistogram("test.histogram", {1.0, 2.0, 3.0});
+  histogram->Reset();
+  // Values cycle 0.5 / 1.5 / 2.5 / 4.0 -> one observation per bucket per cycle.
+  constexpr int64_t kCycles = 10'000;
+  const double values[4] = {0.5, 1.5, 2.5, 4.0};
+  util::ParallelFor(0, kCycles * 4, 500, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) histogram->Observe(values[i % 4]);
+  });
+  EXPECT_EQ(histogram->Count(), static_cast<uint64_t>(kCycles * 4));
+  const std::vector<uint64_t> counts = histogram->BucketCounts();
+  ASSERT_EQ(counts.size(), 4u);
+  for (uint64_t c : counts) EXPECT_EQ(c, static_cast<uint64_t>(kCycles));
+  EXPECT_NEAR(histogram->Sum(), kCycles * (0.5 + 1.5 + 2.5 + 4.0), 1e-6);
+}
+
+TEST_F(ObsTest, RegistryReturnsStablePointers) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  obs::Counter* a = registry.GetCounter("test.stable");
+  obs::Counter* b = registry.GetCounter("test.stable");
+  EXPECT_EQ(a, b);
+  obs::Histogram* h1 = registry.GetHistogram("test.stable.h", {1.0});
+  obs::Histogram* h2 = registry.GetHistogram("test.stable.h", {5.0, 6.0});
+  EXPECT_EQ(h1, h2);  // re-registration keeps the original bounds
+  EXPECT_EQ(h1->bucket_bounds().size(), 1u);
+}
+
+TEST_F(ObsTest, MetricsJsonExportParsesBack) {
+  obs::SetEnabled(true);
+  obs::MetricsRegistry::Global().GetCounter("test.export.counter")->Reset();
+  obs::MetricsRegistry::Global().GetCounter("test.export.counter")->Add(5);
+  const std::string path = TempPath("metrics_export.json");
+  ASSERT_TRUE(obs::WriteMetricsJsonFile(path));
+  obs::JsonValue root;
+  std::string error;
+  ASSERT_TRUE(obs::ParseJson(ReadFile(path), &root, &error)) << error;
+  const obs::JsonValue* metrics = root.Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  const obs::JsonValue* counters = metrics->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  const obs::JsonValue* value = counters->Find("test.export.counter");
+  ASSERT_NE(value, nullptr);
+  EXPECT_EQ(value->number_value, 5.0);
+  ASSERT_NE(metrics->Find("gauges"), nullptr);
+  ASSERT_NE(metrics->Find("histograms"), nullptr);
+  std::remove(path.c_str());
+}
+
+// --- Spans -------------------------------------------------------------------
+
+TEST_F(ObsTest, SpanNestingOnOneThread) {
+  obs::SetEnabled(true);
+  obs::TraceRecorder::Global().Clear();
+  {
+    obs::ScopedSpan outer("test.outer");
+    obs::ScopedSpan inner("test.inner");
+  }
+  const std::vector<obs::TraceEvent> events = obs::TraceRecorder::Global().Consolidated();
+  const obs::TraceEvent* outer = nullptr;
+  const obs::TraceEvent* inner = nullptr;
+  for (const auto& event : events) {
+    if (event.name == "test.outer") outer = &event;
+    if (event.name == "test.inner") inner = &event;
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->tid, inner->tid);
+  EXPECT_EQ(inner->depth, outer->depth + 1);
+  // Containment: the inner interval lies within the outer one.
+  EXPECT_GE(inner->start_us, outer->start_us);
+  EXPECT_LE(inner->start_us + inner->dur_us, outer->start_us + outer->dur_us + 1e-6);
+}
+
+TEST_F(ObsTest, SpansAcrossParallelForThreads) {
+  obs::SetEnabled(true);
+  util::SetNumThreads(4);
+  obs::TraceRecorder::Global().Clear();
+  util::ParallelFor(0, 16, 1, [](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      obs::ScopedSpan span("test.task");
+      volatile double sink = 0.0;
+      for (int k = 0; k < 1000; ++k) sink += k;
+      (void)sink;
+    }
+  });
+  const std::vector<obs::TraceEvent> events = obs::TraceRecorder::Global().Consolidated();
+  int tasks = 0;
+  int workers = 0;
+  for (const auto& event : events) {
+    if (event.name == "test.task") {
+      ++tasks;
+      // Each task span is nested inside its thread's ParallelFor.worker span.
+      EXPECT_GE(event.depth, 1);
+    }
+    if (event.name == "ParallelFor.worker") ++workers;
+  }
+  EXPECT_EQ(tasks, 16);
+  EXPECT_GE(workers, 1);
+}
+
+TEST_F(ObsTest, EventCapCountsDropped) {
+  obs::SetEnabled(true);
+  obs::TraceRecorder& recorder = obs::TraceRecorder::Global();
+  recorder.Clear();
+  const size_t original_cap = recorder.max_events_per_thread();
+  recorder.SetMaxEventsPerThread(4);
+  for (int i = 0; i < 10; ++i) {
+    obs::ScopedSpan span("test.capped");
+  }
+  EXPECT_GE(recorder.dropped_events(), 1u);
+  EXPECT_LE(recorder.Consolidated().size(), 4u);
+  recorder.SetMaxEventsPerThread(original_cap);
+}
+
+TEST_F(ObsTest, DisabledSpansAndMetricsAllocateNothing) {
+  // Warm the thread-local shard and span log while enabled so registration
+  // allocations happen outside the measured window.
+  obs::SetEnabled(true);
+  obs::Counter* counter = obs::MetricsRegistry::Global().GetCounter("test.noalloc");
+  {
+    obs::ScopedSpan warm("test.warm");
+    counter->Increment();
+  }
+  obs::SetEnabled(false);
+
+  StartCountingAllocations();
+  for (int i = 0; i < 100; ++i) {
+    obs::ScopedSpan span("test.noalloc.span");
+    counter->Add(3);
+  }
+  const int64_t allocations = StopCountingAllocations();
+  EXPECT_EQ(allocations, 0);
+}
+
+TEST_F(ObsTest, ChromeTraceExportIsWellFormed) {
+  obs::SetEnabled(true);
+  util::SetNumThreads(2);
+  obs::TraceRecorder::Global().Clear();
+  {
+    obs::ScopedSpan outer("test.export.outer");
+    util::ParallelFor(0, 8, 1, [](int64_t, int64_t) {
+      obs::ScopedSpan task("test.export.task");
+    });
+  }
+  const std::string path = TempPath("trace_export.json");
+  ASSERT_TRUE(obs::TraceRecorder::Global().WriteChromeTrace(path));
+
+  obs::JsonValue root;
+  std::string error;
+  ASSERT_TRUE(obs::ParseJson(ReadFile(path), &root, &error)) << error;
+  ASSERT_NE(root.Find("displayTimeUnit"), nullptr);
+  EXPECT_EQ(root.Find("displayTimeUnit")->string_value, "ms");
+  const obs::JsonValue* events = root.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  bool saw_outer = false;
+  bool saw_task = false;
+  bool saw_thread_metadata = false;
+  for (const auto& event : events->array_items) {
+    ASSERT_TRUE(event.is_object());
+    const obs::JsonValue* name = event.Find("name");
+    const obs::JsonValue* ph = event.Find("ph");
+    ASSERT_NE(name, nullptr);
+    ASSERT_NE(ph, nullptr);
+    if (ph->string_value == "X") {
+      ASSERT_NE(event.Find("ts"), nullptr);
+      ASSERT_NE(event.Find("dur"), nullptr);
+      ASSERT_NE(event.Find("tid"), nullptr);
+      if (name->string_value == "test.export.outer") saw_outer = true;
+      if (name->string_value == "test.export.task") saw_task = true;
+    } else if (ph->string_value == "M" && name->string_value == "thread_name") {
+      saw_thread_metadata = true;
+    }
+  }
+  EXPECT_TRUE(saw_outer);
+  EXPECT_TRUE(saw_task);
+  EXPECT_TRUE(saw_thread_metadata);
+  std::remove(path.c_str());
+}
+
+TEST_F(ObsTest, ProfileTableAggregatesSpans) {
+  obs::SetEnabled(true);
+  obs::TraceRecorder::Global().Clear();
+  {
+    obs::ScopedSpan outer("test.profile.outer");
+    obs::ScopedSpan inner("test.profile.inner");
+  }
+  const std::string table = obs::TraceRecorder::Global().ProfileTable();
+  EXPECT_NE(table.find("test.profile.outer"), std::string::npos);
+  EXPECT_NE(table.find("test.profile.inner"), std::string::npos);
+  EXPECT_NE(table.find("Self"), std::string::npos);
+  obs::TraceRecorder::Global().Clear();
+  EXPECT_TRUE(obs::TraceRecorder::Global().ProfileTable().empty());
+}
+
+TEST_F(ObsTest, SnapshotIsSortedByName) {
+  obs::MetricsRegistry::Global().GetCounter("test.zz");
+  obs::MetricsRegistry::Global().GetCounter("test.aa");
+  const obs::MetricsSnapshot snapshot = obs::MetricsRegistry::Global().Snapshot();
+  for (size_t i = 1; i < snapshot.counters.size(); ++i) {
+    EXPECT_LT(snapshot.counters[i - 1].first, snapshot.counters[i].first);
+  }
+}
+
+}  // namespace
+}  // namespace revelio

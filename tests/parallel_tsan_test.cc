@@ -10,6 +10,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/ops.h"
 #include "tensor/tensor.h"
 #include "util/parallel.h"
@@ -75,6 +77,63 @@ int main() {
     callers.emplace_back([] { (void)TensorWorkload(); });
   }
   for (auto& caller : callers) caller.join();
+
+  // Telemetry under contention: counters/histograms/gauges/spans updated from
+  // raw threads and from inside ParallelFor while a reader concurrently
+  // consolidates the trace and snapshots the registry. Any unsynchronized
+  // access in the obs layer trips TSan here.
+  {
+    namespace obs = revelio::obs;
+    obs::SetEnabled(true);
+    obs::TraceRecorder::Global().Clear();
+    obs::Counter* counter = obs::MetricsRegistry::Global().GetCounter("tsan.counter");
+    obs::Histogram* histogram = obs::MetricsRegistry::Global().GetHistogram("tsan.histogram");
+    obs::Gauge* gauge = obs::MetricsRegistry::Global().GetGauge("tsan.gauge");
+    counter->Reset();
+    histogram->Reset();
+
+    constexpr int kUpdaters = 4;
+    constexpr int kItemsPerUpdater = 5000;
+    std::vector<std::thread> updaters;
+    for (int t = 0; t < kUpdaters; ++t) {
+      updaters.emplace_back([&, t] {
+        obs::ScopedSpan span("tsan.updater");
+        for (int i = 0; i < kItemsPerUpdater; ++i) {
+          counter->Increment();
+          histogram->Observe(1e-4 * (i % 100));
+          gauge->Set(static_cast<double>(t));
+        }
+      });
+    }
+    std::thread reader([&] {
+      for (int i = 0; i < 50; ++i) {
+        (void)obs::TraceRecorder::Global().Consolidated();
+        (void)obs::MetricsRegistry::Global().Snapshot();
+        (void)counter->Total();
+      }
+    });
+    // Metric updates from ParallelFor chunks race against the reader too.
+    util::ParallelFor(0, kItemsPerUpdater, 100, [&](int64_t begin, int64_t end) {
+      obs::ScopedSpan span("tsan.chunk");
+      for (int64_t i = begin; i < end; ++i) counter->Increment();
+    });
+    for (auto& updater : updaters) updater.join();
+    reader.join();
+
+    const uint64_t expected = static_cast<uint64_t>(kUpdaters + 1) * kItemsPerUpdater;
+    if (counter->Total() != expected) {
+      std::fprintf(stderr, "FAIL: tsan.counter total %llu != %llu\n",
+                   static_cast<unsigned long long>(counter->Total()),
+                   static_cast<unsigned long long>(expected));
+      ok = false;
+    }
+    if (histogram->Count() != static_cast<uint64_t>(kUpdaters) * kItemsPerUpdater) {
+      std::fprintf(stderr, "FAIL: tsan.histogram count mismatch\n");
+      ok = false;
+    }
+    obs::SetEnabled(false);
+    obs::TraceRecorder::Global().Clear();
+  }
 
   // Parallel tensor kernels: run the same workload at 1 and 4 threads under
   // the instrumented runtime and require identical bits.

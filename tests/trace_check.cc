@@ -1,0 +1,92 @@
+// Standalone Chrome trace-event validator for ctest fixtures:
+//   trace_check <trace.json> [required-span-name...]
+// Exit 0 when the file parses as trace JSON, every event is structurally
+// valid ("name"/"ph"/"ts" present; "X" events carry "dur"), and every
+// required span name appears in at least one event. Exit 1 on validation
+// failure, 2 on usage/IO errors.
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "obs/json.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: trace_check <trace.json> [required-span-name...]\n");
+    return 2;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "trace_check: cannot open %s\n", argv[1]);
+    return 2;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string document = buffer.str();
+
+  using revelio::obs::JsonValue;
+  JsonValue root;
+  std::string error;
+  if (!revelio::obs::ParseJson(document, &root, &error)) {
+    std::fprintf(stderr, "trace_check: %s is malformed JSON: %s\n", argv[1], error.c_str());
+    return 1;
+  }
+  if (root.type != JsonValue::Type::kObject) {
+    std::fprintf(stderr, "trace_check: top level is not an object\n");
+    return 1;
+  }
+  const JsonValue* events = root.Find("traceEvents");
+  if (events == nullptr || events->type != JsonValue::Type::kArray) {
+    std::fprintf(stderr, "trace_check: missing traceEvents array\n");
+    return 1;
+  }
+
+  std::set<std::string> seen_names;
+  int complete_events = 0;
+  for (size_t i = 0; i < events->array_items.size(); ++i) {
+    const JsonValue& event = events->array_items[i];
+    if (event.type != JsonValue::Type::kObject) {
+      std::fprintf(stderr, "trace_check: event %zu is not an object\n", i);
+      return 1;
+    }
+    const JsonValue* name = event.Find("name");
+    const JsonValue* ph = event.Find("ph");
+    if (name == nullptr || name->type != JsonValue::Type::kString || ph == nullptr ||
+        ph->type != JsonValue::Type::kString) {
+      std::fprintf(stderr, "trace_check: event %zu lacks string name/ph\n", i);
+      return 1;
+    }
+    if (ph->string_value == "M") continue;  // metadata events carry no ts
+    const JsonValue* ts = event.Find("ts");
+    if (ts == nullptr || ts->type != JsonValue::Type::kNumber) {
+      std::fprintf(stderr, "trace_check: event %zu (\"%s\") lacks numeric ts\n", i,
+                   name->string_value.c_str());
+      return 1;
+    }
+    if (ph->string_value == "X") {
+      const JsonValue* dur = event.Find("dur");
+      if (dur == nullptr || dur->type != JsonValue::Type::kNumber || dur->number_value < 0) {
+        std::fprintf(stderr, "trace_check: X event %zu (\"%s\") lacks non-negative dur\n", i,
+                     name->string_value.c_str());
+        return 1;
+      }
+      ++complete_events;
+    }
+    seen_names.insert(name->string_value);
+  }
+
+  bool ok = true;
+  for (int a = 2; a < argc; ++a) {
+    if (seen_names.count(argv[a]) == 0) {
+      std::fprintf(stderr, "trace_check: required span \"%s\" not found\n", argv[a]);
+      ok = false;
+    }
+  }
+  if (!ok) return 1;
+  std::printf("trace_check: %s ok (%d complete events, %zu distinct spans)\n", argv[1],
+              complete_events, seen_names.size());
+  return 0;
+}
