@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# Full verification ladder: tier-1 -> property suites -> ASan -> UBSan -> TSan.
+#
+# Usage: scripts/check.sh [--fast] [-j N]
+#   --fast   skip the sanitizer stages (tier1 + prop only)
+#   -j N     build parallelism (default 4)
+#
+# Each stage configures/builds its preset if needed, then runs the matching
+# ctest selection. A summary table is printed at the end; the exit code is
+# non-zero if any stage failed.
+
+set -u
+
+cd "$(dirname "$0")/.."
+
+JOBS=4
+FAST=0
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --fast) FAST=1 ;;
+    -j) shift; JOBS="$1" ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+STAGE_NAMES=()
+STAGE_RESULTS=()
+STAGE_SECONDS=()
+
+# run_stage <name> <command...>
+run_stage() {
+  local name="$1"
+  shift
+  echo
+  echo "=== ${name}: $* ==="
+  local start=$SECONDS
+  if "$@"; then
+    STAGE_RESULTS+=("PASS")
+  else
+    STAGE_RESULTS+=("FAIL")
+  fi
+  STAGE_NAMES+=("${name}")
+  STAGE_SECONDS+=($((SECONDS - start)))
+}
+
+# build_preset <preset>: configure once, then (re)build.
+build_preset() {
+  local preset="$1"
+  local dir="build"
+  [[ "${preset}" != "default" ]] && dir="build-${preset}"
+  if [[ ! -f "${dir}/CMakeCache.txt" ]]; then
+    cmake --preset "${preset}" || return 1
+  fi
+  cmake --build --preset "${preset}" -j "${JOBS}"
+}
+
+run_stage "build"      build_preset default
+run_stage "tier1"      ctest --test-dir build -L tier1 --output-on-failure
+run_stage "prop"       ctest --test-dir build -L prop --output-on-failure
+run_stage "san-smoke"  ctest --test-dir build -L san --output-on-failure
+
+if [[ "${FAST}" -eq 0 ]]; then
+  run_stage "asan-build"  build_preset asan
+  run_stage "asan"        ctest --preset asan
+  run_stage "ubsan-build" build_preset ubsan
+  run_stage "ubsan"       ctest --preset ubsan
+  run_stage "tsan-build"  build_preset tsan
+  run_stage "tsan"        ctest --preset tsan
+fi
+
+echo
+echo "== summary =="
+printf '%-12s %-6s %8s\n' "stage" "result" "seconds"
+FAILED=0
+for i in "${!STAGE_NAMES[@]}"; do
+  printf '%-12s %-6s %8s\n' "${STAGE_NAMES[$i]}" "${STAGE_RESULTS[$i]}" "${STAGE_SECONDS[$i]}"
+  [[ "${STAGE_RESULTS[$i]}" == "FAIL" ]] && FAILED=1
+done
+if [[ "${FAILED}" -ne 0 ]]; then
+  echo "RESULT: FAIL"
+  exit 1
+fi
+echo "RESULT: PASS"

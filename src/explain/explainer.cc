@@ -19,6 +19,43 @@ Explanation Explainer::Explain(const ExplanationTask& task, Objective objective)
   return ExplainImpl(task, objective);
 }
 
+util::Status ValidateExplanationTask(const ExplanationTask& task) {
+  if (task.model == nullptr) return util::Status::InvalidArgument("task.model is null");
+  if (task.graph == nullptr) return util::Status::InvalidArgument("task.graph is null");
+  const int n = task.graph->num_nodes();
+  if (n <= 0) {
+    return util::Status::InvalidArgument("cannot explain an empty graph (0 nodes, no flows)");
+  }
+  if (task.features.rows() != n) {
+    return util::Status::InvalidArgument(
+        "features have " + std::to_string(task.features.rows()) + " rows for " +
+        std::to_string(n) + " nodes");
+  }
+  const gnn::GnnConfig& config = task.model->config();
+  if (task.features.cols() != config.input_dim) {
+    return util::Status::InvalidArgument(
+        "feature dim " + std::to_string(task.features.cols()) + " != model input_dim " +
+        std::to_string(config.input_dim));
+  }
+  const bool node_task = config.task == gnn::TaskType::kNodeClassification;
+  if (node_task != task.is_node_task()) {
+    return util::Status::InvalidArgument(node_task
+                                             ? "node-classification model requires target_node >= 0"
+                                             : "graph-classification task must use target_node = -1");
+  }
+  if (node_task && task.target_node >= n) {
+    return util::Status::InvalidArgument(
+        "target_node " + std::to_string(task.target_node) + " out of range for " +
+        std::to_string(n) + " nodes");
+  }
+  if (task.target_class < 0 || task.target_class >= config.num_classes) {
+    return util::Status::InvalidArgument(
+        "target_class " + std::to_string(task.target_class) + " out of range for " +
+        std::to_string(config.num_classes) + " classes");
+  }
+  return util::Status::Ok();
+}
+
 tensor::Tensor CloneFeatures(const ExplanationTask& task) {
   return task.features.Detach();
 }

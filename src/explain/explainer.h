@@ -15,6 +15,7 @@
 
 #include "gnn/model.h"
 #include "graph/graph.h"
+#include "util/status.h"
 
 namespace revelio::explain {
 
@@ -81,6 +82,13 @@ class Explainer {
  protected:
   virtual Explanation ExplainImpl(const ExplanationTask& task, Objective objective) = 0;
 };
+
+// Validates a task before it reaches an explainer: null model/graph, an empty
+// graph, a feature matrix whose shape disagrees with the graph or the model's
+// input_dim, or an out-of-range target node/class all yield kInvalidArgument
+// instead of a CHECK-abort deep inside the method. Degenerate-but-valid tasks
+// (single node, zero edges) pass.
+util::Status ValidateExplanationTask(const ExplanationTask& task);
 
 // Makes a differentiable clone of the task's feature matrix (leaf).
 tensor::Tensor CloneFeatures(const ExplanationTask& task);

@@ -97,6 +97,16 @@ class GatLayer : public GnnLayer {
                          const tensor::Tensor& h, const tensor::Tensor& edge_mask) const override;
 
   int num_heads() const { return num_heads_; }
+  int head_dim() const { return head_dim_; }
+  bool concat() const { return concat_; }
+
+  // Per-head parameter accessors, used by the dense-reference differential
+  // suite (tests/prop/dense_reference_test) to rebuild the layer's math over
+  // a dense adjacency matrix.
+  const nn::Linear& head_projection(int head) const { return *head_projections_[head]; }
+  const tensor::Tensor& attention_src(int head) const { return attention_src_[head]; }
+  const tensor::Tensor& attention_dst(int head) const { return attention_dst_[head]; }
+  const tensor::Tensor& bias() const { return bias_; }
 
  private:
   int num_heads_;

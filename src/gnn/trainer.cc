@@ -70,6 +70,7 @@ TrainMetrics TrainNodeModel(GnnModel* model, const graph::Graph& graph,
     loss.Backward();
     optimizer.Step();
     metrics.final_loss = loss.Value();
+    metrics.loss_curve.push_back(loss.Value());
     if (config.verbose && (epoch % 20 == 0 || epoch + 1 == config.epochs)) {
       LOG_INFO << "node-train epoch " << epoch << " loss " << metrics.final_loss;
     }
@@ -108,6 +109,7 @@ TrainMetrics TrainGraphModel(GnnModel* model, const std::vector<graph::GraphInst
     loss.Backward();
     optimizer.Step();
     metrics.final_loss = loss.Value();
+    metrics.loss_curve.push_back(loss.Value());
     if (config.verbose && (epoch % 20 == 0 || epoch + 1 == config.epochs)) {
       LOG_INFO << "graph-train epoch " << epoch << " loss " << metrics.final_loss;
     }

@@ -35,6 +35,10 @@ struct TrainMetrics {
   double val_accuracy = 0.0;
   double test_accuracy = 0.0;
   double final_loss = 0.0;
+  // Training loss per epoch (loss_curve.back() == final_loss). With a fixed
+  // Rng seed the curve is bitwise-reproducible across runs and thread counts
+  // (the determinism contract; enforced by tests/prop/determinism_test).
+  std::vector<float> loss_curve;
 };
 
 // Trains `model` (node-classification config) on one attributed graph.

@@ -37,4 +37,33 @@ GraphBatch MakeBatch(const std::vector<const GraphInstance*>& instances) {
   return batch;
 }
 
+util::StatusOr<GraphBatch> TryMakeBatch(const std::vector<const GraphInstance*>& instances) {
+  if (instances.empty()) {
+    return util::Status::InvalidArgument("cannot batch an empty instance list");
+  }
+  const int feature_dim = instances[0]->features.cols();
+  for (size_t i = 0; i < instances.size(); ++i) {
+    const GraphInstance* instance = instances[i];
+    if (instance == nullptr) {
+      return util::Status::InvalidArgument("batch instance " + std::to_string(i) + " is null");
+    }
+    if (instance->features.rows() != instance->graph.num_nodes()) {
+      return util::Status::InvalidArgument(
+          "batch instance " + std::to_string(i) + " has " +
+          std::to_string(instance->features.rows()) + " feature rows for " +
+          std::to_string(instance->graph.num_nodes()) + " nodes");
+    }
+    if (instance->features.cols() != feature_dim) {
+      return util::Status::InvalidArgument(
+          "batch instance " + std::to_string(i) + " feature dim " +
+          std::to_string(instance->features.cols()) + " != " + std::to_string(feature_dim));
+    }
+    if (instance->labels.size() != 1u) {
+      return util::Status::InvalidArgument("graph instances carry a single graph label, got " +
+                                           std::to_string(instance->labels.size()));
+    }
+  }
+  return MakeBatch(instances);
+}
+
 }  // namespace revelio::graph

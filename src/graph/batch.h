@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "util/status.h"
 
 namespace revelio::graph {
 
@@ -22,6 +23,12 @@ struct GraphBatch {
 // Merges `instances` (each with labels = {graph_label}). Pointers must stay
 // valid for the duration of the call only.
 GraphBatch MakeBatch(const std::vector<const GraphInstance*>& instances);
+
+// Status-returning variant for harness-generated inputs: an empty instance
+// list, a feature-dimension mismatch, or a malformed label vector yields
+// kInvalidArgument instead of a CHECK-abort. A batch of a single zero-edge,
+// single-node instance is valid.
+util::StatusOr<GraphBatch> TryMakeBatch(const std::vector<const GraphInstance*>& instances);
 
 }  // namespace revelio::graph
 

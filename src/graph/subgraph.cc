@@ -50,6 +50,18 @@ Subgraph ExtractKHopInSubgraph(const Graph& graph, int target, int k) {
   return result;
 }
 
+util::StatusOr<Subgraph> TryExtractKHopInSubgraph(const Graph& graph, int target, int k) {
+  if (target < 0 || target >= graph.num_nodes()) {
+    return util::Status::InvalidArgument(
+        "k-hop target " + std::to_string(target) + " out of range for graph with " +
+        std::to_string(graph.num_nodes()) + " nodes");
+  }
+  if (k < 0) {
+    return util::Status::InvalidArgument("k-hop radius must be >= 0, got " + std::to_string(k));
+  }
+  return ExtractKHopInSubgraph(graph, target, k);
+}
+
 tensor::Tensor SliceRows(const tensor::Tensor& features, const std::vector<int>& rows) {
   const int cols = features.cols();
   std::vector<float> data;

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "util/status.h"
 
 namespace revelio::graph {
 
@@ -25,6 +26,12 @@ struct Subgraph {
 // with all induced edges. Node 0 of the result need not be the target; use
 // `target_local`.
 Subgraph ExtractKHopInSubgraph(const Graph& graph, int target, int k);
+
+// Status-returning variant for harness-generated inputs: rejects an
+// out-of-range target (any target on an empty graph) or a negative radius
+// with kInvalidArgument instead of CHECK-aborting. A target with no in-edges
+// is valid and yields the single-node, zero-edge subgraph.
+util::StatusOr<Subgraph> TryExtractKHopInSubgraph(const Graph& graph, int target, int k);
 
 // Rows of `features` selected by `rows` (a detached leaf tensor).
 tensor::Tensor SliceRows(const tensor::Tensor& features, const std::vector<int>& rows);

@@ -1,0 +1,24 @@
+#ifndef REVELIO_TENSOR_OP_REGISTRY_H_
+#define REVELIO_TENSOR_OP_REGISTRY_H_
+
+// Central inventory of the differentiable ops declared in ops.h. The property
+// suite enumerates this registry to enforce 100% gradcheck coverage: a new op
+// added to ops.h must also be added here and given a gradcheck harness, or
+// tests/prop/gradcheck_test fails.
+
+#include <string>
+#include <vector>
+
+namespace revelio::tensor {
+
+// Names of every public differentiable op, in ops.h declaration order.
+// Must stay in sync with ops.h (enforced by gradcheck_test, which parses the
+// header and diffs the two lists).
+const std::vector<std::string>& RegisteredOpNames();
+
+// True if `name` is in RegisteredOpNames().
+bool IsRegisteredOp(const std::string& name);
+
+}  // namespace revelio::tensor
+
+#endif  // REVELIO_TENSOR_OP_REGISTRY_H_

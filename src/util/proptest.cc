@@ -1,0 +1,54 @@
+#include "util/proptest.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace revelio::util {
+namespace {
+
+// SplitMix64 finalizer: decorrelates consecutive case indices into
+// independent-looking 64-bit seeds.
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+bool ParseUint64(const char* text, uint64_t* out) {
+  if (text == nullptr || *text == '\0') return false;
+  char* end = nullptr;
+  const uint64_t value = std::strtoull(text, &end, 0);  // base 0: decimal or 0x-hex
+  if (end == nullptr || *end != '\0') return false;
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+PropConfig DefaultPropConfig(int num_cases, uint64_t seed) {
+  PropConfig config;
+  config.num_cases = num_cases;
+  config.seed = seed;
+  uint64_t env_value = 0;
+  if (ParseUint64(std::getenv("REVELIO_PROP_SEED"), &env_value)) {
+    config.seed = env_value;
+    config.replay = true;  // the env seed is a printed case seed; use it directly
+  }
+  if (ParseUint64(std::getenv("REVELIO_PROP_CASES"), &env_value) && env_value > 0) {
+    config.num_cases = static_cast<int>(env_value);
+  }
+  return config;
+}
+
+uint64_t PropCaseSeed(uint64_t base_seed, int case_index) {
+  return SplitMix64(base_seed ^ SplitMix64(static_cast<uint64_t>(case_index)));
+}
+
+std::string FormatSeed(uint64_t seed) {
+  std::ostringstream out;
+  out << "0x" << std::hex << seed;
+  return out.str();
+}
+
+}  // namespace revelio::util

@@ -1,0 +1,105 @@
+// Schema check for the shared BENCH_*.json envelope: WriteBenchJson's output
+// must parse with the repo's own JSON parser and carry the documented keys
+// (schema_version, bench, threads, hardware_threads, data, metrics) in order,
+// so downstream tooling can rely on the envelope across every bench binary.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "bench_common.h"
+#include "obs/json.h"
+
+namespace revelio::bench {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream file(path);
+  std::ostringstream out;
+  out << file.rdbuf();
+  return out.str();
+}
+
+TEST(BenchJsonTest, EnvelopeMatchesSchema) {
+  const std::string path = "bench_json_test_envelope.json";
+  const bool ok = WriteBenchJson(path, "schema_probe", [](obs::JsonWriter* w) {
+    w->BeginObject();
+    w->Key("answer");
+    w->Int(42);
+    w->Key("items");
+    w->BeginArray();
+    w->Double(1.5);
+    w->String("two");
+    w->EndArray();
+    w->EndObject();
+  });
+  ASSERT_TRUE(ok);
+
+  const std::string text = ReadFile(path);
+  std::remove(path.c_str());
+  ASSERT_FALSE(text.empty());
+
+  obs::JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(obs::ParseJson(text, &doc, &error)) << error;
+  ASSERT_TRUE(doc.is_object());
+
+  // The envelope keys, in the documented order.
+  ASSERT_EQ(doc.object_items.size(), 6u);
+  EXPECT_EQ(doc.object_items[0].first, "schema_version");
+  EXPECT_EQ(doc.object_items[1].first, "bench");
+  EXPECT_EQ(doc.object_items[2].first, "threads");
+  EXPECT_EQ(doc.object_items[3].first, "hardware_threads");
+  EXPECT_EQ(doc.object_items[4].first, "data");
+  EXPECT_EQ(doc.object_items[5].first, "metrics");
+
+  const obs::JsonValue* version = doc.Find("schema_version");
+  ASSERT_NE(version, nullptr);
+  ASSERT_TRUE(version->is_number());
+  EXPECT_EQ(version->number_value, 1.0);
+
+  const obs::JsonValue* bench = doc.Find("bench");
+  ASSERT_NE(bench, nullptr);
+  ASSERT_TRUE(bench->is_string());
+  EXPECT_EQ(bench->string_value, "schema_probe");
+
+  const obs::JsonValue* threads = doc.Find("threads");
+  ASSERT_NE(threads, nullptr);
+  ASSERT_TRUE(threads->is_number());
+  EXPECT_GE(threads->number_value, 1.0);
+
+  const obs::JsonValue* hardware = doc.Find("hardware_threads");
+  ASSERT_NE(hardware, nullptr);
+  ASSERT_TRUE(hardware->is_number());
+  EXPECT_GE(hardware->number_value, 1.0);
+
+  // The bench-specific payload round-trips intact.
+  const obs::JsonValue* data = doc.Find("data");
+  ASSERT_NE(data, nullptr);
+  ASSERT_TRUE(data->is_object());
+  const obs::JsonValue* answer = data->Find("answer");
+  ASSERT_NE(answer, nullptr);
+  EXPECT_EQ(answer->number_value, 42.0);
+  const obs::JsonValue* items = data->Find("items");
+  ASSERT_NE(items, nullptr);
+  ASSERT_TRUE(items->is_array());
+  ASSERT_EQ(items->array_items.size(), 2u);
+  EXPECT_EQ(items->array_items[0].number_value, 1.5);
+  EXPECT_EQ(items->array_items[1].string_value, "two");
+
+  const obs::JsonValue* metrics = doc.Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_TRUE(metrics->is_object());
+}
+
+TEST(BenchJsonTest, UnwritablePathReturnsFalse) {
+  const bool ok = WriteBenchJson("/nonexistent-dir/out.json", "schema_probe",
+                                 [](obs::JsonWriter* w) { w->Null(); });
+  EXPECT_FALSE(ok);
+}
+
+}  // namespace
+}  // namespace revelio::bench

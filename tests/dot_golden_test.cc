@@ -1,0 +1,135 @@
+// Golden-file coverage for the Graphviz exporter: the rendered DOT text for a
+// fixture graph exercising every style branch (target node, motif nodes,
+// selected / missed-ground-truth / plain edges, directed-pair merging) must
+// stay byte-identical to tests/golden/explanation.dot. Run with
+// REVELIO_UPDATE_GOLDEN=1 to regenerate after an intentional format change.
+// Also structurally validates the committed fig6_a_*.dot artifacts.
+
+#ifndef REVELIO_SOURCE_DIR
+#error "compile with -DREVELIO_SOURCE_DIR=\"<repo root>\""
+#endif
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/dot_export.h"
+#include "graph/graph.h"
+
+namespace revelio::graph {
+namespace {
+
+std::string GoldenPath() {
+  return std::string(REVELIO_SOURCE_DIR) + "/tests/golden/explanation.dot";
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream file(path);
+  std::ostringstream out;
+  out << file.rdbuf();
+  return out.str();
+}
+
+// House motif (0-1-2) on a tail (3-4-5): mixed undirected pairs and one-way
+// edges so the pair-merging path is exercised alongside plain edges.
+Graph FixtureGraph() {
+  Graph g(6);
+  g.AddUndirectedEdge(0, 1);  // edges 0,1
+  g.AddUndirectedEdge(1, 2);  // edges 2,3
+  g.AddEdge(2, 0);            // edge 4, one direction only
+  g.AddEdge(3, 2);            // edge 5
+  g.AddEdge(4, 3);            // edge 6
+  g.AddEdge(5, 4);            // edge 7
+  return g;
+}
+
+DotStyle FixtureStyle(const Graph& g) {
+  DotStyle style;
+  style.edge_selected.assign(g.num_edges(), 0);
+  style.edge_selected[1] = 1;  // 1->0: merged pair must pick up the reverse flag
+  style.edge_selected[4] = 1;  // 2->0 selected
+  style.edge_ground_truth.assign(g.num_edges(), 0);
+  style.edge_ground_truth[2] = 1;  // 1->2 in the motif but not selected: dashed red
+  style.edge_ground_truth[4] = 1;  // selected wins over ground-truth styling
+  style.node_in_motif = {1, 1, 1, 0, 0, 0};
+  style.target_node = 0;
+  return style;
+}
+
+TEST(DotGoldenTest, RenderedDotMatchesGoldenFile) {
+  const Graph g = FixtureGraph();
+  const std::string rendered = ToDot(g, FixtureStyle(g));
+
+  if (std::getenv("REVELIO_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(GoldenPath());
+    ASSERT_TRUE(out.good()) << "cannot write " << GoldenPath();
+    out << rendered;
+    GTEST_SKIP() << "golden file regenerated at " << GoldenPath();
+  }
+
+  const std::string golden = ReadFile(GoldenPath());
+  ASSERT_FALSE(golden.empty()) << "missing golden file " << GoldenPath()
+                               << "; run with REVELIO_UPDATE_GOLDEN=1 to create it";
+  EXPECT_EQ(rendered, golden)
+      << "DOT output drifted from the golden file. If the change is intentional, "
+         "regenerate with REVELIO_UPDATE_GOLDEN=1 and review the diff.";
+}
+
+TEST(DotGoldenTest, DirectedModeRendersDigraph) {
+  const Graph g = FixtureGraph();
+  DotStyle style = FixtureStyle(g);
+  style.merge_directed_pairs = false;
+  const std::string rendered = ToDot(g, style);
+  EXPECT_EQ(rendered.rfind("digraph explanation {", 0), 0u);
+  // Without merging, every directed edge is emitted.
+  size_t arrows = 0;
+  for (size_t pos = rendered.find(" -> "); pos != std::string::npos;
+       pos = rendered.find(" -> ", pos + 1)) {
+    ++arrows;
+  }
+  EXPECT_EQ(arrows, static_cast<size_t>(g.num_edges()));
+}
+
+// The committed Fig. 6a artifacts must stay structurally valid DOT: correct
+// header/footer, every statement terminated, and node ids consistent between
+// declarations and edges.
+TEST(DotGoldenTest, CommittedFig6ArtifactsAreWellFormed) {
+  const std::vector<std::string> methods = {
+      "Revelio", "GradCAM", "PGExplainer", "GNN-LRP",     "GraphMask",
+      "FlowX",   "DeepLIFT", "SubgraphX",  "GNNExplainer", "PGMExplainer"};
+  for (const std::string& method : methods) {
+    const std::string path =
+        std::string(REVELIO_SOURCE_DIR) + "/fig6_a_" + method + ".dot";
+    const std::string text = ReadFile(path);
+    ASSERT_FALSE(text.empty()) << "missing committed artifact " << path;
+    EXPECT_EQ(text.rfind("graph explanation {", 0), 0u) << path;
+    EXPECT_NE(text.find("\n}\n"), std::string::npos) << path;
+
+    std::istringstream lines(text);
+    std::string line;
+    int declared_nodes = 0;
+    int edges = 0;
+    while (std::getline(lines, line)) {
+      if (line.rfind("  ", 0) != 0) continue;
+      EXPECT_EQ(line.back(), ';') << path << ": unterminated line: " << line;
+      if (line.find(" -- ") != std::string::npos) {
+        ++edges;
+        const int src = std::atoi(line.c_str() + 2);
+        const int dst = std::atoi(line.c_str() + line.find(" -- ") + 4);
+        EXPECT_LT(src, declared_nodes) << path << ": edge from undeclared node";
+        EXPECT_LT(dst, declared_nodes) << path << ": edge to undeclared node";
+      } else if (line.find("fillcolor") != std::string::npos) {
+        ++declared_nodes;
+      }
+    }
+    EXPECT_GT(declared_nodes, 0) << path;
+    EXPECT_GT(edges, 0) << path;
+  }
+}
+
+}  // namespace
+}  // namespace revelio::graph

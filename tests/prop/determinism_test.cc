@@ -1,0 +1,144 @@
+// Determinism: with a fixed util::Rng seed, the training loss curve and the
+// Revelio flow ranking are bitwise-identical across two independent runs and
+// across thread counts 1 vs 4 (the CLI's --threads flag maps onto
+// util::SetNumThreads). This pins the repo-wide determinism contract: every
+// parallel kernel partitions its OUTPUT range, so results never depend on
+// the thread count.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/revelio.h"
+#include "explain/explainer.h"
+#include "flow/flow_scores.h"
+#include "gnn/model.h"
+#include "gnn/trainer.h"
+#include "graph/graph.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace revelio {
+namespace {
+
+using tensor::Tensor;
+
+constexpr uint64_t kSeed = 20260805;
+
+struct Instance {
+  graph::Graph graph;
+  Tensor features;
+  std::vector<int> labels;
+};
+
+// Small deterministic instance: ring + random chords, random features and
+// labels. Everything derives from kSeed.
+Instance MakeInstance() {
+  Instance inst;
+  util::Rng rng(kSeed);
+  const int n = 24;
+  inst.graph = graph::Graph(n);
+  for (int v = 0; v < n; ++v) inst.graph.AddUndirectedEdge(v, (v + 1) % n);
+  for (int i = 0; i < 16; ++i) {
+    const int u = rng.UniformInt(n);
+    const int v = rng.UniformInt(n);
+    if (u != v && !inst.graph.HasEdge(u, v)) inst.graph.AddEdge(u, v);
+  }
+  inst.features = Tensor::Uniform(n, 5, -1.0f, 1.0f, &rng);
+  inst.labels.resize(n);
+  for (auto& l : inst.labels) l = rng.UniformInt(2);
+  return inst;
+}
+
+gnn::GnnConfig ModelConfig() {
+  gnn::GnnConfig config;
+  config.arch = gnn::GnnArch::kGcn;
+  config.task = gnn::TaskType::kNodeClassification;
+  config.input_dim = 5;
+  config.hidden_dim = 8;
+  config.num_classes = 2;
+  config.num_layers = 2;
+  config.seed = kSeed + 1;
+  return config;
+}
+
+std::vector<float> TrainOnce() {
+  const Instance inst = MakeInstance();
+  gnn::GnnModel model(ModelConfig());
+  util::Rng split_rng(kSeed + 2);
+  const gnn::Split split = gnn::MakeSplit(inst.graph.num_nodes(), 0.6, 0.2, &split_rng);
+  gnn::TrainConfig config;
+  config.epochs = 25;
+  const gnn::TrainMetrics metrics =
+      gnn::TrainNodeModel(&model, inst.graph, inst.features, inst.labels, split, config);
+  EXPECT_EQ(static_cast<int>(metrics.loss_curve.size()), config.epochs);
+  EXPECT_EQ(metrics.loss_curve.back(), static_cast<float>(metrics.final_loss));
+  return metrics.loss_curve;
+}
+
+struct RevelioRun {
+  std::vector<double> flow_scores;
+  std::vector<int> ranking;
+  std::vector<double> edge_scores;
+};
+
+RevelioRun ExplainOnce() {
+  const Instance inst = MakeInstance();
+  gnn::GnnModel model(ModelConfig());
+  core::RevelioOptions options;
+  options.epochs = 20;
+  options.seed = kSeed + 3;
+  core::RevelioExplainer explainer(options);
+  explain::ExplanationTask task;
+  task.model = &model;
+  task.graph = &inst.graph;
+  task.features = inst.features;
+  task.target_node = 3;
+  task.target_class = 1;
+  const core::RevelioExplainer::FlowExplanation result =
+      explainer.ExplainFlows(task, explain::Objective::kFactual);
+  RevelioRun run;
+  run.flow_scores = result.flow_scores;
+  run.ranking = flow::TopKFlows(result.flow_scores, 10);
+  run.edge_scores = result.edge_scores;
+  return run;
+}
+
+class DeterminismTest : public ::testing::Test {
+ protected:
+  void TearDown() override { util::SetNumThreads(1); }
+};
+
+TEST_F(DeterminismTest, LossCurveBitwiseIdenticalAcrossRunsAndThreads) {
+  util::SetNumThreads(1);
+  const std::vector<float> first = TrainOnce();
+  const std::vector<float> second = TrainOnce();
+  EXPECT_EQ(first, second) << "same seed, same thread count: loss curves differ";
+
+  util::SetNumThreads(4);
+  const std::vector<float> threaded = TrainOnce();
+  EXPECT_EQ(first, threaded) << "--threads 1 vs --threads 4: loss curves differ";
+}
+
+TEST_F(DeterminismTest, RevelioFlowRankingBitwiseIdenticalAcrossRunsAndThreads) {
+  util::SetNumThreads(1);
+  const RevelioRun first = ExplainOnce();
+  ASSERT_FALSE(first.flow_scores.empty());
+  const RevelioRun second = ExplainOnce();
+  EXPECT_EQ(first.flow_scores, second.flow_scores)
+      << "same seed, same thread count: flow scores differ";
+  EXPECT_EQ(first.ranking, second.ranking);
+  EXPECT_EQ(first.edge_scores, second.edge_scores);
+
+  util::SetNumThreads(4);
+  const RevelioRun threaded = ExplainOnce();
+  EXPECT_EQ(first.flow_scores, threaded.flow_scores)
+      << "--threads 1 vs --threads 4: flow scores differ";
+  EXPECT_EQ(first.ranking, threaded.ranking);
+  EXPECT_EQ(first.edge_scores, threaded.edge_scores);
+}
+
+}  // namespace
+}  // namespace revelio

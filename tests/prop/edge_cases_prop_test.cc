@@ -1,0 +1,228 @@
+// Edge-case hardening: degenerate harness inputs (empty graphs, zero-edge
+// k-hop subgraphs, single-node batches) must surface as clean util::Status
+// errors from the Try*/Validate entry points — never as CHECK-aborts — and
+// the degenerate-but-valid shapes must flow through the full pipeline.
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/revelio.h"
+#include "explain/explainer.h"
+#include "gnn/model.h"
+#include "gnn/trainer.h"
+#include "graph/batch.h"
+#include "graph/graph.h"
+#include "graph/subgraph.h"
+#include "prop/prop_util.h"
+#include "util/proptest.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace revelio::proptest {
+namespace {
+
+using tensor::Tensor;
+
+// --- Try-API property over random (possibly empty) graphs --------------------
+
+TEST(EdgeCaseTest, TryExtractKHopRejectsBadInputsAndAcceptsAllValidTargets) {
+  const util::PropConfig config = util::DefaultPropConfig(60, 0xedbe);
+  const util::Domain<GraphSpec> domain = GraphDomain(0, 8, /*allow_empty=*/true);
+  const util::CheckResult result = util::ForAll<GraphSpec>(
+      "khop_status", domain,
+      [](const GraphSpec& spec) -> std::string {
+        const graph::Graph g = MakeGraph(spec);
+        // Out-of-range targets and negative radii: InvalidArgument, not abort.
+        for (int bad : {-1, g.num_nodes()}) {
+          const auto status_or = graph::TryExtractKHopInSubgraph(g, bad, 2);
+          if (status_or.ok()) return "accepted out-of-range target " + std::to_string(bad);
+          if (status_or.status().code() != util::StatusCode::kInvalidArgument) {
+            return "wrong code for bad target: " + status_or.status().ToString();
+          }
+        }
+        if (g.num_nodes() > 0) {
+          const auto status_or = graph::TryExtractKHopInSubgraph(g, 0, -1);
+          if (status_or.ok()) return "accepted negative radius";
+        }
+        // Every in-range target succeeds, including isolated nodes whose
+        // subgraph has zero edges.
+        for (int t = 0; t < g.num_nodes(); ++t) {
+          const auto status_or = graph::TryExtractKHopInSubgraph(g, t, 2);
+          if (!status_or.ok()) {
+            return "rejected valid target " + std::to_string(t) + ": " +
+                   status_or.status().ToString();
+          }
+          const graph::Subgraph& sub = status_or.value();
+          if (sub.node_map.empty() || sub.node_map[sub.target_local] != t) {
+            return "subgraph does not contain target " + std::to_string(t);
+          }
+        }
+        return "";
+      },
+      config);
+  EXPECT_TRUE(result.ok) << result.report;
+}
+
+// --- Zero-edge k-hop subgraph through the full Revelio pipeline --------------
+
+TEST(EdgeCaseTest, ZeroEdgeKHopSubgraphExplainsCleanly) {
+  // Node 0 only has out-edges, so its in-computation subgraph is the single
+  // node with zero edges. Revelio must still produce a (self-loop-only) flow
+  // explanation instead of aborting.
+  graph::Graph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  g.AddEdge(2, 3);
+  const auto sub_or = graph::TryExtractKHopInSubgraph(g, 0, 2);
+  ASSERT_TRUE(sub_or.ok()) << sub_or.status().ToString();
+  const graph::Subgraph& sub = sub_or.value();
+  ASSERT_EQ(sub.graph.num_nodes(), 1);
+  ASSERT_EQ(sub.graph.num_edges(), 0);
+
+  util::Rng rng(0x5e1f);
+  const Tensor all_features = Tensor::Uniform(4, 3, -1.0f, 1.0f, &rng);
+  gnn::GnnConfig model_config;
+  model_config.arch = gnn::GnnArch::kGcn;
+  model_config.input_dim = 3;
+  model_config.hidden_dim = 4;
+  model_config.num_classes = 2;
+  model_config.num_layers = 2;
+  model_config.seed = 7;
+  gnn::GnnModel model(model_config);
+
+  explain::ExplanationTask task;
+  task.model = &model;
+  task.graph = &sub.graph;
+  task.features = graph::SliceRows(all_features, sub.node_map);
+  task.target_node = sub.target_local;
+  task.target_class = 0;
+  ASSERT_TRUE(explain::ValidateExplanationTask(task).ok());
+
+  core::RevelioOptions options;
+  options.epochs = 5;
+  core::RevelioExplainer explainer(options);
+  const core::RevelioExplainer::FlowExplanation result =
+      explainer.ExplainFlows(task, explain::Objective::kFactual);
+  EXPECT_GT(result.flows.num_flows(), 0);  // self-loop chain flows
+  for (double s : result.flow_scores) EXPECT_TRUE(std::isfinite(s));
+}
+
+// --- Single-node batches ------------------------------------------------------
+
+graph::GraphInstance SingleNodeInstance(uint64_t seed, int feature_dim) {
+  graph::GraphInstance inst;
+  inst.graph = graph::Graph(1);
+  util::Rng rng(seed);
+  inst.features = Tensor::Uniform(1, feature_dim, -1.0f, 1.0f, &rng);
+  inst.labels = {static_cast<int>(seed % 2)};
+  return inst;
+}
+
+TEST(EdgeCaseTest, SingleNodeBatchRunsAndTrains) {
+  const graph::GraphInstance inst = SingleNodeInstance(11, 3);
+  const auto batch_or = graph::TryMakeBatch({&inst});
+  ASSERT_TRUE(batch_or.ok()) << batch_or.status().ToString();
+  const graph::GraphBatch& batch = batch_or.value();
+  EXPECT_EQ(batch.graph.num_nodes(), 1);
+  EXPECT_EQ(batch.num_graphs, 1);
+
+  gnn::GnnConfig model_config;
+  model_config.arch = gnn::GnnArch::kGin;
+  model_config.task = gnn::TaskType::kGraphClassification;
+  model_config.input_dim = 3;
+  model_config.hidden_dim = 4;
+  model_config.num_classes = 2;
+  model_config.num_layers = 2;
+  model_config.seed = 5;
+  gnn::GnnModel model(model_config);
+  const Tensor logits = model.Logits(batch.graph, batch.features);
+  ASSERT_EQ(logits.rows(), 1);
+  ASSERT_EQ(logits.cols(), 2);
+  for (float v : logits.values()) EXPECT_TRUE(std::isfinite(v));
+
+  // A dataset of single-node graphs must also survive a short training run.
+  std::vector<graph::GraphInstance> instances;
+  for (uint64_t s = 0; s < 6; ++s) instances.push_back(SingleNodeInstance(s, 3));
+  util::Rng split_rng(3);
+  const gnn::Split split = gnn::MakeSplit(static_cast<int>(instances.size()), 0.5, 0.25, &split_rng);
+  gnn::TrainConfig train_config;
+  train_config.epochs = 3;
+  const gnn::TrainMetrics metrics = gnn::TrainGraphModel(&model, instances, split, train_config);
+  EXPECT_TRUE(std::isfinite(metrics.final_loss));
+}
+
+TEST(EdgeCaseTest, TryMakeBatchRejectsMalformedInputs) {
+  EXPECT_EQ(graph::TryMakeBatch({}).status().code(), util::StatusCode::kInvalidArgument);
+
+  const graph::GraphInstance a = SingleNodeInstance(1, 3);
+  const graph::GraphInstance b = SingleNodeInstance(2, 4);  // mismatched feature dim
+  EXPECT_EQ(graph::TryMakeBatch({&a, &b}).status().code(), util::StatusCode::kInvalidArgument);
+
+  graph::GraphInstance c = SingleNodeInstance(3, 3);
+  c.labels = {0, 1};  // node labels on a graph-task instance
+  EXPECT_EQ(graph::TryMakeBatch({&a, &c}).status().code(), util::StatusCode::kInvalidArgument);
+  EXPECT_TRUE(graph::TryMakeBatch({&a}).ok());
+}
+
+// --- Task validation ----------------------------------------------------------
+
+TEST(EdgeCaseTest, ValidateExplanationTaskCatchesDegenerateInputs) {
+  gnn::GnnConfig model_config;
+  model_config.input_dim = 3;
+  model_config.hidden_dim = 4;
+  model_config.num_classes = 2;
+  model_config.num_layers = 2;
+  gnn::GnnModel model(model_config);
+
+  graph::Graph empty(0);
+  graph::Graph one(1);
+  util::Rng rng(9);
+  const Tensor features = Tensor::Uniform(1, 3, -1.0f, 1.0f, &rng);
+
+  explain::ExplanationTask task;
+  task.model = &model;
+  task.graph = &one;
+  task.features = features;
+  task.target_node = 0;
+  task.target_class = 1;
+  EXPECT_TRUE(explain::ValidateExplanationTask(task).ok());
+
+  explain::ExplanationTask bad = task;
+  bad.model = nullptr;
+  EXPECT_EQ(explain::ValidateExplanationTask(bad).code(), util::StatusCode::kInvalidArgument);
+
+  bad = task;
+  bad.graph = nullptr;
+  EXPECT_EQ(explain::ValidateExplanationTask(bad).code(), util::StatusCode::kInvalidArgument);
+
+  // Empty graph: previously an uncaught CHECK deep inside flow enumeration.
+  bad = task;
+  bad.graph = &empty;
+  EXPECT_EQ(explain::ValidateExplanationTask(bad).code(), util::StatusCode::kInvalidArgument);
+
+  bad = task;
+  bad.features = Tensor::Uniform(2, 3, -1.0f, 1.0f, &rng);  // rows != nodes
+  EXPECT_EQ(explain::ValidateExplanationTask(bad).code(), util::StatusCode::kInvalidArgument);
+
+  bad = task;
+  bad.features = Tensor::Uniform(1, 5, -1.0f, 1.0f, &rng);  // cols != input_dim
+  EXPECT_EQ(explain::ValidateExplanationTask(bad).code(), util::StatusCode::kInvalidArgument);
+
+  bad = task;
+  bad.target_node = 4;  // out of range
+  EXPECT_EQ(explain::ValidateExplanationTask(bad).code(), util::StatusCode::kInvalidArgument);
+
+  bad = task;
+  bad.target_node = -1;  // graph-style task against a node model
+  EXPECT_EQ(explain::ValidateExplanationTask(bad).code(), util::StatusCode::kInvalidArgument);
+
+  bad = task;
+  bad.target_class = 2;
+  EXPECT_EQ(explain::ValidateExplanationTask(bad).code(), util::StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace revelio::proptest

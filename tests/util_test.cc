@@ -175,9 +175,20 @@ TEST(TimerTest, MeasuresElapsed) {
   Timer timer;
   volatile double sink = 0.0;
   for (int i = 0; i < 2000000; ++i) sink += i;
-  EXPECT_GT(timer.ElapsedSeconds(), 0.0);
+  const double after_work = timer.ElapsedSeconds();
+  EXPECT_GT(after_work, 0.0);
+  // Steady-clock monotonicity: a later reading never decreases.
+  EXPECT_GE(timer.ElapsedSeconds(), after_work);
+
+  // Reset rebases the epoch. Checked against a reference timer constructed
+  // BEFORE the Reset: the reset timer's epoch is later, so reading it first
+  // must give the smaller value. This ordering holds under arbitrary
+  // scheduler stalls, unlike an absolute wall-clock bound.
+  Timer reference;
   timer.Reset();
-  EXPECT_LT(timer.ElapsedSeconds(), 1.0);
+  const double reset_reading = timer.ElapsedSeconds();     // read first
+  const double reference_reading = reference.ElapsedSeconds();
+  EXPECT_LE(reset_reading, reference_reading);
 }
 
 TEST(LoggingTest, LevelGate) {
