@@ -1,5 +1,8 @@
 #!/usr/bin/env bash
 # Full verification ladder: tier-1 -> property suites -> ASan -> UBSan -> TSan.
+# The property stage includes the fused-SpMM equivalence suite
+# (spmm_equivalence_test); the TSan pass runs it as its own named stage so a
+# data race in the fused aggregation path is attributed directly.
 #
 # Usage: scripts/check.sh [--fast] [-j N]
 #   --fast   skip the sanitizer stages (tier1 + prop only)
@@ -66,7 +69,8 @@ if [[ "${FAST}" -eq 0 ]]; then
   run_stage "ubsan-build" build_preset ubsan
   run_stage "ubsan"       ctest --preset ubsan
   run_stage "tsan-build"  build_preset tsan
-  run_stage "tsan"        ctest --preset tsan
+  run_stage "tsan-spmm"   ctest --preset tsan -R spmm_equivalence_test
+  run_stage "tsan"        ctest --preset tsan -E spmm_equivalence_test
 fi
 
 echo

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "graph/graph.h"
+#include "tensor/sparse.h"
 
 namespace revelio::gnn {
 
@@ -22,6 +23,12 @@ struct LayerEdgeSet {
   std::vector<int> src;                // per layer edge
   std::vector<int> dst;                // per layer edge
   std::vector<std::vector<int>> in_layer_edges;  // per node: incoming layer edges
+
+  // Aggregation pattern over the augmented edge list, grouped by destination
+  // node with weight slots = layer-edge indices; spliced from the graph's
+  // cached InCsr() by BuildLayerEdges. Null on default-constructed sets, in
+  // which case layers fall back to the legacy gather/scatter chain.
+  tensor::CsrPatternRef csr;
 
   int num_layer_edges() const { return static_cast<int>(src.size()); }
   bool IsSelfLoop(int e) const { return e >= num_base_edges; }

@@ -1,11 +1,50 @@
 #include "gnn/layers.h"
 
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
 #include "tensor/init.h"
 #include "tensor/ops.h"
 
 namespace revelio::gnn {
 
 using tensor::Tensor;
+
+namespace {
+
+bool FusedAggregationDefault() {
+  const char* env = std::getenv("REVELIO_FUSED_AGG");
+  if (env == nullptr) return true;
+  const std::string value(env);
+  return !(value == "0" || value == "false" || value == "off");
+}
+
+std::atomic<bool>& FusedAggregationFlag() {
+  static std::atomic<bool> flag(FusedAggregationDefault());
+  return flag;
+}
+
+// Aggregation step shared by all layers: out[j] = sum over in-layer-edges e
+// of scale[e] * h[src(e)]. Dispatches to the fused SpMM when the edge set
+// carries a CSR pattern and the toggle is on; both paths are bitwise-equal
+// (the fused kernel reproduces the chain's serial scan order, see
+// tensor/ops_spmm.cc and tests/prop/spmm_equivalence_test.cc).
+Tensor AggregateMessages(const LayerEdgeSet& edges, const Tensor& scale, const Tensor& h) {
+  if (FusedAggregationEnabled() && edges.csr != nullptr) {
+    return tensor::SpmmCsrWeighted(edges.csr, scale, h);
+  }
+  Tensor messages = tensor::RowScale(tensor::GatherRows(h, edges.src), scale);
+  return tensor::ScatterAddRows(messages, edges.dst, edges.num_nodes);
+}
+
+}  // namespace
+
+bool FusedAggregationEnabled() { return FusedAggregationFlag().load(std::memory_order_relaxed); }
+
+void SetFusedAggregation(bool enabled) {
+  FusedAggregationFlag().store(enabled, std::memory_order_relaxed);
+}
 
 GcnLayer::GcnLayer(int in_dim, int out_dim, util::Rng* rng, bool normalize)
     : GnnLayer(in_dim, out_dim), normalize_(normalize) {
@@ -25,11 +64,9 @@ std::vector<float> GcnLayer::Coefficients(const graph::Graph& graph,
 tensor::Tensor GcnLayer::Forward(const graph::Graph& graph, const LayerEdgeSet& edges,
                                  const tensor::Tensor& h, const tensor::Tensor& edge_mask) const {
   Tensor hw = linear_->Forward(h);
-  Tensor messages = tensor::GatherRows(hw, edges.src);
   Tensor scale = Tensor::FromVector(Coefficients(graph, edges));
   if (edge_mask.defined()) scale = tensor::Mul(scale, edge_mask);
-  messages = tensor::RowScale(messages, scale);
-  Tensor aggregated = tensor::ScatterAddRows(messages, edges.dst, edges.num_nodes);
+  Tensor aggregated = AggregateMessages(edges, scale, hw);
   return tensor::AddRowBroadcast(aggregated, bias_added_);
 }
 
@@ -50,8 +87,7 @@ tensor::Tensor GinLayer::Forward(const graph::Graph& graph, const LayerEdgeSet& 
   }
   Tensor scale = Tensor::FromVector(coefficients);
   if (edge_mask.defined()) scale = tensor::Mul(scale, edge_mask);
-  Tensor messages = tensor::RowScale(tensor::GatherRows(h, edges.src), scale);
-  Tensor aggregated = tensor::ScatterAddRows(messages, edges.dst, edges.num_nodes);
+  Tensor aggregated = AggregateMessages(edges, scale, h);
   return mlp_second_->Forward(tensor::Relu(mlp_first_->Forward(aggregated)));
 }
 
@@ -87,8 +123,7 @@ tensor::Tensor GatLayer::Forward(const graph::Graph& graph, const LayerEdgeSet& 
     edge_logits = tensor::LeakyRelu(edge_logits, 0.2f);
     Tensor attention = tensor::SegmentSoftmax(edge_logits, edges.dst, edges.num_nodes);
     Tensor scale = edge_mask.defined() ? tensor::Mul(attention, edge_mask) : attention;
-    Tensor messages = tensor::RowScale(tensor::GatherRows(wh, edges.src), scale);
-    Tensor head_out = tensor::ScatterAddRows(messages, edges.dst, edges.num_nodes);
+    Tensor head_out = AggregateMessages(edges, scale, wh);
     if (!combined.defined()) {
       combined = head_out;
     } else if (concat_) {

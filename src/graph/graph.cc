@@ -12,6 +12,8 @@ int Graph::AddEdge(int src, int dst) {
   CHECK_NE(src, dst) << "self-loops are not stored in the base graph";
   edges_.push_back({src, dst});
   adjacency_built_ = false;
+  in_csr_.reset();
+  out_csr_.reset();
   return static_cast<int>(edges_.size()) - 1;
 }
 
@@ -57,6 +59,32 @@ int Graph::MaxInDegree() const {
   int best = 0;
   for (int d : InDegrees()) best = std::max(best, d);
   return best;
+}
+
+const tensor::CsrPatternRef& Graph::InCsr() const {
+  if (in_csr_ == nullptr) {
+    std::vector<int> rows(edges_.size());
+    std::vector<int> cols(edges_.size());
+    for (size_t e = 0; e < edges_.size(); ++e) {
+      rows[e] = edges_[e].dst;
+      cols[e] = edges_[e].src;
+    }
+    in_csr_ = tensor::BuildCsrPattern(num_nodes_, num_nodes_, rows, cols);
+  }
+  return in_csr_;
+}
+
+const tensor::CsrPatternRef& Graph::OutCsr() const {
+  if (out_csr_ == nullptr) {
+    std::vector<int> rows(edges_.size());
+    std::vector<int> cols(edges_.size());
+    for (size_t e = 0; e < edges_.size(); ++e) {
+      rows[e] = edges_[e].src;
+      cols[e] = edges_[e].dst;
+    }
+    out_csr_ = tensor::BuildCsrPattern(num_nodes_, num_nodes_, rows, cols);
+  }
+  return out_csr_;
 }
 
 Graph Graph::RemoveEdges(const std::vector<int>& removed, std::vector<int>* index_map_out) const {

@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "tensor/sparse.h"
 #include "tensor/tensor.h"
 #include "util/check.h"
 
@@ -37,6 +38,8 @@ class Graph {
   void set_num_nodes(int n) {
     CHECK_GE(n, num_nodes_);
     num_nodes_ = n;
+    in_csr_.reset();
+    out_csr_.reset();
   }
 
   // Appends a directed edge src -> dst; returns its index. Self-loops are
@@ -61,6 +64,15 @@ class Graph {
   // Largest in-degree (the paper's d_-; bounds the number of message flows).
   int MaxInDegree() const;
 
+  // Cached CSR view of the base edges grouped by destination node: row v
+  // lists the edges entering v in increasing edge-index order, with the
+  // edge index as the weight slot (feeds the fused SpMM aggregation path).
+  // Built lazily; invalidated by AddEdge/set_num_nodes. RemoveEdges returns
+  // a fresh Graph, so its caches start cold by construction.
+  const tensor::CsrPatternRef& InCsr() const;
+  // Same, grouped by source node (row v lists edges leaving v).
+  const tensor::CsrPatternRef& OutCsr() const;
+
   // A copy of this graph without the edges whose indices are listed (node
   // set unchanged). `removed` must contain valid, distinct edge indices.
   // `index_map_out`, if non-null, receives old-edge-index -> new-edge-index
@@ -79,6 +91,8 @@ class Graph {
   mutable bool adjacency_built_ = false;
   mutable std::vector<std::vector<int>> in_edges_;
   mutable std::vector<std::vector<int>> out_edges_;
+  mutable tensor::CsrPatternRef in_csr_;
+  mutable tensor::CsrPatternRef out_csr_;
 };
 
 // Node features + labels packaged with a graph instance.

@@ -21,6 +21,8 @@ const std::vector<std::string>& RegisteredOpNames() {
       // Indexing / message passing.
       "GatherRows", "ScatterAddRows", "RowScale", "ConcatCols", "SegmentSoftmax",
       "SegmentMeanRows", "SegmentMaxRows", "Select", "NllLoss",
+      // Fused sparse aggregation.
+      "SpmmCsr", "SpmmCsrWeighted", "SpmmCsrMean",
   };
   return *kNames;
 }

@@ -11,6 +11,7 @@
 
 #include <vector>
 
+#include "tensor/sparse.h"
 #include "tensor/tensor.h"
 
 namespace revelio::tensor {
@@ -80,6 +81,21 @@ Tensor SegmentMeanRows(const Tensor& a, const std::vector<int>& segment_ids, int
 // Column-wise max per segment: (N x C) -> (S x C). Gradient flows to the
 // argmax row of each (segment, column). Empty segments produce zeros.
 Tensor SegmentMaxRows(const Tensor& a, const std::vector<int>& segment_ids, int num_segments);
+
+// --- Fused sparse aggregation -------------------------------------------------
+// Generalized SpMM over a CsrPattern: one fused pass replacing the
+// Gather -> RowScale -> ScatterAdd message-passing chain (bitwise-equal to it,
+// see ops_spmm.cc). out[j] = sum over row j's nonzeros of w_k * x[col_k].
+
+// Unweighted sum (w_k = 1). Rows with no nonzeros are exactly zero.
+Tensor SpmmCsr(const CsrPatternRef& pattern, const Tensor& x);
+
+// Per-edge weighted sum; `weights` is (pattern->num_edges x 1) and
+// differentiable, so Eq. 6 masks and GAT attention flow through this kernel.
+Tensor SpmmCsrWeighted(const CsrPatternRef& pattern, const Tensor& weights, const Tensor& x);
+
+// Per-row mean (sum scaled by 1/degree). Zero-degree rows stay exactly zero.
+Tensor SpmmCsrMean(const CsrPatternRef& pattern, const Tensor& x);
 
 // Extracts a single element as a 1x1 tensor (differentiable).
 Tensor Select(const Tensor& a, int row, int col);

@@ -31,6 +31,20 @@ constexpr int kOutDim = 6;
 constexpr double kRtol = 5e-4;
 constexpr double kAtol = 5e-5;
 
+// Forces the aggregation dispatch for one pass; every layer case below runs
+// against the dense reference under BOTH the fused SpMM path and the legacy
+// gather/scatter chain.
+class FusedModeGuard {
+ public:
+  explicit FusedModeGuard(bool enabled) : saved_(gnn::FusedAggregationEnabled()) {
+    gnn::SetFusedAggregation(enabled);
+  }
+  ~FusedModeGuard() { gnn::SetFusedAggregation(saved_); }
+
+ private:
+  bool saved_;
+};
+
 struct LayerCase {
   GraphSpec spec;
   uint64_t seed = 0;
@@ -166,10 +180,6 @@ TEST(DenseReferenceTest, GcnLayerMatchesDenseAdjacency) {
         gnn::GcnLayer layer(kInDim, kOutDim, &layer_rng, /*normalize=*/true);
         const std::vector<Tensor> params = layer.Parameters();
 
-        PassResult real = RunPass(
-            [&] { return layer.Forward(s.graph, s.edges, s.h, s.mask); }, s.h, params,
-            s.weight_seed);
-
         // Dense reference: H' = A_hat (H W) + b with
         // A_hat[dst][src] = coeff_e * mask_e.
         std::vector<float> weight = layer.Coefficients(s.graph, s.edges);
@@ -182,7 +192,15 @@ TEST(DenseReferenceTest, GcnLayerMatchesDenseAdjacency) {
             },
             s.h, params, s.weight_seed);
 
-        return ComparePasses(real, ref);
+        for (const bool fused : {true, false}) {
+          FusedModeGuard guard(fused);
+          PassResult real = RunPass(
+              [&] { return layer.Forward(s.graph, s.edges, s.h, s.mask); }, s.h, params,
+              s.weight_seed);
+          const std::string failure = ComparePasses(real, ref);
+          if (!failure.empty()) return std::string(fused ? "fused: " : "legacy: ") + failure;
+        }
+        return "";
       },
       util::DefaultPropConfig(60));
   EXPECT_TRUE(result.ok) << result.report;
@@ -196,10 +214,6 @@ TEST(DenseReferenceTest, GinLayerMatchesDenseAdjacency) {
         util::Rng layer_rng(c.seed ^ 0x9191ULL);
         gnn::GinLayer layer(kInDim, kOutDim, &layer_rng, /*eps=*/0.3f);
         const std::vector<Tensor> params = layer.Parameters();
-
-        PassResult real = RunPass(
-            [&] { return layer.Forward(s.graph, s.edges, s.h, s.mask); }, s.h, params,
-            s.weight_seed);
 
         // Dense reference: H' = MLP(A H) with A[dst][src] = coeff_e * mask_e,
         // coeff = 1 for base edges and (1 + eps) on the self-loop.
@@ -216,7 +230,15 @@ TEST(DenseReferenceTest, GinLayerMatchesDenseAdjacency) {
             },
             s.h, params, s.weight_seed);
 
-        return ComparePasses(real, ref);
+        for (const bool fused : {true, false}) {
+          FusedModeGuard guard(fused);
+          PassResult real = RunPass(
+              [&] { return layer.Forward(s.graph, s.edges, s.h, s.mask); }, s.h, params,
+              s.weight_seed);
+          const std::string failure = ComparePasses(real, ref);
+          if (!failure.empty()) return std::string(fused ? "fused: " : "legacy: ") + failure;
+        }
+        return "";
       },
       util::DefaultPropConfig(60));
   EXPECT_TRUE(result.ok) << result.report;
@@ -232,10 +254,6 @@ TEST(DenseReferenceTest, GatLayerMatchesDenseAttention) {
           util::Rng layer_rng(c.seed ^ 0x9a79a7ULL);
           gnn::GatLayer layer(kInDim, kOutDim, /*num_heads=*/3, concat, &layer_rng);
           const std::vector<Tensor> params = layer.Parameters();
-
-          PassResult real = RunPass(
-              [&] { return layer.Forward(s.graph, s.edges, s.h, s.mask); }, s.h, params,
-              s.weight_seed);
 
           // Dense reference per head: the edge-logit computation is shared,
           // but the attention softmax and aggregation run densely.
@@ -295,7 +313,15 @@ TEST(DenseReferenceTest, GatLayerMatchesDenseAttention) {
               },
               s.h, params, s.weight_seed);
 
-          return ComparePasses(real, ref);
+          for (const bool fused : {true, false}) {
+            FusedModeGuard guard(fused);
+            PassResult real = RunPass(
+                [&] { return layer.Forward(s.graph, s.edges, s.h, s.mask); }, s.h, params,
+                s.weight_seed);
+            const std::string failure = ComparePasses(real, ref);
+            if (!failure.empty()) return std::string(fused ? "fused: " : "legacy: ") + failure;
+          }
+          return "";
         },
         util::DefaultPropConfig(40));
     EXPECT_TRUE(result.ok) << result.report;

@@ -9,6 +9,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <cstring>
+#include <functional>
+
 #include "core/revelio.h"
 #include "explain/explainer.h"
 #include "gnn/model.h"
@@ -17,6 +21,9 @@
 #include "graph/graph.h"
 #include "graph/subgraph.h"
 #include "prop/prop_util.h"
+#include "tensor/ops.h"
+#include "tensor/sparse.h"
+#include "util/parallel.h"
 #include "util/proptest.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -108,6 +115,87 @@ TEST(EdgeCaseTest, ZeroEdgeKHopSubgraphExplainsCleanly) {
       explainer.ExplainFlows(task, explain::Objective::kFactual);
   EXPECT_GT(result.flows.num_flows(), 0);  // self-loop chain flows
   for (double s : result.flow_scores) EXPECT_TRUE(std::isfinite(s));
+}
+
+// --- Zero-in-degree rows must be exactly +0.0, never stale memory ------------
+
+// +0.0 down to the bit pattern (rules out -0.0 and any stale garbage).
+bool IsPositiveZero(float v) {
+  uint32_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits == 0;
+}
+
+// Churns the allocator with a nonzero buffer so a kernel that skipped
+// zero-initialization of untouched output rows would read back garbage
+// instead of accidentally-fresh zero pages.
+void DirtyHeap() {
+  std::vector<float> garbage(size_t{1} << 16, -123.456f);
+  volatile float sink = garbage[garbage.size() / 2];
+  (void)sink;
+}
+
+std::string CheckZeroRows(const char* what, const Tensor& out, const std::vector<int>& rows) {
+  for (int r : rows) {
+    for (int c = 0; c < out.cols(); ++c) {
+      if (!IsPositiveZero(out.At(r, c))) {
+        return std::string(what) + ": row " + std::to_string(r) + " col " + std::to_string(c) +
+               " is " + std::to_string(out.At(r, c)) + ", expected +0.0";
+      }
+    }
+  }
+  return "";
+}
+
+TEST(EdgeCaseTest, ZeroInDegreeNodesYieldExactZeroRowsInBothAggregationPaths) {
+  // Nodes 0, 2, 3, 5 receive no edges (zero in-degree); nodes 1, 4, 5 have
+  // no out-edges, so their dX rows must also be exactly zero.
+  graph::Graph g(6);
+  g.AddEdge(0, 1);
+  g.AddEdge(2, 1);
+  g.AddEdge(3, 4);
+  const std::vector<int> zero_in = {0, 2, 3, 5};
+  const std::vector<int> zero_out = {1, 4, 5};
+  std::vector<int> src(g.num_edges());
+  std::vector<int> dst(g.num_edges());
+  for (int e = 0; e < g.num_edges(); ++e) {
+    src[e] = g.edge(e).src;
+    dst[e] = g.edge(e).dst;
+  }
+
+  for (const int threads : {1, 2, 7, 16}) {
+    util::SetNumThreads(threads);
+    util::Rng rng(0x0de6 + threads);
+    const Tensor weights = Tensor::Uniform(g.num_edges(), 1, 0.2f, 1.5f, &rng);
+
+    struct Variant {
+      const char* name;
+      std::function<Tensor(const Tensor&)> forward;
+    };
+    const std::vector<Variant> variants = {
+        {"chain",
+         [&](const Tensor& x) {
+           return tensor::ScatterAddRows(tensor::GatherRows(x, src), dst, g.num_nodes());
+         }},
+        {"SpmmCsr", [&](const Tensor& x) { return tensor::SpmmCsr(g.InCsr(), x); }},
+        {"SpmmCsrMean", [&](const Tensor& x) { return tensor::SpmmCsrMean(g.InCsr(), x); }},
+        {"SpmmCsrWeighted",
+         [&](const Tensor& x) { return tensor::SpmmCsrWeighted(g.InCsr(), weights, x); }},
+    };
+    for (const Variant& v : variants) {
+      DirtyHeap();
+      Tensor x = Tensor::Uniform(g.num_nodes(), 7, -2.0f, 2.0f, &rng).WithRequiresGrad();
+      Tensor out = v.forward(x);
+      std::string failure = CheckZeroRows(v.name, out, zero_in);
+      EXPECT_EQ(failure, "") << "threads=" << threads;
+      tensor::Sum(out).Backward();
+      // dX of a node with no out-edges gets no contribution either.
+      Tensor grad = Tensor::FromData(x.rows(), x.cols(), x.GradData());
+      failure = CheckZeroRows((std::string(v.name) + " dX").c_str(), grad, zero_out);
+      EXPECT_EQ(failure, "") << "threads=" << threads;
+    }
+  }
+  util::SetNumThreads(1);
 }
 
 // --- Single-node batches ------------------------------------------------------

@@ -1,0 +1,127 @@
+// Standalone validator for the fused-SpMM bench result, used as a ctest
+// fixture after `bench_micro_kernels --quick`:
+//   spmm_bench_check <BENCH_spmm.json>
+// Exit 0 when the file carries the shared BENCH_*.json envelope, the sweep
+// has at least one point, every point's fused output was bitwise-equal to
+// the legacy chain, and the fused path is at least as fast as the chain
+// (speedup >= 1.0) at the largest problem size. Exit 1 on validation
+// failure, 2 on usage/IO errors.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.h"
+
+namespace {
+
+using revelio::obs::JsonValue;
+
+const JsonValue* RequireNumber(const JsonValue& object, const char* key) {
+  const JsonValue* value = object.Find(key);
+  if (value == nullptr || !value->is_number()) {
+    std::fprintf(stderr, "spmm_bench_check: missing numeric \"%s\"\n", key);
+    return nullptr;
+  }
+  return value;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: spmm_bench_check <BENCH_spmm.json>\n");
+    return 2;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "spmm_bench_check: cannot open %s\n", argv[1]);
+    return 2;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  JsonValue root;
+  std::string error;
+  if (!revelio::obs::ParseJson(buffer.str(), &root, &error)) {
+    std::fprintf(stderr, "spmm_bench_check: %s is malformed JSON: %s\n", argv[1],
+                 error.c_str());
+    return 1;
+  }
+  if (!root.is_object()) {
+    std::fprintf(stderr, "spmm_bench_check: top level is not an object\n");
+    return 1;
+  }
+
+  // Shared envelope (bench/bench_common.h WriteBenchJson).
+  const JsonValue* schema = root.Find("schema_version");
+  if (schema == nullptr || !schema->is_number() || schema->number_value != 1) {
+    std::fprintf(stderr, "spmm_bench_check: missing schema_version 1\n");
+    return 1;
+  }
+  const JsonValue* bench = root.Find("bench");
+  if (bench == nullptr || !bench->is_string() ||
+      bench->string_value != "spmm_fused_vs_chain") {
+    std::fprintf(stderr, "spmm_bench_check: bench name is not spmm_fused_vs_chain\n");
+    return 1;
+  }
+  const JsonValue* data = root.Find("data");
+  if (data == nullptr || !data->is_object()) {
+    std::fprintf(stderr, "spmm_bench_check: missing data object\n");
+    return 1;
+  }
+  const JsonValue* points = data->Find("points");
+  if (points == nullptr || !points->is_array() || points->array_items.empty()) {
+    std::fprintf(stderr, "spmm_bench_check: missing non-empty data.points array\n");
+    return 1;
+  }
+
+  double largest_edges = -1.0;
+  double largest_speedup = 0.0;
+  for (size_t i = 0; i < points->array_items.size(); ++i) {
+    const JsonValue& point = points->array_items[i];
+    if (!point.is_object()) {
+      std::fprintf(stderr, "spmm_bench_check: point %zu is not an object\n", i);
+      return 1;
+    }
+    const JsonValue* edges = RequireNumber(point, "edges");
+    const JsonValue* chain_s = RequireNumber(point, "chain_seconds");
+    const JsonValue* fused_s = RequireNumber(point, "fused_seconds");
+    const JsonValue* speedup = RequireNumber(point, "fused_speedup");
+    if (edges == nullptr || chain_s == nullptr || fused_s == nullptr || speedup == nullptr) {
+      return 1;
+    }
+    const JsonValue* bitwise = point.Find("bitwise_equal");
+    if (bitwise == nullptr || bitwise->type != JsonValue::Type::kBool) {
+      std::fprintf(stderr, "spmm_bench_check: point %zu lacks bool bitwise_equal\n", i);
+      return 1;
+    }
+    if (!bitwise->bool_value) {
+      std::fprintf(stderr,
+                   "spmm_bench_check: point %zu (edges=%.0f): fused output diverged "
+                   "from the legacy chain\n",
+                   i, edges->number_value);
+      return 1;
+    }
+    if (fused_s->number_value <= 0.0 || chain_s->number_value <= 0.0) {
+      std::fprintf(stderr, "spmm_bench_check: point %zu has non-positive timings\n", i);
+      return 1;
+    }
+    if (edges->number_value > largest_edges) {
+      largest_edges = edges->number_value;
+      largest_speedup = speedup->number_value;
+    }
+  }
+
+  if (largest_speedup < 1.0) {
+    std::fprintf(stderr,
+                 "spmm_bench_check: fused path slower than the legacy chain at the "
+                 "largest size (edges=%.0f, speedup=%.3fx < 1.0x)\n",
+                 largest_edges, largest_speedup);
+    return 1;
+  }
+  std::printf("spmm_bench_check: %s ok (%zu points, largest size edges=%.0f speedup=%.2fx)\n",
+              argv[1], points->array_items.size(), largest_edges, largest_speedup);
+  return 0;
+}
