@@ -10,6 +10,8 @@
 #include "eval/runner.h"
 #include "explain/pgexplainer.h"
 #include "obs/trace.h"
+#include "tensor/pool.h"
+#include "util/timer.h"
 
 namespace {
 
@@ -90,5 +92,83 @@ int main(int argc, char** argv) {
   std::printf("\nNote: per-instance seconds; the paper reports totals over 50 instances\n"
               "with 500 epochs. Shapes to compare: GradCAM/DeepLIFT fastest, SubgraphX\n"
               "slowest, Revelio fastest among flow-based methods on flow-heavy datasets.\n");
+
+  // --pool-out FILE: re-run the Revelio column with the tensor pool disabled
+  // and enabled and write the per-dataset comparison (the Table V counterpart
+  // of the micro-kernel pool sweep; scores must match bitwise).
+  const std::string pool_out = flags.GetString("pool-out", "");
+  if (!pool_out.empty()) {
+    struct PoolRow {
+      std::string dataset;
+      int instances = 0;
+      double unpooled_seconds = 0.0;
+      double pooled_seconds = 0.0;
+      double pool_speedup = 0.0;
+      bool bitwise_equal = false;
+    };
+    std::vector<PoolRow> rows;
+    const bool pool_was_enabled = tensor::PoolEnabled();
+    std::printf("\n== Revelio pooled vs unpooled (writes %s) ==\n", pool_out.c_str());
+    for (size_t d = 0; d < scope.datasets.size(); ++d) {
+      auto explainer = eval::MakeExplainer("Revelio", scope.config);
+      std::vector<explain::ExplanationTask> tasks;
+      tasks.reserve(instances[d].size());
+      for (const auto& instance : instances[d]) {
+        tasks.push_back(instance.MakeTask(prepared[d].model.get()));
+      }
+      auto run = [&] {
+        util::Timer timer;
+        std::vector<explain::Explanation> explanations =
+            eval::ExplainAll(explainer.get(), tasks, explain::Objective::kFactual);
+        return std::pair<std::vector<explain::Explanation>, double>(std::move(explanations),
+                                                                    timer.ElapsedSeconds());
+      };
+      PoolRow row;
+      row.dataset = scope.datasets[d];
+      row.instances = static_cast<int>(tasks.size());
+      tensor::SetPoolEnabled(false);
+      (void)run();  // warm model/graph caches
+      auto [unpooled, unpooled_seconds] = run();
+      row.unpooled_seconds = unpooled_seconds;
+      tensor::SetPoolEnabled(true);
+      (void)run();  // prime each worker thread's pool
+      auto [pooled, pooled_seconds] = run();
+      row.pooled_seconds = pooled_seconds;
+      row.pool_speedup = pooled_seconds > 0.0 ? unpooled_seconds / pooled_seconds : 0.0;
+      row.bitwise_equal = true;
+      for (size_t i = 0; i < pooled.size(); ++i) {
+        if (pooled[i].edge_scores != unpooled[i].edge_scores) row.bitwise_equal = false;
+      }
+      std::printf("%-12s instances=%-3d  unpooled %8.4fs  pooled %8.4fs  speedup=%5.2fx  "
+                  "bitwise_equal=%s\n",
+                  row.dataset.c_str(), row.instances, row.unpooled_seconds, row.pooled_seconds,
+                  row.pool_speedup, row.bitwise_equal ? "yes" : "NO");
+      rows.push_back(std::move(row));
+    }
+    tensor::SetPoolEnabled(pool_was_enabled);
+    bench::WriteBenchJson(pool_out, "table5_pool", [&](obs::JsonWriter* w) {
+      w->BeginObject();
+      w->Key("points");
+      w->BeginArray();
+      for (const PoolRow& r : rows) {
+        w->BeginObject();
+        w->Key("dataset");
+        w->String(r.dataset);
+        w->Key("instances");
+        w->Int(r.instances);
+        w->Key("unpooled_seconds");
+        w->Double(r.unpooled_seconds);
+        w->Key("pooled_seconds");
+        w->Double(r.pooled_seconds);
+        w->Key("pool_speedup");
+        w->Double(r.pool_speedup);
+        w->Key("bitwise_equal");
+        w->Bool(r.bitwise_equal);
+        w->EndObject();
+      }
+      w->EndArray();
+      w->EndObject();
+    });
+  }
   return 0;
 }

@@ -2,7 +2,9 @@
 # Full verification ladder: tier-1 -> property suites -> ASan -> UBSan -> TSan.
 # The property stage includes the fused-SpMM equivalence suite
 # (spmm_equivalence_test); the TSan pass runs it as its own named stage so a
-# data race in the fused aggregation path is attributed directly.
+# data race in the fused aggregation path is attributed directly. The pool
+# stage reruns the tensor-pool equivalence suite under ASan with
+# REVELIO_POISON_POOL=1 so full-overwrite contract violations surface as NaNs.
 #
 # Usage: scripts/check.sh [--fast] [-j N]
 #   --fast   skip the sanitizer stages (tier1 + prop only)
@@ -66,6 +68,10 @@ run_stage "san-smoke"  ctest --test-dir build -L san --output-on-failure
 if [[ "${FAST}" -eq 0 ]]; then
   run_stage "asan-build"  build_preset asan
   run_stage "asan"        ctest --preset asan
+  # Pool equivalence again under ASan with NaN-poisoned recycled buffers: any
+  # kernel reading an "uninitialized" pooled output trips the bitwise check
+  # while ASan watches the allocator itself.
+  run_stage "pool"        env REVELIO_POISON_POOL=1 ctest --preset asan -R pool_equivalence_test
   run_stage "ubsan-build" build_preset ubsan
   run_stage "ubsan"       ctest --preset ubsan
   run_stage "tsan-build"  build_preset tsan

@@ -167,6 +167,9 @@ RevelioExplainer::FlowExplanation RevelioExplainer::ExplainFlows(const Explanati
       Tensor loss = tensor::Add(objective_loss, tensor::MulScalar(regularizer, options_.alpha));
       loss.Backward();
       optimizer.Step();
+      // Recycle this epoch's intermediates: after the first epoch primes the
+      // pool's size classes, the optimization loop runs allocation-free.
+      loss.ReleaseTape();
     }
   }
 

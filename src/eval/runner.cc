@@ -276,7 +276,10 @@ std::vector<explain::Explanation> ExplainAll(explain::Explainer* explainer,
   // One slot per instance, one writer per slot; each Explain call is
   // deterministic on its own, so the result does not depend on the thread
   // count. Tensor ops inside Explain detect the enclosing region and run
-  // serially (instance-level parallelism wins over kernel-level).
+  // serially (instance-level parallelism wins over kernel-level). Each worker
+  // thread keeps its own tensor pool (thread-local, no locking), so the first
+  // instance a worker handles primes its size classes and the rest of its
+  // share runs allocation-free.
   util::ParallelFor(0, static_cast<int64_t>(tasks.size()), 1,
                     [explainer, out, in, objective](int64_t begin, int64_t end) {
                       for (int64_t i = begin; i < end; ++i) {

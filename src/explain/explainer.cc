@@ -3,6 +3,7 @@
 #include "nn/loss.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "tensor/pool.h"
 
 namespace revelio::explain {
 
@@ -16,6 +17,10 @@ Explanation Explainer::Explain(const ExplanationTask& task, Objective objective)
   obs::ScopedSpan span(obs::Enabled() ? "explain." + name() : std::string());
   static obs::Counter* calls = obs::MetricsRegistry::Global().GetCounter("explain.calls");
   calls->Increment();
+  // One pool scope per explanation: on exit the calling thread's tensor pool
+  // is trimmed back to its high-water mark, so repeated explanations reuse
+  // the same buffers instead of growing the retained set.
+  tensor::MemoryScope pool_scope("explain");
   return ExplainImpl(task, objective);
 }
 

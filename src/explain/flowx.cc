@@ -136,6 +136,7 @@ Explanation FlowXExplainer::ExplainImpl(const ExplanationTask& task, Objective o
     loss = tensor::Add(loss, tensor::MulScalar(mask_mean, options_.alpha));
     loss.Backward();
     optimizer.Step();
+    loss.ReleaseTape();
   }
 
   Explanation explanation;

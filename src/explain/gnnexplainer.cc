@@ -61,6 +61,10 @@ Explanation GnnExplainerMethod::ExplainImpl(const ExplanationTask& task, Objecti
     loss = tensor::Add(loss, tensor::MulScalar(tensor::Mean(entropy), options_.entropy_penalty));
     loss.Backward();
     optimizer.Step();
+    // Each epoch's graph of intermediates goes back to the tensor pool, so
+    // after the first epoch primes the size classes the loop allocates
+    // nothing new.
+    loss.ReleaseTape();
   }
 
   Explanation explanation;

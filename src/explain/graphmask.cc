@@ -85,6 +85,7 @@ void GraphMaskExplainer::Train(const std::vector<ExplanationTask>& tasks, Object
       loss = tensor::Add(loss, tensor::MulScalar(gate_mean, options_.sparsity_penalty));
       loss.Backward();
       optimizer.Step();
+      loss.ReleaseTape();
     }
   }
   if (objective == Objective::kFactual) {

@@ -81,6 +81,7 @@ void PgExplainer::Train(const std::vector<ExplanationTask>& tasks, Objective obj
       loss = tensor::Add(loss, tensor::MulScalar(size_term, options_.size_penalty));
       loss.Backward();
       optimizer.Step();
+      loss.ReleaseTape();
     }
   }
   if (objective == Objective::kFactual) {

@@ -71,6 +71,9 @@ TrainMetrics TrainNodeModel(GnnModel* model, const graph::Graph& graph,
     optimizer.Step();
     metrics.final_loss = loss.Value();
     metrics.loss_curve.push_back(loss.Value());
+    // Return this epoch's intermediates to the tensor pool; parameter values
+    // and the recorded loss value survive the release.
+    loss.ReleaseTape();
     if (config.verbose && (epoch % 20 == 0 || epoch + 1 == config.epochs)) {
       LOG_INFO << "node-train epoch " << epoch << " loss " << metrics.final_loss;
     }
@@ -110,6 +113,7 @@ TrainMetrics TrainGraphModel(GnnModel* model, const std::vector<graph::GraphInst
     optimizer.Step();
     metrics.final_loss = loss.Value();
     metrics.loss_curve.push_back(loss.Value());
+    loss.ReleaseTape();
     if (config.verbose && (epoch % 20 == 0 || epoch + 1 == config.epochs)) {
       LOG_INFO << "graph-train epoch " << epoch << " loss " << metrics.final_loss;
     }

@@ -15,7 +15,7 @@ Sgd::Sgd(std::vector<tensor::Tensor> parameters, float learning_rate, float weig
 
 void Sgd::Step() {
   for (auto& p : parameters_) {
-    const std::vector<float> grad = p.GradData();
+    const std::vector<float>& grad = p.GradValues();
     if (grad.empty()) continue;
     std::vector<float>* values = p.mutable_values();
     for (size_t i = 0; i < values->size(); ++i) {
@@ -47,7 +47,7 @@ void Adam::Step() {
   const float bias2 = 1.0f - std::pow(beta2_, static_cast<float>(step_count_));
   for (size_t pi = 0; pi < parameters_.size(); ++pi) {
     auto& p = parameters_[pi];
-    const std::vector<float> grad = p.GradData();
+    const std::vector<float>& grad = p.GradValues();
     if (grad.empty()) continue;
     std::vector<float>* values = p.mutable_values();
     auto& m = first_moment_[pi];

@@ -31,7 +31,7 @@ void ElementwiseFor(int64_t n, const Fn& fn) {
 
 Tensor Add(const Tensor& a, const Tensor& b) {
   CheckSameShape(a, b, "Add");
-  auto out = NewNodeLike(a);
+  auto out = NewNodeLikeUninit(a);
   const float* av = a.values().data();
   const float* bv = b.values().data();
   float* ov = out->values.data();
@@ -47,7 +47,7 @@ Tensor Add(const Tensor& a, const Tensor& b) {
 
 Tensor Sub(const Tensor& a, const Tensor& b) {
   CheckSameShape(a, b, "Sub");
-  auto out = NewNodeLike(a);
+  auto out = NewNodeLikeUninit(a);
   const float* av = a.values().data();
   const float* bv = b.values().data();
   float* ov = out->values.data();
@@ -63,7 +63,7 @@ Tensor Sub(const Tensor& a, const Tensor& b) {
 
 Tensor Mul(const Tensor& a, const Tensor& b) {
   CheckSameShape(a, b, "Mul");
-  auto out = NewNodeLike(a);
+  auto out = NewNodeLikeUninit(a);
   const float* av = a.values().data();
   const float* bv = b.values().data();
   float* ov = out->values.data();
@@ -98,7 +98,7 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
 Tensor AddRowBroadcast(const Tensor& matrix, const Tensor& row) {
   CHECK_EQ(row.rows(), 1);
   CHECK_EQ(row.cols(), matrix.cols());
-  auto out = NewNodeLike(matrix);
+  auto out = NewNodeLikeUninit(matrix);
   const float* mv = matrix.values().data();
   const float* rv = row.values().data();
   float* ov = out->values.data();
@@ -135,7 +135,7 @@ Tensor AddRowBroadcast(const Tensor& matrix, const Tensor& row) {
 }
 
 Tensor AddScalar(const Tensor& a, float s) {
-  auto out = NewNodeLike(a);
+  auto out = NewNodeLikeUninit(a);
   const float* av = a.values().data();
   float* ov = out->values.data();
   ElementwiseFor(out->numel(), [av, ov, s](int64_t begin, int64_t end) {
@@ -147,7 +147,7 @@ Tensor AddScalar(const Tensor& a, float s) {
 }
 
 Tensor MulScalar(const Tensor& a, float s) {
-  auto out = NewNodeLike(a);
+  auto out = NewNodeLikeUninit(a);
   const float* av = a.values().data();
   float* ov = out->values.data();
   ElementwiseFor(out->numel(), [av, ov, s](int64_t begin, int64_t end) {
@@ -162,7 +162,7 @@ Tensor Neg(const Tensor& a) { return MulScalar(a, -1.0f); }
 
 Tensor ScaleByScalarTensor(const Tensor& a, const Tensor& scalar) {
   CHECK(scalar.is_scalar());
-  auto out = NewNodeLike(a);
+  auto out = NewNodeLikeUninit(a);
   const float* av = a.values().data();
   float* ov = out->values.data();
   const float s = scalar.Value();
@@ -195,7 +195,7 @@ Tensor ScaleByScalarTensor(const Tensor& a, const Tensor& scalar) {
 }
 
 Tensor Relu(const Tensor& a) {
-  auto out = NewNodeLike(a);
+  auto out = NewNodeLikeUninit(a);
   const float* av = a.values().data();
   float* ov = out->values.data();
   ElementwiseFor(out->numel(), [av, ov](int64_t begin, int64_t end) {
@@ -219,7 +219,7 @@ Tensor Relu(const Tensor& a) {
 }
 
 Tensor LeakyRelu(const Tensor& a, float negative_slope) {
-  auto out = NewNodeLike(a);
+  auto out = NewNodeLikeUninit(a);
   const float* av = a.values().data();
   float* ov = out->values.data();
   ElementwiseFor(out->numel(), [av, ov, negative_slope](int64_t begin, int64_t end) {
@@ -245,7 +245,7 @@ Tensor LeakyRelu(const Tensor& a, float negative_slope) {
 }
 
 Tensor Tanh(const Tensor& a) {
-  auto out = NewNodeLike(a);
+  auto out = NewNodeLikeUninit(a);
   const float* av = a.values().data();
   float* ov = out->values.data();
   ElementwiseFor(out->numel(), [av, ov](int64_t begin, int64_t end) {
@@ -269,7 +269,7 @@ Tensor Tanh(const Tensor& a) {
 }
 
 Tensor Sigmoid(const Tensor& a) {
-  auto out = NewNodeLike(a);
+  auto out = NewNodeLikeUninit(a);
   const float* av = a.values().data();
   float* ov = out->values.data();
   ElementwiseFor(out->numel(), [av, ov](int64_t begin, int64_t end) {
@@ -293,7 +293,7 @@ Tensor Sigmoid(const Tensor& a) {
 }
 
 Tensor Exp(const Tensor& a) {
-  auto out = NewNodeLike(a);
+  auto out = NewNodeLikeUninit(a);
   const float* av = a.values().data();
   float* ov = out->values.data();
   ElementwiseFor(out->numel(), [av, ov](int64_t begin, int64_t end) {
@@ -315,7 +315,7 @@ Tensor Exp(const Tensor& a) {
 }
 
 Tensor Log(const Tensor& a, float eps) {
-  auto out = NewNodeLike(a);
+  auto out = NewNodeLikeUninit(a);
   const float* av = a.values().data();
   float* ov = out->values.data();
   ElementwiseFor(out->numel(), [av, ov, eps](int64_t begin, int64_t end) {
@@ -339,7 +339,7 @@ Tensor Log(const Tensor& a, float eps) {
 }
 
 Tensor Softplus(const Tensor& a) {
-  auto out = NewNodeLike(a);
+  auto out = NewNodeLikeUninit(a);
   const float* av = a.values().data();
   float* ov = out->values.data();
   ElementwiseFor(out->numel(), [av, ov](int64_t begin, int64_t end) {
@@ -381,9 +381,11 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   flops->Add(uint64_t{2} * n * k * m);
   bytes->Add(sizeof(float) *
              (uint64_t{1} * n * k + uint64_t{1} * k * m + uint64_t{1} * n * m));
-  auto out = NewNode(n, m);
+  auto out = NewNodeUninit(n, m);
   // ikj loop order: unit-stride inner loop, autovectorizes well. Rows of the
   // output are independent, so the i loop is partitioned across threads.
+  // Each chunk zeroes its own rows before accumulating (first-touch, and the
+  // pooled buffer arrives dirty), matching the zero-initialized serial path.
   const float* av = a.values().data();
   const float* bv = b.values().data();
   float* ov = out->values.data();
@@ -391,6 +393,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   util::ParallelFor(0, n, RowGrain(row_flops), [av, bv, ov, k, m](int64_t ib, int64_t ie) {
     for (int64_t i = ib; i < ie; ++i) {
       float* orow = ov + static_cast<size_t>(i) * m;
+      std::fill(orow, orow + m, 0.0f);
       for (int kk = 0; kk < k; ++kk) {
         const float aik = av[static_cast<size_t>(i) * k + kk];
         if (aik == 0.0f) continue;
@@ -449,7 +452,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
 }
 
 Tensor Sum(const Tensor& a) {
-  auto out = NewNode(1, 1);
+  auto out = NewNodeUninit(1, 1);
   // Scalar reduction stays serial: a single double accumulator in index
   // order keeps the result independent of the thread count.
   double acc = 0.0;
@@ -475,7 +478,7 @@ Tensor Mean(const Tensor& a) {
 }
 
 Tensor RowSoftmax(const Tensor& a) {
-  auto out = NewNodeLike(a);
+  auto out = NewNodeLikeUninit(a);
   const int cols = a.cols();
   const float* av = a.values().data();
   float* ov = out->values.data();
@@ -514,7 +517,7 @@ Tensor RowSoftmax(const Tensor& a) {
 }
 
 Tensor RowLogSoftmax(const Tensor& a) {
-  auto out = NewNodeLike(a);
+  auto out = NewNodeLikeUninit(a);
   const int cols = a.cols();
   const float* av = a.values().data();
   float* ov = out->values.data();

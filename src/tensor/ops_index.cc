@@ -41,7 +41,7 @@ Tensor GatherRows(const Tensor& a, const std::vector<int>& indices) {
   static obs::Counter* bytes = obs::MetricsRegistry::Global().GetCounter("tensor.gather.bytes");
   calls->Increment();
   bytes->Add(uint64_t{2} * sizeof(float) * indices.size() * cols);
-  auto out = NewNode(static_cast<int>(indices.size()), cols);
+  auto out = NewNodeUninit(static_cast<int>(indices.size()), cols);
   const float* av = a.values().data();
   float* ov = out->values.data();
   const int num_src_rows = a.rows();
@@ -92,16 +92,18 @@ Tensor ScatterAddRows(const Tensor& src, const std::vector<int>& indices, int nu
       obs::MetricsRegistry::Global().GetCounter("tensor.scatter_add.bytes");
   calls->Increment();
   bytes->Add(uint64_t{2} * sizeof(float) * indices.size() * cols);
-  auto out = NewNode(num_rows, cols);
+  auto out = NewNodeUninit(num_rows, cols);
   const float* sv = src.values().data();
   float* ov = out->values.data();
   const int* idx = indices.data();
   const int64_t n = static_cast<int64_t>(indices.size());
-  // Partition over destination rows; each chunk scans all indices and adds
-  // the rows landing in its range, in the serial scan order.
+  // Partition over destination rows; each chunk zeroes its own row range
+  // (the pooled buffer arrives dirty), then scans all indices and adds the
+  // rows landing in its range, in the serial scan order.
   util::ParallelFor(0, num_rows, ScatterGrain(num_rows, n, cols),
                     [sv, ov, idx, cols, n, num_rows](int64_t rb, int64_t re) {
                       (void)num_rows;
+                      std::fill(ov + rb * cols, ov + re * cols, 0.0f);
                       for (int64_t i = 0; i < n; ++i) {
                         const int dst = idx[i];
                         DCHECK(dst >= 0 && dst < num_rows)
@@ -137,7 +139,8 @@ Tensor RowScale(const Tensor& a, const Tensor& scale) {
   CHECK_EQ(scale.rows(), a.rows());
   CHECK_EQ(scale.cols(), 1);
   const int cols = a.cols();
-  auto out = NewNodeLike(a);
+  // Every entry is assigned in the scaling pass below.
+  auto out = NewNodeLikeUninit(a);
   const float* av = a.values().data();
   const float* sv = scale.values().data();
   float* ov = out->values.data();
@@ -184,7 +187,7 @@ Tensor ConcatCols(const Tensor& a, const Tensor& b) {
   CHECK_EQ(a.rows(), b.rows());
   const int ac = a.cols();
   const int bc = b.cols();
-  auto out = NewNode(a.rows(), ac + bc);
+  auto out = NewNodeUninit(a.rows(), ac + bc);
   const float* av = a.values().data();
   const float* bv = b.values().data();
   float* ov = out->values.data();
@@ -236,7 +239,9 @@ Tensor SegmentSoftmax(const Tensor& values, const std::vector<int>& segment_ids,
   CHECK_EQ(values.cols(), 1);
   CHECK_EQ(values.rows(), static_cast<int>(segment_ids.size()));
   const int n = values.rows();
-  auto out = NewNode(n, 1);
+  // Every entry is written in the normalization pass (each belongs to
+  // exactly one segment chunk), so the output can start dirty.
+  auto out = NewNodeUninit(n, 1);
   const float* v = values.values().data();
   float* ov = out->values.data();
   const int* seg = segment_ids.data();

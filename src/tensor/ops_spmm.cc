@@ -52,6 +52,10 @@ void SpmmForward(const CsrPattern& p, const float* wv, const float* xv, float* o
                     [=](int64_t rb, int64_t re) {
                       for (int64_t j = rb; j < re; ++j) {
                         float* out_row = ov + static_cast<size_t>(j) * cols;
+                        // The pooled output buffer arrives dirty; zeroing the
+                        // row here (inside its owning chunk) preserves the
+                        // accumulator semantics and first-touch locality.
+                        std::fill(out_row, out_row + cols, 0.0f);
                         for (int k = row_ptr[j]; k < row_ptr[j + 1]; ++k) {
                           const float* x_row = xv + static_cast<size_t>(col_idx[k]) * cols;
                           const float w = wv ? wv[edge_idx[k]] : 1.0f;
@@ -112,7 +116,7 @@ Tensor SpmmCsr(const CsrPatternRef& pattern, const Tensor& x) {
   const int cols = x.cols();
   obs::ScopedSpan span("tensor.SpmmCsr");
   RecordSpmmMetrics(*pattern, cols);
-  auto out = NewNode(pattern->num_rows, cols);
+  auto out = NewNodeUninit(pattern->num_rows, cols);
   SpmmForward(*pattern, nullptr, x.values().data(), out->values.data(), cols);
   AttachBackward(out, {x}, [pattern, cols](TensorNode* o) {
     TensorNode* xn = o->parents[0].get();
@@ -130,7 +134,7 @@ Tensor SpmmCsrWeighted(const CsrPatternRef& pattern, const Tensor& weights, cons
   const int cols = x.cols();
   obs::ScopedSpan span("tensor.SpmmCsr");
   RecordSpmmMetrics(*pattern, cols);
-  auto out = NewNode(pattern->num_rows, cols);
+  auto out = NewNodeUninit(pattern->num_rows, cols);
   SpmmForward(*pattern, weights.values().data(), x.values().data(), out->values.data(), cols);
   AttachBackward(out, {weights, x}, [pattern, cols](TensorNode* o) {
     TensorNode* wn = o->parents[0].get();
@@ -166,7 +170,7 @@ Tensor SpmmCsrMean(const CsrPatternRef& pattern, const Tensor& x) {
       (*degree_weights)[static_cast<size_t>(pattern->edge_idx[static_cast<size_t>(k)])] = inv;
     }
   }
-  auto out = NewNode(pattern->num_rows, cols);
+  auto out = NewNodeUninit(pattern->num_rows, cols);
   SpmmForward(*pattern, degree_weights->data(), x.values().data(), out->values.data(), cols);
   AttachBackward(out, {x}, [pattern, degree_weights, cols](TensorNode* o) {
     TensorNode* xn = o->parents[0].get();

@@ -1,11 +1,27 @@
 #include "tensor/tensor.h"
 
+#include <algorithm>
 #include <sstream>
 #include <unordered_set>
+
+#include "tensor/pool.h"
 
 namespace revelio::tensor {
 
 using internal::TensorNode;
+
+namespace internal {
+
+TensorNode::~TensorNode() {
+  ReleaseBuffer(&grad);
+  ReleaseBuffer(&values);
+}
+
+void TensorNode::EnsureGrad() {
+  if (grad.empty()) grad = AcquireZeroedBuffer(values.size());
+}
+
+}  // namespace internal
 
 namespace {
 
@@ -15,7 +31,19 @@ std::shared_ptr<TensorNode> NewLeaf(int rows, int cols) {
   auto node = std::make_shared<TensorNode>();
   node->rows = rows;
   node->cols = cols;
-  node->values.assign(static_cast<size_t>(rows) * cols, 0.0f);
+  node->values = AcquireZeroedBuffer(static_cast<size_t>(rows) * cols);
+  return node;
+}
+
+// For factories that overwrite every entry (Full/Randn/Uniform/Empty): a
+// recycled buffer is handed out dirty, skipping the zero-fill.
+std::shared_ptr<TensorNode> NewLeafUninit(int rows, int cols) {
+  CHECK_GE(rows, 0);
+  CHECK_GE(cols, 0);
+  auto node = std::make_shared<TensorNode>();
+  node->rows = rows;
+  node->cols = cols;
+  node->values = AcquireBuffer(static_cast<size_t>(rows) * cols);
   return node;
 }
 
@@ -29,10 +57,12 @@ Tensor Tensor::FromNode(std::shared_ptr<TensorNode> node) {
 
 Tensor Tensor::Zeros(int rows, int cols) { return FromNode(NewLeaf(rows, cols)); }
 
+Tensor Tensor::Empty(int rows, int cols) { return FromNode(NewLeafUninit(rows, cols)); }
+
 Tensor Tensor::Ones(int rows, int cols) { return Full(rows, cols, 1.0f); }
 
 Tensor Tensor::Full(int rows, int cols, float value) {
-  auto node = NewLeaf(rows, cols);
+  auto node = NewLeafUninit(rows, cols);
   for (auto& v : node->values) v = value;
   return FromNode(std::move(node));
 }
@@ -51,13 +81,13 @@ Tensor Tensor::FromVector(const std::vector<float>& values) {
 }
 
 Tensor Tensor::Randn(int rows, int cols, util::Rng* rng) {
-  auto node = NewLeaf(rows, cols);
+  auto node = NewLeafUninit(rows, cols);
   for (auto& v : node->values) v = static_cast<float>(rng->Normal());
   return FromNode(std::move(node));
 }
 
 Tensor Tensor::Uniform(int rows, int cols, float lo, float hi, util::Rng* rng) {
-  auto node = NewLeaf(rows, cols);
+  auto node = NewLeafUninit(rows, cols);
   for (auto& v : node->values) v = static_cast<float>(rng->Uniform(lo, hi));
   return FromNode(std::move(node));
 }
@@ -73,7 +103,7 @@ void Tensor::DisableGrad() {
   CHECK(node_ != nullptr);
   CHECK(!node_->backward_fn) << "DisableGrad is only valid on leaf tensors";
   node_->requires_grad = false;
-  node_->grad.clear();
+  ReleaseBuffer(&node_->grad);
 }
 
 float Tensor::At(int r, int c) const {
@@ -112,10 +142,15 @@ void Tensor::Backward() const {
   CHECK(node_->requires_grad) << "Backward() on a tensor that does not require grad";
 
   // Iterative post-order DFS producing a topological order (children after
-  // all of their parents when traversed in reverse).
-  std::vector<TensorNode*> order;
-  std::unordered_set<TensorNode*> visited;
-  std::vector<std::pair<TensorNode*, size_t>> stack;
+  // all of their parents when traversed in reverse). The containers are
+  // thread_local: Backward runs hundreds of times per explained instance and
+  // reusing their storage keeps the steady-state epoch allocation-free.
+  thread_local std::vector<TensorNode*> order;
+  thread_local std::unordered_set<TensorNode*> visited;
+  thread_local std::vector<std::pair<TensorNode*, size_t>> stack;
+  order.clear();
+  visited.clear();
+  stack.clear();
   stack.emplace_back(node_.get(), 0);
   visited.insert(node_.get());
   while (!stack.empty()) {
@@ -152,6 +187,46 @@ std::vector<float> Tensor::GradData() const {
   return node_->grad;
 }
 
+const std::vector<float>& Tensor::GradValues() const {
+  CHECK(node_ != nullptr);
+  return node_->grad;
+}
+
+void Tensor::ReleaseTape() const {
+  if (node_ == nullptr || !node_->backward_fn) return;
+  // Two phases: collect every reachable node (holding shared_ptrs so the
+  // graph cannot die mid-walk), then cut all edges at once. Cutting first
+  // also flattens destruction: once no parent links remain, each node dies
+  // independently instead of through a deep recursive shared_ptr chain.
+  thread_local std::vector<std::shared_ptr<TensorNode>> reachable;
+  thread_local std::unordered_set<TensorNode*> visited;
+  thread_local std::vector<TensorNode*> stack;
+  reachable.clear();
+  visited.clear();
+  stack.clear();
+  stack.push_back(node_.get());
+  visited.insert(node_.get());
+  while (!stack.empty()) {
+    TensorNode* current = stack.back();
+    stack.pop_back();
+    for (const auto& parent : current->parents) {
+      if (visited.insert(parent.get()).second) {
+        reachable.push_back(parent);
+        stack.push_back(parent.get());
+      }
+    }
+  }
+  auto sever = [](TensorNode* node) {
+    if (!node->backward_fn) return;  // leaf parameter: keep values and grad
+    node->backward_fn = nullptr;
+    node->parents.clear();
+    ReleaseBuffer(&node->grad);
+  };
+  sever(node_.get());
+  for (const auto& node : reachable) sever(node.get());
+  reachable.clear();  // drop the temporary refs: orphaned intermediates die here
+}
+
 void Tensor::ZeroGrad() {
   CHECK(node_ != nullptr);
   std::fill(node_->grad.begin(), node_->grad.end(), 0.0f);
@@ -159,7 +234,9 @@ void Tensor::ZeroGrad() {
 
 Tensor Tensor::Detach() const {
   CHECK(node_ != nullptr);
-  return FromData(rows(), cols(), node_->values);
+  auto node = NewLeafUninit(rows(), cols());
+  std::copy(node_->values.begin(), node_->values.end(), node->values.begin());
+  return FromNode(std::move(node));
 }
 
 std::string Tensor::DebugString(int max_entries) const {

@@ -32,8 +32,13 @@ namespace internal {
 
 // One node of the autograd graph. Owned via shared_ptr by Tensor handles and
 // by child nodes (through `parents`), so a forward graph stays alive until
-// the last handle to its output is dropped.
+// the last handle to its output is dropped. Storage comes from the
+// thread-local TensorPool (tensor/pool.h); the destructor returns both
+// buffers to the current thread's pool.
 struct TensorNode {
+  TensorNode() = default;
+  ~TensorNode();
+
   int rows = 0;
   int cols = 0;
   std::vector<float> values;
@@ -48,9 +53,8 @@ struct TensorNode {
   std::function<void()> backward_fn;
 
   int64_t numel() const { return static_cast<int64_t>(rows) * cols; }
-  void EnsureGrad() {
-    if (grad.empty()) grad.assign(values.size(), 0.0f);
-  }
+  // Pool-backed zero-initialized grad buffer (no-op if already present).
+  void EnsureGrad();
 };
 
 }  // namespace internal
@@ -65,6 +69,10 @@ class Tensor {
   // --- Factories -----------------------------------------------------------
 
   static Tensor Zeros(int rows, int cols);
+  // Unspecified contents (pool-recycled storage is not cleared): every entry
+  // must be written before it is read. Under REVELIO_POISON_POOL recycled
+  // storage is NaN-filled, so a violation poisons downstream results.
+  static Tensor Empty(int rows, int cols);
   static Tensor Ones(int rows, int cols);
   static Tensor Full(int rows, int cols, float value);
   static Tensor FromData(int rows, int cols, std::vector<float> values);
@@ -114,8 +122,19 @@ class Tensor {
   float GradAt(int r, int c) const;
   // Gradient values as a flat vector (empty if no gradient was accumulated).
   std::vector<float> GradData() const;
+  // Same, by reference (no copy): valid until the node dies or the grad is
+  // released. Optimizers read this every step.
+  const std::vector<float>& GradValues() const;
   // Clears the accumulated gradient (optimizers call this between steps).
   void ZeroGrad();
+
+  // Severs the autograd tape behind this tensor: clears backward_fn and the
+  // parent links (and releases the grad buffer) of every reachable non-leaf
+  // node, so intermediates kept alive only by the tape return their storage
+  // to the pool immediately. This tensor's values survive; leaf parameters
+  // (and their grads) are untouched. Call at the end of each training epoch,
+  // after the optimizer step.
+  void ReleaseTape() const;
 
   // A leaf copy of the values, detached from the autograd graph.
   Tensor Detach() const;

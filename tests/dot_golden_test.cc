@@ -3,7 +3,8 @@
 // selected / missed-ground-truth / plain edges, directed-pair merging) must
 // stay byte-identical to tests/golden/explanation.dot. Run with
 // REVELIO_UPDATE_GOLDEN=1 to regenerate after an intentional format change.
-// Also structurally validates the committed fig6_a_*.dot artifacts.
+// Also structurally validates generated artifacts/fig6_a_*.dot files when
+// bench_fig6_visualization has produced them.
 
 #ifndef REVELIO_SOURCE_DIR
 #error "compile with -DREVELIO_SOURCE_DIR=\"<repo root>\""
@@ -94,18 +95,22 @@ TEST(DotGoldenTest, DirectedModeRendersDigraph) {
   EXPECT_EQ(arrows, static_cast<size_t>(g.num_edges()));
 }
 
-// The committed Fig. 6a artifacts must stay structurally valid DOT: correct
+// Generated Fig. 6a artifacts (artifacts/fig6_a_*.dot, written by
+// bench_fig6_visualization) must stay structurally valid DOT: correct
 // header/footer, every statement terminated, and node ids consistent between
-// declarations and edges.
-TEST(DotGoldenTest, CommittedFig6ArtifactsAreWellFormed) {
+// declarations and edges. Skipped when the bench has not been run — the
+// artifacts directory is gitignored, not committed.
+TEST(DotGoldenTest, GeneratedFig6ArtifactsAreWellFormed) {
   const std::vector<std::string> methods = {
       "Revelio", "GradCAM", "PGExplainer", "GNN-LRP",     "GraphMask",
       "FlowX",   "DeepLIFT", "SubgraphX",  "GNNExplainer", "PGMExplainer"};
+  int validated = 0;
   for (const std::string& method : methods) {
     const std::string path =
-        std::string(REVELIO_SOURCE_DIR) + "/fig6_a_" + method + ".dot";
+        std::string(REVELIO_SOURCE_DIR) + "/artifacts/fig6_a_" + method + ".dot";
     const std::string text = ReadFile(path);
-    ASSERT_FALSE(text.empty()) << "missing committed artifact " << path;
+    if (text.empty()) continue;  // bench not run for this method
+    ++validated;
     EXPECT_EQ(text.rfind("graph explanation {", 0), 0u) << path;
     EXPECT_NE(text.find("\n}\n"), std::string::npos) << path;
 
@@ -128,6 +133,10 @@ TEST(DotGoldenTest, CommittedFig6ArtifactsAreWellFormed) {
     }
     EXPECT_GT(declared_nodes, 0) << path;
     EXPECT_GT(edges, 0) << path;
+  }
+  if (validated == 0) {
+    GTEST_SKIP() << "no artifacts/fig6_a_*.dot present; run bench_fig6_visualization "
+                    "from the repo root to generate them";
   }
 }
 

@@ -1,0 +1,148 @@
+// Standalone validator for the tensor-pool bench result, used as a ctest
+// fixture after `bench_micro_kernels --quick --pool-only`:
+//   pool_bench_check <BENCH_pool.json>
+// Exit 0 when the file carries the shared BENCH_*.json envelope, the sweep
+// has at least one point, every point's pooled scores were bitwise-equal to
+// the unpooled run, every point reached the zero-miss steady state after
+// warmup (warm_misses == 0 with warm_hits > 0), and the pooled path is at
+// least as fast as the legacy allocator (speedup >= 1.0) at the largest
+// problem size. Exit 1 on validation failure, 2 on usage/IO errors.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.h"
+
+namespace {
+
+using revelio::obs::JsonValue;
+
+const JsonValue* RequireNumber(const JsonValue& object, const char* key) {
+  const JsonValue* value = object.Find(key);
+  if (value == nullptr || !value->is_number()) {
+    std::fprintf(stderr, "pool_bench_check: missing numeric \"%s\"\n", key);
+    return nullptr;
+  }
+  return value;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: pool_bench_check <BENCH_pool.json>\n");
+    return 2;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "pool_bench_check: cannot open %s\n", argv[1]);
+    return 2;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  JsonValue root;
+  std::string error;
+  if (!revelio::obs::ParseJson(buffer.str(), &root, &error)) {
+    std::fprintf(stderr, "pool_bench_check: %s is malformed JSON: %s\n", argv[1],
+                 error.c_str());
+    return 1;
+  }
+  if (!root.is_object()) {
+    std::fprintf(stderr, "pool_bench_check: top level is not an object\n");
+    return 1;
+  }
+
+  // Shared envelope (bench/bench_common.h WriteBenchJson).
+  const JsonValue* schema = root.Find("schema_version");
+  if (schema == nullptr || !schema->is_number() || schema->number_value != 1) {
+    std::fprintf(stderr, "pool_bench_check: missing schema_version 1\n");
+    return 1;
+  }
+  const JsonValue* bench = root.Find("bench");
+  if (bench == nullptr || !bench->is_string() || bench->string_value != "tensor_pool") {
+    std::fprintf(stderr, "pool_bench_check: bench name is not tensor_pool\n");
+    return 1;
+  }
+  const JsonValue* data = root.Find("data");
+  if (data == nullptr || !data->is_object()) {
+    std::fprintf(stderr, "pool_bench_check: missing data object\n");
+    return 1;
+  }
+  const JsonValue* points = data->Find("points");
+  if (points == nullptr || !points->is_array() || points->array_items.empty()) {
+    std::fprintf(stderr, "pool_bench_check: missing non-empty data.points array\n");
+    return 1;
+  }
+
+  double largest_edges = -1.0;
+  double largest_speedup = 0.0;
+  for (size_t i = 0; i < points->array_items.size(); ++i) {
+    const JsonValue& point = points->array_items[i];
+    if (!point.is_object()) {
+      std::fprintf(stderr, "pool_bench_check: point %zu is not an object\n", i);
+      return 1;
+    }
+    const JsonValue* layer_edges = RequireNumber(point, "layer_edges");
+    const JsonValue* unpooled_s = RequireNumber(point, "unpooled_seconds");
+    const JsonValue* pooled_s = RequireNumber(point, "pooled_seconds");
+    const JsonValue* speedup = RequireNumber(point, "pool_speedup");
+    const JsonValue* warm_misses = RequireNumber(point, "warm_misses");
+    const JsonValue* warm_hits = RequireNumber(point, "warm_hits");
+    if (layer_edges == nullptr || unpooled_s == nullptr || pooled_s == nullptr ||
+        speedup == nullptr || warm_misses == nullptr || warm_hits == nullptr) {
+      return 1;
+    }
+    const JsonValue* bitwise = point.Find("bitwise_equal");
+    if (bitwise == nullptr || bitwise->type != JsonValue::Type::kBool) {
+      std::fprintf(stderr, "pool_bench_check: point %zu lacks bool bitwise_equal\n", i);
+      return 1;
+    }
+    if (!bitwise->bool_value) {
+      std::fprintf(stderr,
+                   "pool_bench_check: point %zu (layer_edges=%.0f): pooled scores diverged "
+                   "from the unpooled run\n",
+                   i, layer_edges->number_value);
+      return 1;
+    }
+    // The steady-state contract: after the two-explanation warmup, every
+    // acquisition must be served from the free lists.
+    if (warm_misses->number_value != 0.0) {
+      std::fprintf(stderr,
+                   "pool_bench_check: point %zu (layer_edges=%.0f): %.0f pool misses in a "
+                   "post-warmup explanation (expected 0)\n",
+                   i, layer_edges->number_value, warm_misses->number_value);
+      return 1;
+    }
+    if (warm_hits->number_value <= 0.0) {
+      std::fprintf(stderr,
+                   "pool_bench_check: point %zu (layer_edges=%.0f): no pool hits in a "
+                   "post-warmup explanation — the pool is not wired in\n",
+                   i, layer_edges->number_value);
+      return 1;
+    }
+    if (unpooled_s->number_value <= 0.0 || pooled_s->number_value <= 0.0) {
+      std::fprintf(stderr, "pool_bench_check: point %zu has non-positive timings\n", i);
+      return 1;
+    }
+    if (layer_edges->number_value > largest_edges) {
+      largest_edges = layer_edges->number_value;
+      largest_speedup = speedup->number_value;
+    }
+  }
+
+  if (largest_speedup < 1.0) {
+    std::fprintf(stderr,
+                 "pool_bench_check: pooled allocator slower than the legacy path at the "
+                 "largest size (layer_edges=%.0f, speedup=%.3fx < 1.0x)\n",
+                 largest_edges, largest_speedup);
+    return 1;
+  }
+  std::printf(
+      "pool_bench_check: %s ok (%zu points, largest size layer_edges=%.0f speedup=%.2fx, "
+      "0 steady-state misses)\n",
+      argv[1], points->array_items.size(), largest_edges, largest_speedup);
+  return 0;
+}
