@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Full verification ladder: tier-1 -> property suites -> ASan -> UBSan -> TSan.
 # The property stage includes the fused-SpMM equivalence suite
-# (spmm_equivalence_test); the TSan pass runs it as its own named stage so a
-# data race in the fused aggregation path is attributed directly. The pool
+# (spmm_equivalence_test) and the mega-batch equivalence suite
+# (megabatch_equivalence_test); the TSan pass runs each as its own named
+# stage so a data race in the fused aggregation path or the shared batched
+# backward is attributed directly. The pool
 # stage reruns the tensor-pool equivalence suite under ASan with
 # REVELIO_POISON_POOL=1 so full-overwrite contract violations surface as NaNs.
 #
@@ -76,7 +78,11 @@ if [[ "${FAST}" -eq 0 ]]; then
   run_stage "ubsan"       ctest --preset ubsan
   run_stage "tsan-build"  build_preset tsan
   run_stage "tsan-spmm"   ctest --preset tsan -R spmm_equivalence_test
-  run_stage "tsan"        ctest --preset tsan -E spmm_equivalence_test
+  # Mega-batched explanation under TSan: the fused group shares one frozen
+  # model across the batched backward, so a race here means the freeze
+  # contract broke somewhere in the explainer loop.
+  run_stage "tsan-megabatch" ctest --preset tsan -R megabatch_equivalence_test
+  run_stage "tsan"        ctest --preset tsan -E "spmm_equivalence_test|megabatch_equivalence_test"
 fi
 
 echo

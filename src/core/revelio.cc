@@ -1,9 +1,12 @@
 #include "core/revelio.h"
 
 #include <cmath>
+#include <utility>
 
+#include "explain/batch_runner.h"
 #include "nn/loss.h"
 #include "nn/optimizer.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "tensor/ops.h"
 #include "util/check.h"
@@ -102,6 +105,41 @@ flow::FlowSet RestrictFlows(const flow::FlowSet& flows, const gnn::LayerEdgeSet&
   return reduced;
 }
 
+// Detached readout shared by the sequential and mega-batched paths: given
+// one instance's trained parameters, fills every score field of `result`
+// (whose `flows` must already hold the learned flow set).
+void FinishFlowExplanation(const gnn::LayerEdgeSet& edges, const Tensor& flow_mask_params,
+                           const Tensor& layer_weights, Objective objective,
+                           const RevelioOptions& options,
+                           RevelioExplainer::FlowExplanation* result) {
+  const flow::FlowSet& flows = result->flows;
+  const int num_layers = flows.num_layers();
+  Tensor omega_flows = options.use_tanh_flow_masks ? tensor::Tanh(flow_mask_params)
+                                                   : tensor::Sigmoid(flow_mask_params);
+  std::vector<Tensor> masks =
+      BuildLayerEdgeMasks(flows, omega_flows, layer_weights, options.layer_scaling);
+
+  result->flow_scores.resize(flows.num_flows());
+  const float sign = objective == Objective::kCounterfactual ? -1.0f : 1.0f;
+  for (int k = 0; k < flows.num_flows(); ++k) {
+    result->flow_scores[k] = sign * omega_flows.At(k, 0);
+  }
+  result->layer_edge_masks.assign(num_layers,
+                                  std::vector<double>(edges.num_layer_edges(), 0.0));
+  for (int l = 0; l < num_layers; ++l) {
+    for (int e = 0; e < edges.num_layer_edges(); ++e) {
+      const double mask_value = masks[l].At(e, 0);
+      // §IV-C: counterfactual layer-edge importance reduces to 1 - omega[e].
+      result->layer_edge_masks[l][e] =
+          objective == Objective::kCounterfactual ? 1.0 - mask_value : mask_value;
+    }
+  }
+  result->edge_scores =
+      flow::LayerEdgeScoresToEdgeScores(flows, edges, result->layer_edge_masks);
+  result->layer_weights.resize(num_layers);
+  for (int l = 0; l < num_layers; ++l) result->layer_weights[l] = layer_weights.At(l, 0);
+}
+
 }  // namespace
 
 RevelioExplainer::FlowExplanation RevelioExplainer::ExplainFlows(const ExplanationTask& task,
@@ -175,31 +213,224 @@ RevelioExplainer::FlowExplanation RevelioExplainer::ExplainFlows(const Explanati
 
   obs::ScopedSpan extract_span("revelio.extract");
   // Final scores (detached).
-  Tensor omega_flows = options_.use_tanh_flow_masks ? tensor::Tanh(flow_mask_params)
-                                                    : tensor::Sigmoid(flow_mask_params);
-  std::vector<Tensor> masks =
-      BuildLayerEdgeMasks(flows, omega_flows, layer_weights, options_.layer_scaling);
+  FinishFlowExplanation(edges, flow_mask_params, layer_weights, objective, options_, &result);
+  return result;
+}
 
-  result.flow_scores.resize(flows.num_flows());
-  const float sign = objective == Objective::kCounterfactual ? -1.0f : 1.0f;
-  for (int k = 0; k < flows.num_flows(); ++k) {
-    result.flow_scores[k] = sign * omega_flows.At(k, 0);
+std::vector<RevelioExplainer::FlowExplanation> RevelioExplainer::ExplainFlowsBatch(
+    const std::vector<const ExplanationTask*>& tasks, Objective objective) {
+  CHECK(!tasks.empty());
+  std::vector<FlowExplanation> results;
+  if (tasks.size() == 1) {
+    results.push_back(ExplainFlows(*tasks[0], objective));
+    return results;
   }
-  result.layer_edge_masks.assign(num_layers,
-                                 std::vector<double>(edges.num_layer_edges(), 0.0));
-  for (int l = 0; l < num_layers; ++l) {
-    for (int e = 0; e < edges.num_layer_edges(); ++e) {
-      const double mask_value = masks[l].At(e, 0);
-      // §IV-C: counterfactual layer-edge importance reduces to 1 - omega[e].
-      result.layer_edge_masks[l][e] =
-          objective == Objective::kCounterfactual ? 1.0 - mask_value : mask_value;
+  util::StatusOr<explain::MegaBatchPlan> plan_or = explain::BuildMegaBatchPlan(tasks);
+  if (!plan_or.ok()) {
+    // Heterogeneous or malformed group: sequential fallback.
+    results.reserve(tasks.size());
+    for (const ExplanationTask* task : tasks) results.push_back(ExplainFlows(*task, objective));
+    return results;
+  }
+  const explain::MegaBatchPlan& plan = plan_or.value();
+  const gnn::GnnModel& model = *tasks[0]->model;
+  const int num_layers = model.num_layers();
+  const int num_instances = plan.num_instances;
+
+  // Per-instance flow enumeration and optional prefiltering stay sequential:
+  // they are cheap relative to mask training and trivially bitwise-equal.
+  results.resize(num_instances);
+  std::vector<gnn::LayerEdgeSet> edges(num_instances);
+  {
+    obs::ScopedSpan span("revelio.enumerate_flows");
+    for (int i = 0; i < num_instances; ++i) {
+      edges[i] = gnn::BuildLayerEdges(*tasks[i]->graph);
+      results[i].flows = tasks[i]->is_node_task()
+                             ? flow::EnumerateFlowsToTarget(edges[i], tasks[i]->target_node,
+                                                            num_layers, options_.max_flows)
+                             : flow::EnumerateAllFlows(edges[i], num_layers, options_.max_flows);
+      CHECK_GT(results[i].flows.num_flows(), 0);
     }
   }
-  result.edge_scores =
-      flow::LayerEdgeScoresToEdgeScores(flows, edges, result.layer_edge_masks);
-  result.layer_weights.resize(num_layers);
-  for (int l = 0; l < num_layers; ++l) result.layer_weights[l] = layer_weights.At(l, 0);
-  return result;
+  if (options_.prefilter_top_k > 0) {
+    obs::ScopedSpan span("revelio.prefilter");
+    for (int i = 0; i < num_instances; ++i) {
+      if (options_.prefilter_top_k >= results[i].flows.num_flows()) continue;
+      const std::vector<double> saliency = InitialFlowSaliency(
+          *tasks[i], edges[i], results[i].flows, objective, options_.layer_scaling);
+      const std::vector<int> kept = flow::TopKFlows(saliency, options_.prefilter_top_k);
+      results[i].flows = RestrictFlows(results[i].flows, edges[i], kept);
+    }
+  }
+
+  // Concatenated learnable parameters: every instance owns a contiguous
+  // segment of the flow-mask vector and of the (B*L x 1) layer weights.
+  // Each segment is initialized from its own fresh Rng(seed), reproducing
+  // the sequential draws exactly.
+  std::vector<int> flow_offset(num_instances + 1, 0);
+  for (int i = 0; i < num_instances; ++i) {
+    flow_offset[i + 1] = flow_offset[i] + results[i].flows.num_flows();
+  }
+  const int total_flows = flow_offset[num_instances];
+  const int total_mask_rows = plan.num_mask_rows();
+
+  Tensor flow_mask_params = Tensor::Zeros(total_flows, 1);
+  {
+    std::vector<float>* values = flow_mask_params.mutable_values();
+    for (int i = 0; i < num_instances; ++i) {
+      util::Rng rng(options_.seed);
+      Tensor init = Tensor::Randn(results[i].flows.num_flows(), 1, &rng);
+      const auto& src = init.values();
+      for (size_t k = 0; k < src.size(); ++k) {
+        (*values)[static_cast<size_t>(flow_offset[i]) + k] = src[k] * 0.1f;
+      }
+    }
+  }
+  flow_mask_params.WithRequiresGrad();
+  Tensor layer_weights = Tensor::Zeros(num_instances * num_layers, 1).WithRequiresGrad();
+  nn::Adam optimizer({flow_mask_params, layer_weights}, options_.learning_rate);
+
+  // Static index plumbing reused every epoch: flow -> mega layer-edge row
+  // per layer (Eq. 5 scatter), the per-row layer-scale source, and the
+  // flow-carrying rows + instance segment ids behind the Eq. 8 regularizer.
+  //
+  // Masks are built directly in mega layer-edge order (base edges
+  // instance-major, then self-loops instance-major), so the shared
+  // SpmmCsrWeighted aggregation consumes them without a per-epoch pack
+  // permutation. Per-instance accumulation order is unchanged: within one
+  // instance the scatter/gather index lists keep their sequential order, and
+  // every destination row still belongs to exactly one instance.
+  const int mega_base_edges = plan.base_edge_offset[num_instances];
+  auto mega_row = [&plan, mega_base_edges](int i, int e) {
+    const int base = plan.instance_base_edges(i);
+    return e < base ? plan.base_edge_offset[i] + e
+                    : mega_base_edges + plan.node_offset[i] + (e - base);
+  };
+  std::vector<std::vector<int>> scatter_idx(num_layers);
+  std::vector<std::vector<int>> used_idx(num_layers);
+  std::vector<std::vector<int>> used_seg(num_layers);
+  const bool scaled = options_.layer_scaling != RevelioOptions::LayerScaling::kNone;
+  std::vector<std::vector<int>> scale_rows(scaled ? num_layers : 0);
+  std::vector<int> used_counts(num_instances, 0);
+  for (int l = 0; l < num_layers; ++l) {
+    scatter_idx[l].reserve(total_flows);
+    for (int i = 0; i < num_instances; ++i) {
+      const flow::FlowSet& flows = results[i].flows;
+      for (int e : flows.EdgesAtLayer(l)) scatter_idx[l].push_back(mega_row(i, e));
+      const std::vector<int> used = flows.UsedEdgesAtLayer(l);
+      for (int e : used) {
+        used_idx[l].push_back(mega_row(i, e));
+        used_seg[l].push_back(i);
+      }
+      used_counts[i] += static_cast<int>(used.size());
+    }
+    if (scaled) {
+      scale_rows[l].resize(total_mask_rows);
+      for (int i = 0; i < num_instances; ++i) {
+        for (int r = plan.base_edge_offset[i]; r < plan.base_edge_offset[i + 1]; ++r) {
+          scale_rows[l][r] = i * num_layers + l;
+        }
+        for (int v = plan.node_offset[i]; v < plan.node_offset[i + 1]; ++v) {
+          scale_rows[l][mega_base_edges + v] = i * num_layers + l;
+        }
+      }
+    }
+  }
+  std::vector<int> target_classes(num_instances);
+  for (int i = 0; i < num_instances; ++i) target_classes[i] = tasks[i]->target_class;
+  std::vector<float> inv_counts(num_instances);
+  for (int i = 0; i < num_instances; ++i) {
+    CHECK_GT(used_counts[i], 0) << "no flow-carrying layer edges";
+    inv_counts[i] = 1.0f / static_cast<float>(used_counts[i]);
+  }
+  const Tensor inv_count_vec = Tensor::FromData(num_instances, 1, std::move(inv_counts));
+
+  {
+    obs::ScopedSpan optimize_span("revelio.optimize");
+    static obs::Counter* steps = obs::MetricsRegistry::Global().GetCounter("megabatch.steps");
+    const std::vector<int>* node_to_graph = plan.node_task ? nullptr : &plan.batch.node_to_graph;
+    for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+      optimizer.ZeroGrad();
+      Tensor omega_flows = options_.use_tanh_flow_masks ? tensor::Tanh(flow_mask_params)
+                                                        : tensor::Sigmoid(flow_mask_params);
+      Tensor scale;
+      switch (options_.layer_scaling) {
+        case RevelioOptions::LayerScaling::kExp:
+          scale = tensor::Exp(layer_weights);
+          break;
+        case RevelioOptions::LayerScaling::kSoftplus:
+          scale = tensor::Softplus(layer_weights);
+          break;
+        case RevelioOptions::LayerScaling::kNone:
+          break;
+      }
+      std::vector<Tensor> masks(num_layers);
+      for (int l = 0; l < num_layers; ++l) {
+        // Mask rows land directly in mega layer-edge order, ready for the
+        // shared SpmmCsrWeighted aggregation — no pack permutation.
+        Tensor accumulated = tensor::ScatterAddRows(omega_flows, scatter_idx[l], total_mask_rows);
+        if (scale.defined()) {
+          // Per-row variant of ScaleByScalarTensor: row r of instance i
+          // scales by exp(w[i, l]), the same float product per element.
+          accumulated = tensor::RowScale(accumulated, tensor::GatherRows(scale, scale_rows[l]));
+        }
+        masks[l] = tensor::Sigmoid(accumulated);
+      }
+      Tensor logits = model.Run(plan.batch.graph, plan.mega_edges, plan.batch.features, masks,
+                                node_to_graph, num_instances)
+                          .logits;
+      // One shared row-softmax; each instance reads its own logits row, so
+      // per-row values and gradients match the per-instance softmax bitwise.
+      Tensor probs = tensor::RowSoftmax(logits);
+      // One gather reads every instance's explained probability; the
+      // elementwise Log/Neg chain applies the same per-row float math as the
+      // sequential 1x1 ops, and Sum's backward seeds each row with exactly
+      // the 1.0 the per-instance losses receive from the sequential Add.
+      Tensor p = tensor::SelectMany(probs, plan.logit_row, target_classes);
+      Tensor objective_total =
+          tensor::Sum(objective == Objective::kFactual
+                          ? tensor::Neg(tensor::Log(p))
+                          : tensor::Neg(tensor::Log(tensor::AddScalar(tensor::Neg(p), 1.0f))));
+      // Per-instance UsedEdgeMean via segment sums: each instance's rows are
+      // contiguous and in its own layer order, so every segment reproduces
+      // the sequential Sum's double-accumulator chain bitwise.
+      Tensor used_total;
+      for (int l = 0; l < num_layers; ++l) {
+        if (used_idx[l].empty()) continue;
+        Tensor layer_sum = tensor::SegmentSumRows(tensor::GatherRows(masks[l], used_idx[l]),
+                                                  used_seg[l], num_instances);
+        used_total = used_total.defined() ? tensor::Add(used_total, layer_sum) : layer_sum;
+      }
+      Tensor regularizer = tensor::Mul(used_total, inv_count_vec);
+      if (objective == Objective::kCounterfactual) {
+        // Eq. 9 penalizes mean(1 - omega[E]).
+        regularizer = tensor::AddScalar(tensor::Neg(regularizer), 1.0f);
+      }
+      // Batched loss = sum of the per-instance losses: gradients of disjoint
+      // parameter segments never mix, so each instance trains as if alone.
+      Tensor loss = tensor::Add(objective_total,
+                                tensor::Sum(tensor::MulScalar(regularizer, options_.alpha)));
+      loss.Backward();
+      optimizer.Step();
+      steps->Increment();
+      loss.ReleaseTape();
+    }
+  }
+
+  obs::ScopedSpan extract_span("revelio.extract");
+  const auto& trained_flows = flow_mask_params.values();
+  const auto& trained_weights = layer_weights.values();
+  for (int i = 0; i < num_instances; ++i) {
+    std::vector<float> flow_segment(trained_flows.begin() + flow_offset[i],
+                                    trained_flows.begin() + flow_offset[i + 1]);
+    std::vector<float> weight_segment(trained_weights.begin() + i * num_layers,
+                                      trained_weights.begin() + (i + 1) * num_layers);
+    const Tensor inst_params =
+        Tensor::FromData(results[i].flows.num_flows(), 1, std::move(flow_segment));
+    const Tensor inst_weights = Tensor::FromData(num_layers, 1, std::move(weight_segment));
+    FinishFlowExplanation(edges[i], inst_params, inst_weights, objective, options_, &results[i]);
+  }
+  return results;
 }
 
 Explanation RevelioExplainer::ExplainImpl(const ExplanationTask& task, Objective objective) {
@@ -209,6 +440,21 @@ Explanation RevelioExplainer::ExplainImpl(const ExplanationTask& task, Objective
   explanation.has_flow_scores = true;
   explanation.flow_scores = std::move(flow_explanation.flow_scores);
   return explanation;
+}
+
+std::vector<Explanation> RevelioExplainer::ExplainBatchImpl(
+    const std::vector<const ExplanationTask*>& tasks, Objective objective) {
+  std::vector<FlowExplanation> flow_results = ExplainFlowsBatch(tasks, objective);
+  std::vector<Explanation> explanations;
+  explanations.reserve(flow_results.size());
+  for (FlowExplanation& flow_explanation : flow_results) {
+    Explanation explanation;
+    explanation.edge_scores = std::move(flow_explanation.edge_scores);
+    explanation.has_flow_scores = true;
+    explanation.flow_scores = std::move(flow_explanation.flow_scores);
+    explanations.push_back(std::move(explanation));
+  }
+  return explanations;
 }
 
 }  // namespace revelio::core

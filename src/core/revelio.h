@@ -65,12 +65,28 @@ class RevelioExplainer : public explain::Explainer {
   FlowExplanation ExplainFlows(const explain::ExplanationTask& task,
                                explain::Objective objective);
 
+  // Mega-batched variant over a group of tasks sharing one (frozen) model:
+  // the group's computation subgraphs fuse into a block-diagonal mega-graph
+  // and train with one shared forward/backward per Adam step. Per-instance
+  // masks stay independent variables, the batched loss is the sum of the
+  // per-instance losses, and every result is bitwise-equal to ExplainFlows
+  // on the same task (see explain/batch_runner.h). Groups the plan builder
+  // rejects fall back to the sequential loop internally.
+  std::vector<FlowExplanation> ExplainFlowsBatch(
+      const std::vector<const explain::ExplanationTask*>& tasks,
+      explain::Objective objective);
+
+  bool supports_megabatch() const override { return true; }
+
   const RevelioOptions& options() const { return options_; }
   void set_alpha(float alpha) { options_.alpha = alpha; }
 
  protected:
   explain::Explanation ExplainImpl(const explain::ExplanationTask& task,
                                    explain::Objective objective) override;
+  std::vector<explain::Explanation> ExplainBatchImpl(
+      const std::vector<const explain::ExplanationTask*>& tasks,
+      explain::Objective objective) override;
 
  private:
   RevelioOptions options_;

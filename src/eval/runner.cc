@@ -4,6 +4,7 @@
 
 #include "core/revelio.h"
 #include "eval/metrics.h"
+#include "explain/batch_runner.h"
 #include "explain/deeplift.h"
 #include "explain/flowx.h"
 #include "explain/gnnexplainer.h"
@@ -269,6 +270,30 @@ std::vector<explain::Explanation> ExplainAll(explain::Explainer* explainer,
   std::vector<explain::Explanation> explanations(tasks.size());
   explain::Explanation* out = explanations.data();
   const ExplanationTask* in = tasks.data();
+  // Mega-batch dispatch (REVELIO_MEGABATCH, default on): consecutive tasks
+  // sharing one model fuse into groups of up to REVELIO_MEGABATCH_SIZE and
+  // train with a single forward/backward per step. Parallelism moves from
+  // instance level to kernel level inside the fused step; results stay
+  // bitwise-equal to the sequential paths below.
+  if (explain::MegaBatchEnabled() && explainer->supports_megabatch() && !tasks.empty()) {
+    const size_t group_cap = static_cast<size_t>(explain::MegaBatchSize());
+    size_t begin = 0;
+    while (begin < tasks.size()) {
+      size_t end = begin + 1;
+      while (end < tasks.size() && end - begin < group_cap &&
+             tasks[end].model == tasks[begin].model) {
+        ++end;
+      }
+      std::vector<const ExplanationTask*> group;
+      group.reserve(end - begin);
+      for (size_t i = begin; i < end; ++i) group.push_back(&tasks[i]);
+      std::vector<explain::Explanation> batch = explainer->ExplainBatch(group, objective);
+      CHECK_EQ(batch.size(), group.size());
+      for (size_t i = 0; i < batch.size(); ++i) out[begin + i] = std::move(batch[i]);
+      begin = end;
+    }
+    return explanations;
+  }
   if (!explainer->thread_safe_explain()) {
     for (size_t i = 0; i < tasks.size(); ++i) out[i] = explainer->Explain(in[i], objective);
     return explanations;

@@ -1,0 +1,85 @@
+#ifndef REVELIO_EXPLAIN_BATCH_RUNNER_H_
+#define REVELIO_EXPLAIN_BATCH_RUNNER_H_
+
+// Mega-batched explanation: geometry + toggles for fusing a group of
+// explainer tasks that share one frozen model into a single block-diagonal
+// mega-graph, so the whole group trains with one forward/backward per
+// optimizer step instead of one per instance.
+//
+// The fusion is a pure scheduling change: per-instance mask parameters stay
+// independent variables living in disjoint segments of one concatenated
+// vector, the batched loss is the sum of the per-instance losses, and every
+// kernel in the chain accumulates per output element in serial scan order —
+// so per-instance gradients, Adam updates, and final mask values are
+// bitwise-equal to the sequential path (tests/prop/megabatch_equivalence_test).
+
+#include <vector>
+
+#include "explain/explainer.h"
+#include "gnn/layer_edges.h"
+#include "graph/batch.h"
+#include "util/status.h"
+
+namespace revelio::explain {
+
+// Process-wide toggles, mirroring the fused-aggregation house rules:
+// REVELIO_MEGABATCH ("0"/"false"/"off" disables; default on) gates the
+// ExplainAll group dispatch, REVELIO_MEGABATCH_SIZE (default 32) caps the
+// instances fused per group. Setters exist for benches/tests.
+bool MegaBatchEnabled();
+void SetMegaBatchEnabled(bool enabled);
+int MegaBatchSize();
+void SetMegaBatchSize(int size);
+
+// Shared geometry of one fused group.
+//
+// Mega layer-edge ids follow gnn::BuildLayerEdges over the mega-graph: all
+// base edges instance-major (instance i's base edge e is mega layer edge
+// base_edge_offset[i] + e), then one self-loop per mega node (instance i's
+// node v is mega layer edge E_mega + node_offset[i] + v, with
+// E_mega = base_edge_offset.back()).
+//
+// The explainers build their per-epoch layer masks directly in this order,
+// so the shared aggregation consumes them with no per-epoch permutation.
+// Every mega row belongs to exactly one instance, and within one instance
+// the base-edge rows (ascending) still precede the self-loop rows
+// (ascending) — the same relative order as the instance's own LayerEdgeSet —
+// which is what keeps per-row accumulation order identical to the
+// sequential path.
+//
+// mask_offset remains the per-instance *count* prefix (base edges + nodes):
+// instance i owns mask_offset[i+1] - mask_offset[i] layer edges, and
+// mask_offset.back() equals the mega layer-edge count.
+struct MegaBatchPlan {
+  int num_instances = 0;
+  bool node_task = true;
+
+  graph::GraphBatch batch;       // block-diagonal mega-graph + features
+  gnn::LayerEdgeSet mega_edges;  // layer edges of batch.graph (CSR attached)
+
+  // Prefix sums, size num_instances + 1.
+  std::vector<int> node_offset;
+  std::vector<int> base_edge_offset;
+  std::vector<int> mask_offset;
+
+  // Per instance: the mega-logits row carrying the explained prediction
+  // (node tasks: node_offset[i] + target_node; graph tasks: i).
+  std::vector<int> logit_row;
+
+  int num_mask_rows() const { return mask_offset.back(); }
+  int instance_nodes(int i) const { return node_offset[i + 1] - node_offset[i]; }
+  int instance_base_edges(int i) const {
+    return base_edge_offset[i + 1] - base_edge_offset[i];
+  }
+};
+
+// Builds the fused geometry for a group of tasks. Rejects with
+// kInvalidArgument (callers fall back to the sequential path) when the group
+// is empty, any task fails ValidateExplanationTask, the tasks do not all
+// share one model, or graph::TryMakeBatch rejects the instance set.
+util::StatusOr<MegaBatchPlan> BuildMegaBatchPlan(
+    const std::vector<const ExplanationTask*>& tasks);
+
+}  // namespace revelio::explain
+
+#endif  // REVELIO_EXPLAIN_BATCH_RUNNER_H_

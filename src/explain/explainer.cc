@@ -24,6 +24,31 @@ Explanation Explainer::Explain(const ExplanationTask& task, Objective objective)
   return ExplainImpl(task, objective);
 }
 
+std::vector<Explanation> Explainer::ExplainBatch(const std::vector<const ExplanationTask*>& tasks,
+                                                 Objective objective) {
+  obs::ScopedSpan span(obs::Enabled() ? "explain." + name() : std::string());
+  static obs::Counter* calls = obs::MetricsRegistry::Global().GetCounter("explain.calls");
+  static obs::Counter* groups = obs::MetricsRegistry::Global().GetCounter("megabatch.groups");
+  static obs::Counter* instances =
+      obs::MetricsRegistry::Global().GetCounter("megabatch.instances");
+  calls->Add(tasks.size());
+  groups->Increment();
+  instances->Add(tasks.size());
+  tensor::MemoryScope pool_scope("explain");
+  return ExplainBatchImpl(tasks, objective);
+}
+
+std::vector<Explanation> Explainer::ExplainBatchImpl(
+    const std::vector<const ExplanationTask*>& tasks, Objective objective) {
+  std::vector<Explanation> results;
+  results.reserve(tasks.size());
+  for (const ExplanationTask* task : tasks) {
+    CHECK(task != nullptr);
+    results.push_back(ExplainImpl(*task, objective));
+  }
+  return results;
+}
+
 util::Status ValidateExplanationTask(const ExplanationTask& task) {
   if (task.model == nullptr) return util::Status::InvalidArgument("task.model is null");
   if (task.graph == nullptr) return util::Status::InvalidArgument("task.graph is null");

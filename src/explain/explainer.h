@@ -74,13 +74,30 @@ class Explainer {
   // harness falls back to the serial per-instance loop.
   virtual bool thread_safe_explain() const { return true; }
 
+  // True when the method can train a whole group of tasks as one mega-batched
+  // optimization over a block-diagonal mega-graph (explain/batch_runner.h).
+  // Methods that return true must override ExplainBatchImpl and guarantee the
+  // batched result is bitwise-equal to calling Explain per task.
+  virtual bool supports_megabatch() const { return false; }
+
   // Shared entry point: opens the "explain.<name()>" telemetry span and
   // counts the call, then dispatches to ExplainImpl. Non-virtual so every
   // method is instrumented uniformly regardless of call site.
   Explanation Explain(const ExplanationTask& task, Objective objective);
 
+  // Batched entry point: instruments the group (same span name as Explain,
+  // plus megabatch counters) and dispatches to ExplainBatchImpl. Results are
+  // index-parallel to `tasks`. All tasks must share the same model.
+  std::vector<Explanation> ExplainBatch(const std::vector<const ExplanationTask*>& tasks,
+                                        Objective objective);
+
  protected:
   virtual Explanation ExplainImpl(const ExplanationTask& task, Objective objective) = 0;
+
+  // Default: the sequential per-task loop. Methods with supports_megabatch()
+  // override this with a fused forward/backward over the whole group.
+  virtual std::vector<Explanation> ExplainBatchImpl(
+      const std::vector<const ExplanationTask*>& tasks, Objective objective);
 };
 
 // Validates a task before it reaches an explainer: null model/graph, an empty

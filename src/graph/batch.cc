@@ -41,12 +41,16 @@ util::StatusOr<GraphBatch> TryMakeBatch(const std::vector<const GraphInstance*>&
   if (instances.empty()) {
     return util::Status::InvalidArgument("cannot batch an empty instance list");
   }
+  // Null-check every pointer before the first dereference: feature_dim reads
+  // instances[0], which harness-generated lists may well leave null.
+  for (size_t i = 0; i < instances.size(); ++i) {
+    if (instances[i] == nullptr) {
+      return util::Status::InvalidArgument("batch instance " + std::to_string(i) + " is null");
+    }
+  }
   const int feature_dim = instances[0]->features.cols();
   for (size_t i = 0; i < instances.size(); ++i) {
     const GraphInstance* instance = instances[i];
-    if (instance == nullptr) {
-      return util::Status::InvalidArgument("batch instance " + std::to_string(i) + " is null");
-    }
     if (instance->features.rows() != instance->graph.num_nodes()) {
       return util::Status::InvalidArgument(
           "batch instance " + std::to_string(i) + " has " +

@@ -1,5 +1,6 @@
 #include "graph/subgraph.h"
 
+#include <algorithm>
 #include <deque>
 #include <unordered_map>
 
@@ -27,6 +28,14 @@ Subgraph ExtractKHopInSubgraph(const Graph& graph, int target, int k) {
       }
     }
   }
+
+  // Canonical order: local node ids ascend with the global ids, independent
+  // of BFS discovery incidentals (queue order, edge insertion order among
+  // equal-distance nodes). Mega-batching relies on extraction being a pure
+  // function of the (graph, target, k) triple; edges below already iterate in
+  // global edge order, so sorting the node set makes the whole Subgraph
+  // canonical.
+  std::sort(included.begin(), included.end());
 
   Subgraph result;
   result.graph = Graph(static_cast<int>(included.size()));

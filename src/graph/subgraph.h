@@ -23,7 +23,9 @@ struct Subgraph {
 };
 
 // Nodes with a directed path of length <= k to `target` (plus the target),
-// with all induced edges. Node 0 of the result need not be the target; use
+// with all induced edges. The result is canonical: node_map ascends with the
+// global node ids and edge_map with the global edge ids, independent of
+// traversal order. Node 0 of the result need not be the target; use
 // `target_local`.
 Subgraph ExtractKHopInSubgraph(const Graph& graph, int target, int k);
 

@@ -1,0 +1,146 @@
+// Standalone validator for the mega-batched explanation sweep, used as a
+// ctest fixture after `bench_table5_runtime --batch-sweep`:
+//   megabatch_bench_check <BENCH_megabatch.json>
+// Exit 0 when the file carries the shared BENCH_*.json envelope, the sweep
+// has a sequential baseline (batch_size 0) and at least one batched point,
+// every batched point's explanations were bitwise-equal to the sequential
+// loop, and the fused path beats sequential by a clear margin (speedup >=
+// 1.25) at the largest group size — the committed sweep measures ~1.8x, so
+// the gate has headroom against scheduler noise without ever accepting a
+// regression to parity. Exit 1 on validation failure, 2 on usage/IO errors.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.h"
+
+namespace {
+
+using revelio::obs::JsonValue;
+
+const JsonValue* RequireNumber(const JsonValue& object, const char* key) {
+  const JsonValue* value = object.Find(key);
+  if (value == nullptr || !value->is_number()) {
+    std::fprintf(stderr, "megabatch_bench_check: missing numeric \"%s\"\n", key);
+    return nullptr;
+  }
+  return value;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: megabatch_bench_check <BENCH_megabatch.json>\n");
+    return 2;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "megabatch_bench_check: cannot open %s\n", argv[1]);
+    return 2;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  JsonValue root;
+  std::string error;
+  if (!revelio::obs::ParseJson(buffer.str(), &root, &error)) {
+    std::fprintf(stderr, "megabatch_bench_check: %s is malformed JSON: %s\n", argv[1],
+                 error.c_str());
+    return 1;
+  }
+  if (!root.is_object()) {
+    std::fprintf(stderr, "megabatch_bench_check: top level is not an object\n");
+    return 1;
+  }
+
+  // Shared envelope (bench/bench_common.h WriteBenchJson).
+  const JsonValue* schema = root.Find("schema_version");
+  if (schema == nullptr || !schema->is_number() || schema->number_value != 1) {
+    std::fprintf(stderr, "megabatch_bench_check: missing schema_version 1\n");
+    return 1;
+  }
+  const JsonValue* bench = root.Find("bench");
+  if (bench == nullptr || !bench->is_string() || bench->string_value != "megabatch_sweep") {
+    std::fprintf(stderr, "megabatch_bench_check: bench name is not megabatch_sweep\n");
+    return 1;
+  }
+  const JsonValue* data = root.Find("data");
+  if (data == nullptr || !data->is_object()) {
+    std::fprintf(stderr, "megabatch_bench_check: missing data object\n");
+    return 1;
+  }
+  const JsonValue* points = data->Find("points");
+  if (points == nullptr || !points->is_array() || points->array_items.empty()) {
+    std::fprintf(stderr, "megabatch_bench_check: missing non-empty data.points array\n");
+    return 1;
+  }
+
+  int baselines = 0;
+  int batched_points = 0;
+  double largest_batch = -1.0;
+  double largest_speedup = 0.0;
+  for (size_t i = 0; i < points->array_items.size(); ++i) {
+    const JsonValue& point = points->array_items[i];
+    if (!point.is_object()) {
+      std::fprintf(stderr, "megabatch_bench_check: point %zu is not an object\n", i);
+      return 1;
+    }
+    const JsonValue* batch_size = RequireNumber(point, "batch_size");
+    const JsonValue* seconds = RequireNumber(point, "seconds");
+    const JsonValue* throughput = RequireNumber(point, "explanations_per_sec");
+    const JsonValue* speedup = RequireNumber(point, "speedup");
+    if (batch_size == nullptr || seconds == nullptr || throughput == nullptr ||
+        speedup == nullptr) {
+      return 1;
+    }
+    if (seconds->number_value <= 0.0) {
+      std::fprintf(stderr, "megabatch_bench_check: point %zu has non-positive seconds\n", i);
+      return 1;
+    }
+    if (batch_size->number_value == 0) {
+      ++baselines;
+      continue;  // the sequential baseline row carries no equivalence claim
+    }
+    ++batched_points;
+    const JsonValue* bitwise = point.Find("bitwise_equal");
+    if (bitwise == nullptr || bitwise->type != JsonValue::Type::kBool) {
+      std::fprintf(stderr, "megabatch_bench_check: point %zu lacks bool bitwise_equal\n", i);
+      return 1;
+    }
+    if (!bitwise->bool_value) {
+      std::fprintf(stderr,
+                   "megabatch_bench_check: point %zu (batch_size=%.0f): batched "
+                   "explanations diverged from the sequential loop\n",
+                   i, batch_size->number_value);
+      return 1;
+    }
+    if (batch_size->number_value > largest_batch) {
+      largest_batch = batch_size->number_value;
+      largest_speedup = speedup->number_value;
+    }
+  }
+
+  if (baselines == 0) {
+    std::fprintf(stderr, "megabatch_bench_check: no sequential baseline (batch_size 0)\n");
+    return 1;
+  }
+  if (batched_points == 0) {
+    std::fprintf(stderr, "megabatch_bench_check: no batched points in the sweep\n");
+    return 1;
+  }
+  if (largest_speedup < 1.25) {
+    std::fprintf(stderr,
+                 "megabatch_bench_check: mega-batched path lost its margin over sequential "
+                 "at the largest group size (batch_size=%.0f, speedup=%.3fx < 1.25x)\n",
+                 largest_batch, largest_speedup);
+    return 1;
+  }
+  std::printf(
+      "megabatch_bench_check: %s ok (%d batched points, largest batch_size=%.0f "
+      "speedup=%.2fx)\n",
+      argv[1], batched_points, largest_batch, largest_speedup);
+  return 0;
+}

@@ -17,6 +17,7 @@
 #include "gnn/model.h"
 #include "gnn/trainer.h"
 #include "graph/graph.h"
+#include "graph/subgraph.h"
 #include "tensor/pool.h"
 #include "util/parallel.h"
 #include "util/rng.h"
@@ -176,6 +177,35 @@ TEST_F(DeterminismTest, PoolOnOffAndWarmColdLeaveResultsBitwiseIdentical) {
     EXPECT_EQ(unpooled_run.edge_scores, cold_run.edge_scores);
     EXPECT_EQ(warm_run.ranking, unpooled_run.ranking);
     EXPECT_EQ(warm_run.edge_scores, unpooled_run.edge_scores);
+  }
+}
+
+// The k-hop extraction feeds every explanation task, so its output order is
+// part of the determinism contract: node_map and edge_map must be strictly
+// ascending in the global ids (canonical, independent of BFS discovery
+// order) and bitwise-stable across repeated calls.
+TEST_F(DeterminismTest, KHopExtractionIsCanonicalAndStable) {
+  const Instance inst = MakeInstance();
+  for (const int target : {0, 3, 11, 23}) {
+    for (const int k : {1, 2, 3}) {
+      const graph::Subgraph sub = graph::ExtractKHopInSubgraph(inst.graph, target, k);
+      ASSERT_FALSE(sub.node_map.empty());
+      for (size_t i = 1; i < sub.node_map.size(); ++i) {
+        EXPECT_LT(sub.node_map[i - 1], sub.node_map[i])
+            << "node_map not strictly ascending at target=" << target << " k=" << k;
+      }
+      for (size_t i = 1; i < sub.edge_map.size(); ++i) {
+        EXPECT_LT(sub.edge_map[i - 1], sub.edge_map[i])
+            << "edge_map not strictly ascending at target=" << target << " k=" << k;
+      }
+      EXPECT_EQ(sub.node_map[sub.target_local], target);
+
+      const graph::Subgraph again = graph::ExtractKHopInSubgraph(inst.graph, target, k);
+      EXPECT_EQ(sub.node_map, again.node_map);
+      EXPECT_EQ(sub.edge_map, again.edge_map);
+      EXPECT_EQ(sub.target_local, again.target_local);
+      EXPECT_EQ(sub.graph.edges(), again.graph.edges());
+    }
   }
 }
 

@@ -253,6 +253,42 @@ TEST(EdgeCaseTest, TryMakeBatchRejectsMalformedInputs) {
   c.labels = {0, 1};  // node labels on a graph-task instance
   EXPECT_EQ(graph::TryMakeBatch({&a, &c}).status().code(), util::StatusCode::kInvalidArgument);
   EXPECT_TRUE(graph::TryMakeBatch({&a}).ok());
+
+  // Null pointers anywhere in the list — including slot 0, which the
+  // feature-dim probe reads first — must yield InvalidArgument, not a crash.
+  EXPECT_EQ(graph::TryMakeBatch({nullptr}).status().code(), util::StatusCode::kInvalidArgument);
+  EXPECT_EQ(graph::TryMakeBatch({nullptr, &a}).status().code(),
+            util::StatusCode::kInvalidArgument);
+  EXPECT_EQ(graph::TryMakeBatch({&a, nullptr}).status().code(),
+            util::StatusCode::kInvalidArgument);
+}
+
+TEST(EdgeCaseTest, SingleInstanceBatchIsIdentity) {
+  // A batch of one multi-edge instance reproduces the instance verbatim:
+  // same node count, same edges in the same order, same feature bits, one
+  // all-zero segment id per node.
+  graph::GraphInstance inst;
+  inst.graph = graph::Graph(4);
+  inst.graph.AddEdge(0, 1);
+  inst.graph.AddEdge(2, 1);
+  inst.graph.AddUndirectedEdge(2, 3);
+  util::Rng rng(0xba7c);
+  inst.features = Tensor::Uniform(4, 3, -1.0f, 1.0f, &rng);
+  inst.labels = {1};
+
+  const auto batch_or = graph::TryMakeBatch({&inst});
+  ASSERT_TRUE(batch_or.ok()) << batch_or.status().ToString();
+  const graph::GraphBatch& batch = batch_or.value();
+  EXPECT_EQ(batch.num_graphs, 1);
+  ASSERT_EQ(batch.graph.num_nodes(), inst.graph.num_nodes());
+  ASSERT_EQ(batch.graph.num_edges(), inst.graph.num_edges());
+  for (int e = 0; e < inst.graph.num_edges(); ++e) {
+    EXPECT_EQ(batch.graph.edge(e).src, inst.graph.edge(e).src);
+    EXPECT_EQ(batch.graph.edge(e).dst, inst.graph.edge(e).dst);
+  }
+  EXPECT_EQ(batch.features.values(), inst.features.values());
+  EXPECT_EQ(batch.node_to_graph, std::vector<int>(4, 0));
+  EXPECT_EQ(batch.labels, inst.labels);
 }
 
 // --- Task validation ----------------------------------------------------------

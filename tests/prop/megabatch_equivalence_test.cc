@@ -1,0 +1,393 @@
+// Mega-batched explanation equivalence: fusing a group of explainer tasks
+// into one block-diagonal mega-graph (explain/batch_runner.h) is a pure
+// scheduling change. For every batch size, thread count, and pool setting,
+// the per-instance flow scores, edge scores, layer weights, and top-k flow
+// rankings must be BITWISE-equal to the sequential per-task loop — the same
+// contract the fused-SpMM and pool suites pin for their optimizations.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/revelio.h"
+#include "explain/batch_runner.h"
+#include "explain/explainer.h"
+#include "explain/gnnexplainer.h"
+#include "eval/runner.h"
+#include "flow/flow_scores.h"
+#include "gnn/model.h"
+#include "graph/graph.h"
+#include "prop/prop_util.h"
+#include "tensor/pool.h"
+#include "util/parallel.h"
+#include "util/proptest.h"
+#include "util/rng.h"
+
+namespace revelio::proptest {
+namespace {
+
+using tensor::Tensor;
+
+constexpr uint64_t kSeed = 20260808;
+constexpr int kFeatureDim = 4;
+
+// Self-owning task storage (ExplanationTask holds pointers).
+struct TaskData {
+  graph::Graph graph;
+  Tensor features;
+  int target_node = -1;
+  int target_class = 0;
+
+  explain::ExplanationTask MakeTask(const gnn::GnnModel* model) const {
+    explain::ExplanationTask task;
+    task.model = model;
+    task.graph = &graph;
+    task.features = features;
+    task.target_node = target_node;
+    task.target_class = target_class;
+    return task;
+  }
+};
+
+// Ring + random chords: connected, every node has in-edges, so flow
+// enumeration to any target is non-empty at any depth.
+TaskData MakeNodeTaskData(uint64_t seed) {
+  util::Rng rng(seed);
+  TaskData data;
+  const int n = 6 + rng.UniformInt(5);
+  data.graph = graph::Graph(n);
+  for (int v = 0; v < n; ++v) data.graph.AddUndirectedEdge(v, (v + 1) % n);
+  for (int i = 0; i < 4; ++i) {
+    const int u = rng.UniformInt(n);
+    const int v = rng.UniformInt(n);
+    if (u != v && !data.graph.HasEdge(u, v)) data.graph.AddEdge(u, v);
+  }
+  data.features = Tensor::Uniform(n, kFeatureDim, -1.0f, 1.0f, &rng);
+  data.target_node = rng.UniformInt(n);
+  data.target_class = rng.UniformInt(2);
+  return data;
+}
+
+TaskData MakeGraphTaskData(uint64_t seed) {
+  TaskData data = MakeNodeTaskData(seed);
+  data.target_node = -1;
+  return data;
+}
+
+gnn::GnnConfig ModelConfig(gnn::TaskType task_type) {
+  gnn::GnnConfig config;
+  config.arch = gnn::GnnArch::kGcn;
+  config.task = task_type;
+  config.input_dim = kFeatureDim;
+  config.hidden_dim = 6;
+  config.num_classes = 2;
+  config.num_layers = 2;
+  config.seed = kSeed + 1;
+  return config;
+}
+
+core::RevelioOptions RevelioTestOptions() {
+  core::RevelioOptions options;
+  options.epochs = 6;
+  options.seed = kSeed + 2;
+  return options;
+}
+
+explain::GnnExplainerOptions GnnExplainerTestOptions() {
+  explain::GnnExplainerOptions options;
+  options.epochs = 6;
+  options.seed = kSeed + 3;
+  return options;
+}
+
+void ExpectFlowExplanationsBitwiseEqual(
+    const core::RevelioExplainer::FlowExplanation& expected,
+    const core::RevelioExplainer::FlowExplanation& actual, const std::string& context) {
+  EXPECT_EQ(expected.flow_scores, actual.flow_scores) << context << ": flow scores differ";
+  EXPECT_EQ(expected.edge_scores, actual.edge_scores) << context << ": edge scores differ";
+  EXPECT_EQ(expected.layer_edge_masks, actual.layer_edge_masks)
+      << context << ": layer edge masks differ";
+  EXPECT_EQ(expected.layer_weights, actual.layer_weights)
+      << context << ": layer weights differ";
+  EXPECT_EQ(flow::TopKFlows(expected.flow_scores, 10), flow::TopKFlows(actual.flow_scores, 10))
+      << context << ": top-k flow rankings differ";
+}
+
+class MegaBatchEquivalenceTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    util::SetNumThreads(1);
+    tensor::SetPoolEnabled(true);
+    explain::SetMegaBatchEnabled(true);
+    explain::SetMegaBatchSize(32);
+  }
+};
+
+TEST_F(MegaBatchEquivalenceTest, RevelioBatchedEqualsSequentialAcrossBatchSizes) {
+  util::SetNumThreads(1);
+  gnn::GnnModel model(ModelConfig(gnn::TaskType::kNodeClassification));
+  model.Freeze();
+  std::vector<TaskData> data;
+  std::vector<explain::ExplanationTask> tasks;
+  for (int i = 0; i < 32; ++i) data.push_back(MakeNodeTaskData(kSeed + 10 + i));
+  for (const TaskData& d : data) tasks.push_back(d.MakeTask(&model));
+
+  core::RevelioExplainer explainer(RevelioTestOptions());
+  std::vector<core::RevelioExplainer::FlowExplanation> reference;
+  for (const auto& task : tasks) {
+    reference.push_back(explainer.ExplainFlows(task, explain::Objective::kFactual));
+    ASSERT_FALSE(reference.back().flow_scores.empty());
+  }
+
+  for (const int batch_size : {1, 2, 7, 32}) {
+    std::vector<const explain::ExplanationTask*> group;
+    for (int i = 0; i < batch_size; ++i) group.push_back(&tasks[i]);
+    const std::vector<core::RevelioExplainer::FlowExplanation> batched =
+        explainer.ExplainFlowsBatch(group, explain::Objective::kFactual);
+    ASSERT_EQ(batched.size(), group.size());
+    for (int i = 0; i < batch_size; ++i) {
+      ExpectFlowExplanationsBitwiseEqual(
+          reference[i], batched[i],
+          "batch=" + std::to_string(batch_size) + " instance=" + std::to_string(i));
+    }
+  }
+}
+
+TEST_F(MegaBatchEquivalenceTest, RevelioBatchedInvariantToThreadsAndPool) {
+  util::SetNumThreads(1);
+  tensor::SetPoolEnabled(true);
+  gnn::GnnModel model(ModelConfig(gnn::TaskType::kNodeClassification));
+  model.Freeze();
+  std::vector<TaskData> data;
+  std::vector<explain::ExplanationTask> tasks;
+  for (int i = 0; i < 7; ++i) data.push_back(MakeNodeTaskData(kSeed + 50 + i));
+  for (const TaskData& d : data) tasks.push_back(d.MakeTask(&model));
+  std::vector<const explain::ExplanationTask*> group;
+  for (const auto& task : tasks) group.push_back(&task);
+
+  core::RevelioExplainer explainer(RevelioTestOptions());
+  std::vector<core::RevelioExplainer::FlowExplanation> reference;
+  for (const auto& task : tasks) {
+    reference.push_back(explainer.ExplainFlows(task, explain::Objective::kFactual));
+  }
+
+  for (const int threads : {1, 2, 7, 16}) {
+    for (const bool pool_on : {true, false}) {
+      util::SetNumThreads(threads);
+      tensor::SetPoolEnabled(pool_on);
+      const std::vector<core::RevelioExplainer::FlowExplanation> batched =
+          explainer.ExplainFlowsBatch(group, explain::Objective::kFactual);
+      ASSERT_EQ(batched.size(), group.size());
+      for (size_t i = 0; i < batched.size(); ++i) {
+        ExpectFlowExplanationsBitwiseEqual(
+            reference[i], batched[i],
+            "threads=" + std::to_string(threads) + " pool=" + (pool_on ? "on" : "off") +
+                " instance=" + std::to_string(i));
+      }
+    }
+  }
+}
+
+TEST_F(MegaBatchEquivalenceTest, RevelioCounterfactualAndPrefilterMatch) {
+  util::SetNumThreads(1);
+  gnn::GnnModel model(ModelConfig(gnn::TaskType::kNodeClassification));
+  model.Freeze();
+  std::vector<TaskData> data;
+  std::vector<explain::ExplanationTask> tasks;
+  for (int i = 0; i < 3; ++i) data.push_back(MakeNodeTaskData(kSeed + 90 + i));
+  for (const TaskData& d : data) tasks.push_back(d.MakeTask(&model));
+  std::vector<const explain::ExplanationTask*> group;
+  for (const auto& task : tasks) group.push_back(&task);
+
+  core::RevelioOptions options = RevelioTestOptions();
+  for (const int prefilter : {0, 5}) {
+    options.prefilter_top_k = prefilter;
+    core::RevelioExplainer explainer(options);
+    for (const auto objective :
+         {explain::Objective::kFactual, explain::Objective::kCounterfactual}) {
+      const std::vector<core::RevelioExplainer::FlowExplanation> batched =
+          explainer.ExplainFlowsBatch(group, objective);
+      ASSERT_EQ(batched.size(), group.size());
+      for (size_t i = 0; i < batched.size(); ++i) {
+        ExpectFlowExplanationsBitwiseEqual(
+            explainer.ExplainFlows(tasks[i], objective), batched[i],
+            std::string("objective=") + explain::ObjectiveName(objective) +
+                " prefilter=" + std::to_string(prefilter) + " instance=" + std::to_string(i));
+      }
+    }
+  }
+}
+
+TEST_F(MegaBatchEquivalenceTest, RevelioGraphClassificationMatches) {
+  util::SetNumThreads(1);
+  gnn::GnnModel model(ModelConfig(gnn::TaskType::kGraphClassification));
+  model.Freeze();
+  std::vector<TaskData> data;
+  std::vector<explain::ExplanationTask> tasks;
+  for (int i = 0; i < 4; ++i) data.push_back(MakeGraphTaskData(kSeed + 130 + i));
+  for (const TaskData& d : data) tasks.push_back(d.MakeTask(&model));
+  std::vector<const explain::ExplanationTask*> group;
+  for (const auto& task : tasks) group.push_back(&task);
+
+  core::RevelioExplainer explainer(RevelioTestOptions());
+  const std::vector<core::RevelioExplainer::FlowExplanation> batched =
+      explainer.ExplainFlowsBatch(group, explain::Objective::kFactual);
+  ASSERT_EQ(batched.size(), group.size());
+  for (size_t i = 0; i < batched.size(); ++i) {
+    ExpectFlowExplanationsBitwiseEqual(
+        explainer.ExplainFlows(tasks[i], explain::Objective::kFactual), batched[i],
+        "graph-task instance=" + std::to_string(i));
+  }
+}
+
+TEST_F(MegaBatchEquivalenceTest, GnnExplainerBatchedEqualsSequentialAcrossBatchSizes) {
+  util::SetNumThreads(1);
+  gnn::GnnModel model(ModelConfig(gnn::TaskType::kNodeClassification));
+  model.Freeze();
+  std::vector<TaskData> data;
+  std::vector<explain::ExplanationTask> tasks;
+  for (int i = 0; i < 32; ++i) data.push_back(MakeNodeTaskData(kSeed + 170 + i));
+  for (const TaskData& d : data) tasks.push_back(d.MakeTask(&model));
+
+  for (const auto objective :
+       {explain::Objective::kFactual, explain::Objective::kCounterfactual}) {
+    explain::GnnExplainerMethod explainer(GnnExplainerTestOptions());
+    std::vector<explain::Explanation> reference;
+    for (const auto& task : tasks) reference.push_back(explainer.Explain(task, objective));
+
+    for (const int batch_size : {1, 2, 7, 32}) {
+      std::vector<const explain::ExplanationTask*> group;
+      for (int i = 0; i < batch_size; ++i) group.push_back(&tasks[i]);
+      const std::vector<explain::Explanation> batched = explainer.ExplainBatch(group, objective);
+      ASSERT_EQ(batched.size(), group.size());
+      for (int i = 0; i < batch_size; ++i) {
+        EXPECT_EQ(reference[i].edge_scores, batched[i].edge_scores)
+            << "objective=" << explain::ObjectiveName(objective) << " batch=" << batch_size
+            << " instance=" << i;
+      }
+    }
+  }
+}
+
+TEST_F(MegaBatchEquivalenceTest, GnnExplainerBatchedInvariantToThreadsAndPool) {
+  util::SetNumThreads(1);
+  tensor::SetPoolEnabled(true);
+  gnn::GnnModel model(ModelConfig(gnn::TaskType::kNodeClassification));
+  model.Freeze();
+  std::vector<TaskData> data;
+  std::vector<explain::ExplanationTask> tasks;
+  for (int i = 0; i < 7; ++i) data.push_back(MakeNodeTaskData(kSeed + 210 + i));
+  for (const TaskData& d : data) tasks.push_back(d.MakeTask(&model));
+  std::vector<const explain::ExplanationTask*> group;
+  for (const auto& task : tasks) group.push_back(&task);
+
+  explain::GnnExplainerMethod explainer(GnnExplainerTestOptions());
+  std::vector<explain::Explanation> reference;
+  for (const auto& task : tasks) {
+    reference.push_back(explainer.Explain(task, explain::Objective::kFactual));
+  }
+
+  for (const int threads : {1, 2, 7, 16}) {
+    for (const bool pool_on : {true, false}) {
+      util::SetNumThreads(threads);
+      tensor::SetPoolEnabled(pool_on);
+      const std::vector<explain::Explanation> batched =
+          explainer.ExplainBatch(group, explain::Objective::kFactual);
+      ASSERT_EQ(batched.size(), group.size());
+      for (size_t i = 0; i < batched.size(); ++i) {
+        EXPECT_EQ(reference[i].edge_scores, batched[i].edge_scores)
+            << "threads=" << threads << " pool=" << (pool_on ? "on" : "off")
+            << " instance=" << i;
+      }
+    }
+  }
+}
+
+// ExplainAll's group dispatch: with mega-batching enabled the harness routes
+// same-model runs of tasks through ExplainBatch; with it disabled it takes
+// the pre-existing per-task path. Both must equal the plain sequential loop.
+TEST_F(MegaBatchEquivalenceTest, ExplainAllDispatchMatchesSequentialAndFallback) {
+  util::SetNumThreads(1);
+  gnn::GnnModel model(ModelConfig(gnn::TaskType::kNodeClassification));
+  model.Freeze();
+  std::vector<TaskData> data;
+  std::vector<explain::ExplanationTask> tasks;
+  for (int i = 0; i < 9; ++i) data.push_back(MakeNodeTaskData(kSeed + 250 + i));
+  for (const TaskData& d : data) tasks.push_back(d.MakeTask(&model));
+
+  explain::GnnExplainerMethod explainer(GnnExplainerTestOptions());
+  std::vector<explain::Explanation> reference;
+  for (const auto& task : tasks) {
+    reference.push_back(explainer.Explain(task, explain::Objective::kFactual));
+  }
+
+  explain::SetMegaBatchEnabled(true);
+  explain::SetMegaBatchSize(4);  // forces several groups over the 9 tasks
+  const std::vector<explain::Explanation> batched =
+      eval::ExplainAll(&explainer, tasks, explain::Objective::kFactual);
+  ASSERT_EQ(batched.size(), tasks.size());
+
+  explain::SetMegaBatchEnabled(false);
+  const std::vector<explain::Explanation> fallback =
+      eval::ExplainAll(&explainer, tasks, explain::Objective::kFactual);
+  ASSERT_EQ(fallback.size(), tasks.size());
+
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    EXPECT_EQ(reference[i].edge_scores, batched[i].edge_scores)
+        << "megabatch dispatch diverged at instance " << i;
+    EXPECT_EQ(reference[i].edge_scores, fallback[i].edge_scores)
+        << "REVELIO_MEGABATCH=0 fallback diverged at instance " << i;
+  }
+}
+
+// Property with shrinking: over random graph families (star, path, dense,
+// disconnected, Erdos-Renyi), a two-instance GNNExplainer mega-batch equals
+// the sequential loop bitwise. Edgeless graphs are vacuously skipped (no
+// base-edge mask to learn; explainers reject them upstream).
+TEST_F(MegaBatchEquivalenceTest, GnnExplainerBatchOfTwoMatchesOnRandomGraphs) {
+  util::SetNumThreads(1);
+  const util::Domain<GraphSpec> domain = GraphDomain(3, 8, /*allow_empty=*/false);
+  const util::CheckResult result = util::ForAll<GraphSpec>(
+      "megabatch_pair_equals_sequential", domain,
+      [](const GraphSpec& spec) -> std::string {
+        const graph::Graph graph = MakeGraph(spec);
+        if (graph.num_edges() == 0) return "";  // no mask to learn
+        util::Rng rng(kSeed + 300);
+        TaskData a;
+        a.graph = graph;
+        a.features = Tensor::Uniform(graph.num_nodes(), kFeatureDim, -1.0f, 1.0f, &rng);
+        a.target_node = rng.UniformInt(graph.num_nodes());
+        a.target_class = rng.UniformInt(2);
+        TaskData b;
+        b.graph = graph;
+        b.features = Tensor::Uniform(graph.num_nodes(), kFeatureDim, -1.0f, 1.0f, &rng);
+        b.target_node = rng.UniformInt(graph.num_nodes());
+        b.target_class = rng.UniformInt(2);
+
+        gnn::GnnModel model(ModelConfig(gnn::TaskType::kNodeClassification));
+        model.Freeze();
+        const explain::ExplanationTask task_a = a.MakeTask(&model);
+        const explain::ExplanationTask task_b = b.MakeTask(&model);
+
+        explain::GnnExplainerMethod explainer(GnnExplainerTestOptions());
+        const explain::Explanation seq_a = explainer.Explain(task_a, explain::Objective::kFactual);
+        const explain::Explanation seq_b = explainer.Explain(task_b, explain::Objective::kFactual);
+        const std::vector<explain::Explanation> batched =
+            explainer.ExplainBatch({&task_a, &task_b}, explain::Objective::kFactual);
+        if (batched.size() != 2) return "batch returned wrong count";
+        if (batched[0].edge_scores != seq_a.edge_scores) {
+          return "instance 0 diverged from sequential";
+        }
+        if (batched[1].edge_scores != seq_b.edge_scores) {
+          return "instance 1 diverged from sequential";
+        }
+        return "";
+      },
+      util::DefaultPropConfig(25, kSeed + 301));
+  EXPECT_TRUE(result.ok) << result.report;
+}
+
+}  // namespace
+}  // namespace revelio::proptest
