@@ -20,17 +20,31 @@
 //                          default)
 //   --trace-out FILE       enable telemetry; write Chrome trace JSON at exit
 //   --metrics-out FILE     enable telemetry; write metrics snapshot at exit
+//   --audit-out FILE       stream one audit record per explanation (JSONL)
+//   --prom-out FILE        write Prometheus text exposition at exit; with
+//                          REVELIO_METRICS_INTERVAL_MS=<ms> also rewrite it
+//                          periodically during the run
+//   --flight-out FILE      dump the flight-recorder ring (Chrome JSON) at exit
 //   --profile              enable telemetry; print the span profile at exit
+//
+// Artifact paths (every *-out flag and the BENCH_*.json writers) are routed
+// through PrepareArtifactPath: parent directories are created, overwriting an
+// existing file logs a warning, and a bare filename lands in the gitignored
+// artifacts/ directory instead of littering the working directory.
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "eval/runner.h"
+#include "obs/audit.h"
+#include "obs/export_prom.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "obs/trace.h"
 #include "util/flags.h"
 #include "util/logging.h"
@@ -54,6 +68,27 @@ inline std::vector<std::string> SplitCsv(const std::string& value) {
   return parts;
 }
 
+// Normalizes a bench artifact path before anything writes to it: a bare
+// filename (no directory component) is routed into artifacts/, missing
+// parent directories are created, and clobbering an existing file logs a
+// warning first. Empty paths pass through untouched.
+inline std::string PrepareArtifactPath(const std::string& path) {
+  if (path.empty()) return path;
+  namespace fs = std::filesystem;
+  fs::path target(path);
+  if (!target.has_parent_path()) target = fs::path("artifacts") / target;
+  std::error_code ec;
+  if (target.has_parent_path()) {
+    fs::create_directories(target.parent_path(), ec);
+    if (ec) LOG_WARNING << "cannot create " << target.parent_path().string() << ": "
+                        << ec.message();
+  }
+  if (fs::exists(target, ec)) {
+    LOG_WARNING << "overwriting existing artifact " << target.string();
+  }
+  return target.string();
+}
+
 struct BenchScope {
   std::vector<std::string> datasets;
   std::vector<gnn::GnnArch> archs;
@@ -69,6 +104,9 @@ namespace internal {
 struct TelemetrySinks {
   std::string trace_out;
   std::string metrics_out;
+  std::string prom_out;
+  std::string flight_out;
+  bool audit = false;  // AuditSink opened; close (flush) at exit
   bool profile = false;
 };
 
@@ -83,6 +121,7 @@ inline TelemetrySinks& Sinks() {
 // InitTelemetry; safe to call directly (e.g. before a mid-run abort).
 inline void FlushTelemetry() {
   const internal::TelemetrySinks& sinks = internal::Sinks();
+  obs::StopMetricsExportThread();
   if (!sinks.trace_out.empty()) {
     if (obs::TraceRecorder::Global().WriteChromeTrace(sinks.trace_out)) {
       LOG_INFO << "wrote trace to " << sinks.trace_out;
@@ -97,6 +136,21 @@ inline void FlushTelemetry() {
       LOG_ERROR << "failed to write metrics to " << sinks.metrics_out;
     }
   }
+  if (!sinks.prom_out.empty()) {
+    if (obs::WritePrometheusTextFile(sinks.prom_out)) {
+      LOG_INFO << "wrote Prometheus exposition to " << sinks.prom_out;
+    } else {
+      LOG_ERROR << "failed to write Prometheus exposition to " << sinks.prom_out;
+    }
+  }
+  if (!sinks.flight_out.empty()) {
+    if (obs::FlightRecorder::Global().WriteChromeTrace(sinks.flight_out)) {
+      LOG_INFO << "wrote flight record to " << sinks.flight_out;
+    } else {
+      LOG_ERROR << "failed to write flight record to " << sinks.flight_out;
+    }
+  }
+  if (sinks.audit) obs::AuditSink::Global().Close();
   if (sinks.profile) {
     const std::string table = obs::TraceRecorder::Global().ProfileTable();
     if (!table.empty()) std::fprintf(stderr, "\n== span profile ==\n%s", table.c_str());
@@ -108,16 +162,39 @@ inline void FlushTelemetry() {
 inline void InitTelemetry(const util::Flags& flags, eval::RunnerConfig* config,
                           bool* profile) {
   internal::TelemetrySinks& sinks = internal::Sinks();
-  sinks.trace_out = flags.GetString("trace-out", "");
-  sinks.metrics_out = flags.GetString("metrics-out", "");
+  sinks.trace_out = PrepareArtifactPath(flags.GetString("trace-out", ""));
+  sinks.metrics_out = PrepareArtifactPath(flags.GetString("metrics-out", ""));
+  sinks.prom_out = PrepareArtifactPath(flags.GetString("prom-out", ""));
+  sinks.flight_out = PrepareArtifactPath(flags.GetString("flight-out", ""));
   sinks.profile = flags.GetBool("profile", false);
+  const std::string audit_out = PrepareArtifactPath(flags.GetString("audit-out", ""));
+  if (!audit_out.empty()) {
+    sinks.audit = obs::AuditSink::Global().OpenFile(audit_out);
+    if (sinks.audit) {
+      LOG_INFO << "streaming audit records to " << audit_out;
+    } else {
+      LOG_ERROR << "cannot open audit output " << audit_out;
+    }
+  }
   if (config != nullptr) {
     config->trace_out = sinks.trace_out;
     config->metrics_out = sinks.metrics_out;
+    config->audit_out = audit_out;
   }
   if (profile != nullptr) *profile = sinks.profile;
-  if (sinks.trace_out.empty() && sinks.metrics_out.empty() && !sinks.profile) return;
+  const bool any_sink = !sinks.trace_out.empty() || !sinks.metrics_out.empty() ||
+                        !sinks.prom_out.empty() || !sinks.flight_out.empty() || sinks.audit ||
+                        sinks.profile;
+  if (!any_sink) return;
+  // The flight recorder and audit sink run on their own switches; everything
+  // else (spans, counters, histograms) needs the obs subsystem on.
   obs::SetEnabled(true);
+  // Periodic SLO export: rewrite the exposition file during the run so a
+  // scraper sees progress, not just the final snapshot.
+  const int interval_ms = obs::MetricsExportIntervalFromEnv();
+  if (interval_ms > 0 && !sinks.prom_out.empty()) {
+    obs::StartMetricsExportThread(sinks.prom_out, interval_ms);
+  }
   static bool registered = false;
   if (!registered) {
     registered = true;
@@ -172,8 +249,9 @@ inline BenchScope ParseScope(const util::Flags& flags,
 // envelope (schema version, bench name, thread count, and the run's metric
 // snapshot) around a bench-specific payload written by `payload`.
 template <typename PayloadFn>
-inline bool WriteBenchJson(const std::string& path, const std::string& bench_name,
+inline bool WriteBenchJson(const std::string& raw_path, const std::string& bench_name,
                            const PayloadFn& payload) {
+  const std::string path = PrepareArtifactPath(raw_path);
   obs::JsonWriter writer;
   writer.BeginObject();
   writer.Key("schema_version");

@@ -10,6 +10,7 @@
 #include "eval/runner.h"
 #include "explain/batch_runner.h"
 #include "explain/pgexplainer.h"
+#include "obs/recorder.h"
 #include "obs/trace.h"
 #include "tensor/pool.h"
 #include "util/timer.h"
@@ -273,6 +274,114 @@ int main(int argc, char** argv) {
         w->Double(r.speedup);
         w->Key("bitwise_equal");
         w->Bool(r.bitwise_equal);
+        w->EndObject();
+      }
+      w->EndArray();
+      w->EndObject();
+    });
+  }
+
+  // --obs-out FILE: measure the flight recorder's overhead on the Revelio
+  // column. Runs the same task list with the recorder disabled and enabled,
+  // interleaved min-of-N so drift hits both modes equally, and verifies the
+  // explanations stay bitwise-equal — the observability layer must never
+  // touch the numerics. obs_bench_check gates overhead_ratio in CI.
+  const std::string obs_out = flags.GetString("obs-out", "");
+  if (!obs_out.empty()) {
+    struct ObsRow {
+      std::string dataset;
+      int instances = 0;
+      double off_seconds = 0.0;  // REVELIO_FLIGHT_RECORDER=0 path, best of N
+      double on_seconds = 0.0;   // recorder enabled, best of N
+      double overhead_ratio = 0.0;
+      bool bitwise_equal = false;
+      uint64_t flight_events = 0;
+    };
+    std::vector<ObsRow> rows;
+    const bool flight_was_enabled = obs::FlightEnabled();
+    constexpr int kReps = 3;
+    std::printf("\n== Revelio flight recorder on vs off (writes %s) ==\n", obs_out.c_str());
+    for (size_t d = 0; d < scope.datasets.size(); ++d) {
+      auto explainer = eval::MakeExplainer("Revelio", scope.config);
+      std::vector<explain::ExplanationTask> tasks;
+      tasks.reserve(instances[d].size());
+      for (const auto& instance : instances[d]) {
+        tasks.push_back(instance.MakeTask(prepared[d].model.get()));
+      }
+      if (tasks.empty()) continue;
+      auto run = [&] {
+        util::Timer timer;
+        std::vector<explain::Explanation> explanations =
+            eval::ExplainAll(explainer.get(), tasks, explain::Objective::kFactual);
+        return std::pair<std::vector<explain::Explanation>, double>(std::move(explanations),
+                                                                    timer.ElapsedSeconds());
+      };
+      ObsRow row;
+      row.dataset = scope.datasets[d];
+      row.instances = static_cast<int>(tasks.size());
+      // Warm both modes: caches/pool for off, name interning + ring shards
+      // for on, so neither mode pays first-touch costs inside the timing.
+      obs::SetFlightEnabled(false);
+      (void)run();
+      obs::SetFlightEnabled(true);
+      (void)run();
+      std::vector<explain::Explanation> off_explanations;
+      std::vector<explain::Explanation> on_explanations;
+      double off_best = 0.0;
+      double on_best = 0.0;
+      for (int rep = 0; rep < kReps; ++rep) {
+        obs::SetFlightEnabled(false);
+        auto [off, off_seconds] = run();
+        obs::SetFlightEnabled(true);
+        auto [on, on_seconds] = run();
+        if (rep == 0 || off_seconds < off_best) off_best = off_seconds;
+        if (rep == 0 || on_seconds < on_best) on_best = on_seconds;
+        if (rep == 0) {
+          off_explanations = std::move(off);
+          on_explanations = std::move(on);
+        }
+      }
+      row.off_seconds = off_best;
+      row.on_seconds = on_best;
+      row.overhead_ratio = off_best > 0.0 ? on_best / off_best : 0.0;
+      row.flight_events = obs::FlightRecorder::Global().total_recorded();
+      row.bitwise_equal = off_explanations.size() == on_explanations.size();
+      for (size_t i = 0; i < off_explanations.size() && row.bitwise_equal; ++i) {
+        if (off_explanations[i].edge_scores != on_explanations[i].edge_scores ||
+            off_explanations[i].flow_scores != on_explanations[i].flow_scores) {
+          row.bitwise_equal = false;
+        }
+      }
+      std::printf("%-12s instances=%-3d  off %8.4fs  on %8.4fs  overhead=%5.3fx  "
+                  "events=%llu  bitwise_equal=%s\n",
+                  row.dataset.c_str(), row.instances, row.off_seconds, row.on_seconds,
+                  row.overhead_ratio, static_cast<unsigned long long>(row.flight_events),
+                  row.bitwise_equal ? "yes" : "NO");
+      rows.push_back(std::move(row));
+    }
+    obs::SetFlightEnabled(flight_was_enabled);
+    bench::WriteBenchJson(obs_out, "table5_obs", [&](obs::JsonWriter* w) {
+      w->BeginObject();
+      w->Key("flight_capacity");
+      w->Uint(obs::FlightRecorder::Global().capacity());
+      w->Key("points");
+      w->BeginArray();
+      for (const ObsRow& r : rows) {
+        w->BeginObject();
+        w->Key("dataset");
+        w->String(r.dataset);
+        w->Key("instances");
+        w->Int(r.instances);
+        w->Key("off_seconds");
+        w->Double(r.off_seconds);
+        w->Key("on_seconds");
+        w->Double(r.on_seconds);
+        w->Key("overhead_ratio");
+        w->Double(r.overhead_ratio);
+        w->Key("bitwise_equal");
+        w->Bool(r.bitwise_equal);
+        w->Key("flight_events");
+        w->Uint(r.flight_events);
         w->EndObject();
       }
       w->EndArray();

@@ -65,6 +65,10 @@ build_preset() {
 run_stage "build"      build_preset default
 run_stage "tier1"      ctest --test-dir build -L tier1 --output-on-failure
 run_stage "prop"       ctest --test-dir build -L prop --output-on-failure
+# The tier-1 bench fixtures regenerated build/BENCH_*.json; fail if any
+# bench's primary speedup field regressed >10% against the committed
+# baselines in bench/fixtures/.
+run_stage "bench-diff" python3 scripts/bench_diff.py
 run_stage "san-smoke"  ctest --test-dir build -L san --output-on-failure
 
 if [[ "${FAST}" -eq 0 ]]; then
@@ -80,8 +84,10 @@ if [[ "${FAST}" -eq 0 ]]; then
   run_stage "tsan-spmm"   ctest --preset tsan -R spmm_equivalence_test
   # Mega-batched explanation under TSan: the fused group shares one frozen
   # model across the batched backward, so a race here means the freeze
-  # contract broke somewhere in the explainer loop.
-  run_stage "tsan-megabatch" ctest --preset tsan -R megabatch_equivalence_test
+  # contract broke somewhere in the explainer loop. The flight recorder is
+  # forced on so its lock-free ring takes concurrent writes from the same
+  # run TSan is watching.
+  run_stage "tsan-megabatch" env REVELIO_FLIGHT_RECORDER=1 ctest --preset tsan -R megabatch_equivalence_test
   run_stage "tsan"        ctest --preset tsan -E "spmm_equivalence_test|megabatch_equivalence_test"
 fi
 

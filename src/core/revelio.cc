@@ -1,11 +1,14 @@
 #include "core/revelio.h"
 
+#include <algorithm>
 #include <cmath>
+#include <string>
 #include <utility>
 
 #include "explain/batch_runner.h"
 #include "nn/loss.h"
 #include "nn/optimizer.h"
+#include "obs/audit.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "tensor/ops.h"
@@ -140,6 +143,33 @@ void FinishFlowExplanation(const gnn::LayerEdgeSet& edges, const Tensor& flow_ma
   for (int l = 0; l < num_layers; ++l) result->layer_weights[l] = layer_weights.At(l, 0);
 }
 
+// Mean binary entropy (nats) of the mask probabilities in rows [begin, end)
+// of omega. Tanh masks live in [-1, 1] and map to p = (v + 1) / 2; p is
+// clamped away from {0, 1} so the entropy stays finite once masks saturate.
+// Audit-only readout: every access is a detached read of trained values.
+double MeanMaskEntropy(const Tensor& omega, int begin, int end, bool tanh_masks) {
+  if (end <= begin) return 0.0;
+  double total = 0.0;
+  for (int k = begin; k < end; ++k) {
+    double p = omega.At(k, 0);
+    if (tanh_masks) p = 0.5 * (p + 1.0);
+    p = std::min(1.0 - 1e-12, std::max(1e-12, p));
+    total += -p * std::log(p) - (1.0 - p) * std::log(1.0 - p);
+  }
+  return total / static_cast<double>(end - begin);
+}
+
+void AppendRevelioAuditConfig(obs::AuditRecord* audit, const RevelioOptions& options) {
+  if (audit == nullptr) return;
+  audit->config.emplace_back("epochs", std::to_string(options.epochs));
+  audit->config.emplace_back("learning_rate", std::to_string(options.learning_rate));
+  audit->config.emplace_back("alpha", std::to_string(options.alpha));
+  audit->config.emplace_back("seed", std::to_string(options.seed));
+  audit->config.emplace_back("max_flows", std::to_string(options.max_flows));
+  audit->config.emplace_back("prefilter_top_k", std::to_string(options.prefilter_top_k));
+  audit->config.emplace_back("tanh_flow_masks", options.use_tanh_flow_masks ? "1" : "0");
+}
+
 }  // namespace
 
 RevelioExplainer::FlowExplanation RevelioExplainer::ExplainFlows(const ExplanationTask& task,
@@ -148,6 +178,8 @@ RevelioExplainer::FlowExplanation RevelioExplainer::ExplainFlows(const Explanati
   const gnn::GnnModel& model = *task.model;
   const int num_layers = model.num_layers();
   const gnn::LayerEdgeSet edges = gnn::BuildLayerEdges(*task.graph);
+
+  AppendRevelioAuditConfig(obs::AuditScope::Current(), options_);
 
   FlowExplanation result;
   {
@@ -158,6 +190,7 @@ RevelioExplainer::FlowExplanation RevelioExplainer::ExplainFlows(const Explanati
     } else {
       result.flows = flow::EnumerateAllFlows(edges, num_layers, options_.max_flows);
     }
+    obs::AuditScope::AddPhase("enumerate_flows", span.ElapsedSeconds());
   }
   CHECK_GT(result.flows.num_flows(), 0);
 
@@ -170,6 +203,7 @@ RevelioExplainer::FlowExplanation RevelioExplainer::ExplainFlows(const Explanati
         task, edges, result.flows, objective, options_.layer_scaling);
     kept_flows = flow::TopKFlows(saliency, options_.prefilter_top_k);
     result.flows = RestrictFlows(result.flows, edges, kept_flows);
+    obs::AuditScope::AddPhase("prefilter", span.ElapsedSeconds());
   }
   const flow::FlowSet& flows = result.flows;
 
@@ -205,15 +239,22 @@ RevelioExplainer::FlowExplanation RevelioExplainer::ExplainFlows(const Explanati
       Tensor loss = tensor::Add(objective_loss, tensor::MulScalar(regularizer, options_.alpha));
       loss.Backward();
       optimizer.Step();
+      if (obs::AuditRecord* audit = obs::AuditScope::Current()) {
+        audit->loss_curve.push_back(loss.At(0, 0));
+        audit->mask_entropy.push_back(
+            MeanMaskEntropy(omega_flows, 0, flows.num_flows(), options_.use_tanh_flow_masks));
+      }
       // Recycle this epoch's intermediates: after the first epoch primes the
       // pool's size classes, the optimization loop runs allocation-free.
       loss.ReleaseTape();
     }
+    obs::AuditScope::AddPhase("optimize", optimize_span.ElapsedSeconds());
   }
 
   obs::ScopedSpan extract_span("revelio.extract");
   // Final scores (detached).
   FinishFlowExplanation(edges, flow_mask_params, layer_weights, objective, options_, &result);
+  obs::AuditScope::AddPhase("extract", extract_span.ElapsedSeconds());
   return result;
 }
 
@@ -229,8 +270,15 @@ std::vector<RevelioExplainer::FlowExplanation> RevelioExplainer::ExplainFlowsBat
   if (!plan_or.ok()) {
     // Heterogeneous or malformed group: sequential fallback.
     results.reserve(tasks.size());
-    for (const ExplanationTask* task : tasks) results.push_back(ExplainFlows(*task, objective));
+    for (size_t i = 0; i < tasks.size(); ++i) {
+      obs::AuditScope::SetInstanceBase(i);
+      results.push_back(ExplainFlows(*tasks[i], objective));
+    }
+    obs::AuditScope::SetInstanceBase(0);
     return results;
+  }
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    AppendRevelioAuditConfig(obs::AuditScope::Current(i), options_);
   }
   const explain::MegaBatchPlan& plan = plan_or.value();
   const gnn::GnnModel& model = *tasks[0]->model;
@@ -251,6 +299,7 @@ std::vector<RevelioExplainer::FlowExplanation> RevelioExplainer::ExplainFlowsBat
                              : flow::EnumerateAllFlows(edges[i], num_layers, options_.max_flows);
       CHECK_GT(results[i].flows.num_flows(), 0);
     }
+    obs::AuditScope::AddPhaseAll("enumerate_flows", span.ElapsedSeconds());
   }
   if (options_.prefilter_top_k > 0) {
     obs::ScopedSpan span("revelio.prefilter");
@@ -261,6 +310,7 @@ std::vector<RevelioExplainer::FlowExplanation> RevelioExplainer::ExplainFlowsBat
       const std::vector<int> kept = flow::TopKFlows(saliency, options_.prefilter_top_k);
       results[i].flows = RestrictFlows(results[i].flows, edges[i], kept);
     }
+    obs::AuditScope::AddPhaseAll("prefilter", span.ElapsedSeconds());
   }
 
   // Concatenated learnable parameters: every instance owns a contiguous
@@ -413,8 +463,26 @@ std::vector<RevelioExplainer::FlowExplanation> RevelioExplainer::ExplainFlowsBat
       loss.Backward();
       optimizer.Step();
       steps->Increment();
+      if (obs::AuditScope::Current() != nullptr) {
+        // Per-instance attribution inside the fused step: instance i's loss
+        // reads back from its own probability/regularizer rows, its entropy
+        // from its contiguous flow-mask segment.
+        for (int i = 0; i < num_instances; ++i) {
+          obs::AuditRecord* audit = obs::AuditScope::Current(i);
+          if (audit == nullptr) continue;
+          const double pi =
+              std::min(1.0 - 1e-12, std::max(1e-12, static_cast<double>(p.At(i, 0))));
+          const double objective_i =
+              objective == Objective::kFactual ? -std::log(pi) : -std::log(1.0 - pi);
+          audit->loss_curve.push_back(objective_i +
+                                      options_.alpha * regularizer.At(i, 0));
+          audit->mask_entropy.push_back(MeanMaskEntropy(
+              omega_flows, flow_offset[i], flow_offset[i + 1], options_.use_tanh_flow_masks));
+        }
+      }
       loss.ReleaseTape();
     }
+    obs::AuditScope::AddPhaseAll("optimize", optimize_span.ElapsedSeconds());
   }
 
   obs::ScopedSpan extract_span("revelio.extract");
@@ -430,6 +498,7 @@ std::vector<RevelioExplainer::FlowExplanation> RevelioExplainer::ExplainFlowsBat
     const Tensor inst_weights = Tensor::FromData(num_layers, 1, std::move(weight_segment));
     FinishFlowExplanation(edges[i], inst_params, inst_weights, objective, options_, &results[i]);
   }
+  obs::AuditScope::AddPhaseAll("extract", extract_span.ElapsedSeconds());
   return results;
 }
 

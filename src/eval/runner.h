@@ -25,11 +25,13 @@ struct RunnerConfig {
   int min_instance_edges = 6;   // skip degenerate subgraphs
   int pg_train_instances = 12;  // group size for amortized methods
 
-  // Telemetry sinks (empty = disabled). Setting either turns on the obs
-  // subsystem for the run; bench binaries inherit --trace-out/--metrics-out
-  // through bench_common.h.
+  // Telemetry sinks (empty = disabled). Setting trace_out/metrics_out turns
+  // on the obs subsystem for the run; audit_out streams one AuditRecord per
+  // explanation as JSONL without requiring metrics/tracing. Bench binaries
+  // inherit --trace-out/--metrics-out/--audit-out through bench_common.h.
   std::string trace_out;    // Chrome trace-event JSON
   std::string metrics_out;  // metrics snapshot JSON
+  std::string audit_out;    // per-explanation audit records, JSONL
 };
 
 // A pretrained target model plus its dataset.

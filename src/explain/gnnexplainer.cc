@@ -1,12 +1,17 @@
 #include "explain/gnnexplainer.h"
 
+#include <algorithm>
+#include <cmath>
 #include <numeric>
+#include <string>
 #include <utility>
 
 #include "explain/batch_runner.h"
 #include "nn/loss.h"
 #include "nn/optimizer.h"
+#include "obs/audit.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/ops.h"
 
 namespace revelio::explain {
@@ -26,6 +31,28 @@ Tensor ExpandToLayerEdges(const Tensor& base_mask, const gnn::LayerEdgeSet& edge
   return tensor::Add(expanded, Tensor::FromVector(self_ones));
 }
 
+// Mean binary entropy (nats) of the sigmoid mask rows [begin, end), clamped
+// away from {0, 1} so saturated masks stay finite. Audit-only readout.
+double MeanSigmoidMaskEntropy(const Tensor& mask, int begin, int end) {
+  if (end <= begin) return 0.0;
+  double total = 0.0;
+  for (int e = begin; e < end; ++e) {
+    const double p =
+        std::min(1.0 - 1e-12, std::max(1e-12, static_cast<double>(mask.At(e, 0))));
+    total += -p * std::log(p) - (1.0 - p) * std::log(1.0 - p);
+  }
+  return total / static_cast<double>(end - begin);
+}
+
+void AppendGnnExplainerAuditConfig(obs::AuditRecord* audit, const GnnExplainerOptions& options) {
+  if (audit == nullptr) return;
+  audit->config.emplace_back("epochs", std::to_string(options.epochs));
+  audit->config.emplace_back("learning_rate", std::to_string(options.learning_rate));
+  audit->config.emplace_back("size_penalty", std::to_string(options.size_penalty));
+  audit->config.emplace_back("entropy_penalty", std::to_string(options.entropy_penalty));
+  audit->config.emplace_back("seed", std::to_string(options.seed));
+}
+
 }  // namespace
 
 Explanation GnnExplainerMethod::ExplainImpl(const ExplanationTask& task, Objective objective) {
@@ -39,7 +66,9 @@ Explanation GnnExplainerMethod::ExplainImpl(const ExplanationTask& task, Objecti
   for (auto& v : *mask_params.mutable_values()) v *= 0.1f;
   mask_params.WithRequiresGrad();
   nn::Adam optimizer({mask_params}, options_.learning_rate);
+  AppendGnnExplainerAuditConfig(obs::AuditScope::Current(), options_);
 
+  obs::ScopedSpan optimize_span("gnnexplainer.optimize");
   for (int epoch = 0; epoch < options_.epochs; ++epoch) {
     optimizer.ZeroGrad();
     Tensor base_mask = tensor::Sigmoid(mask_params);
@@ -64,11 +93,16 @@ Explanation GnnExplainerMethod::ExplainImpl(const ExplanationTask& task, Objecti
     loss = tensor::Add(loss, tensor::MulScalar(tensor::Mean(entropy), options_.entropy_penalty));
     loss.Backward();
     optimizer.Step();
+    if (obs::AuditRecord* audit = obs::AuditScope::Current()) {
+      audit->loss_curve.push_back(loss.At(0, 0));
+      audit->mask_entropy.push_back(MeanSigmoidMaskEntropy(base_mask, 0, num_base));
+    }
     // Each epoch's graph of intermediates goes back to the tensor pool, so
     // after the first epoch primes the size classes the loop allocates
     // nothing new.
     loss.ReleaseTape();
   }
+  obs::AuditScope::AddPhase("optimize", optimize_span.ElapsedSeconds());
 
   Explanation explanation;
   explanation.edge_scores.resize(num_base);
@@ -92,10 +126,15 @@ std::vector<Explanation> GnnExplainerMethod::ExplainBatchImpl(
   if (!plan_or.ok()) {
     // Heterogeneous or malformed group: sequential fallback.
     explanations.reserve(tasks.size());
-    for (const ExplanationTask* task : tasks) {
-      explanations.push_back(ExplainImpl(*task, objective));
+    for (size_t i = 0; i < tasks.size(); ++i) {
+      obs::AuditScope::SetInstanceBase(i);
+      explanations.push_back(ExplainImpl(*tasks[i], objective));
     }
+    obs::AuditScope::SetInstanceBase(0);
     return explanations;
+  }
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    AppendGnnExplainerAuditConfig(obs::AuditScope::Current(i), options_);
   }
   const MegaBatchPlan& plan = plan_or.value();
   const gnn::GnnModel& model = *tasks[0]->model;
@@ -152,6 +191,7 @@ std::vector<Explanation> GnnExplainerMethod::ExplainBatchImpl(
   const std::vector<int>* node_to_graph = plan.node_task ? nullptr : &plan.batch.node_to_graph;
   static obs::Counter* steps = obs::MetricsRegistry::Global().GetCounter("megabatch.steps");
 
+  obs::ScopedSpan optimize_span("gnnexplainer.optimize");
   for (int epoch = 0; epoch < options_.epochs; ++epoch) {
     optimizer.ZeroGrad();
     Tensor base_mask = tensor::Sigmoid(mask_params);
@@ -194,8 +234,27 @@ std::vector<Explanation> GnnExplainerMethod::ExplainBatchImpl(
     loss.Backward();
     optimizer.Step();
     steps->Increment();
+    if (obs::AuditScope::Current() != nullptr) {
+      // Per-instance attribution inside the fused step: instance i's loss
+      // reads back from its own probability and segment-mean rows, its
+      // entropy from its contiguous base-edge mask segment.
+      for (int i = 0; i < num_instances; ++i) {
+        obs::AuditRecord* audit = obs::AuditScope::Current(i);
+        if (audit == nullptr) continue;
+        const double pi =
+            std::min(1.0 - 1e-12, std::max(1e-12, static_cast<double>(p.At(i, 0))));
+        const double objective_i =
+            objective == Objective::kFactual ? -std::log(pi) : -std::log(1.0 - pi);
+        audit->loss_curve.push_back(objective_i +
+                                    options_.size_penalty * size_term.At(i, 0) +
+                                    options_.entropy_penalty * entropy_term.At(i, 0));
+        audit->mask_entropy.push_back(
+            MeanSigmoidMaskEntropy(base_mask, base_offset[i], base_offset[i + 1]));
+      }
+    }
     loss.ReleaseTape();
   }
+  obs::AuditScope::AddPhaseAll("optimize", optimize_span.ElapsedSeconds());
 
   explanations.resize(num_instances);
   Tensor final_mask = tensor::Sigmoid(mask_params);

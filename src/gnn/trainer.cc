@@ -3,6 +3,7 @@
 #include "nn/loss.h"
 #include "nn/optimizer.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "obs/trace.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
@@ -20,6 +21,15 @@ void ReportTrainMetrics(const TrainMetrics& metrics) {
   registry.GetGauge("gnn.train.train_accuracy")->Set(metrics.train_accuracy);
   registry.GetGauge("gnn.train.val_accuracy")->Set(metrics.val_accuracy);
   registry.GetGauge("gnn.train.test_accuracy")->Set(metrics.test_accuracy);
+}
+
+// Per-epoch wall time feeds the SLO histogram (p50/p95/p99 over the run) and
+// a flight-ring phase marker so a crash dump shows training progress.
+void ObserveTrainEpoch(double seconds) {
+  static obs::Histogram* epoch_seconds =
+      obs::MetricsRegistry::Global().GetHistogram("gnn.train.epoch_seconds");
+  epoch_seconds->Observe(seconds);
+  obs::RecordPhase("gnn.train.epoch_done");
 }
 
 }  // namespace
@@ -74,6 +84,7 @@ TrainMetrics TrainNodeModel(GnnModel* model, const graph::Graph& graph,
     // Return this epoch's intermediates to the tensor pool; parameter values
     // and the recorded loss value survive the release.
     loss.ReleaseTape();
+    ObserveTrainEpoch(epoch_span.ElapsedSeconds());
     if (config.verbose && (epoch % 20 == 0 || epoch + 1 == config.epochs)) {
       LOG_INFO << "node-train epoch " << epoch << " loss " << metrics.final_loss;
     }
@@ -114,6 +125,7 @@ TrainMetrics TrainGraphModel(GnnModel* model, const std::vector<graph::GraphInst
     metrics.final_loss = loss.Value();
     metrics.loss_curve.push_back(loss.Value());
     loss.ReleaseTape();
+    ObserveTrainEpoch(epoch_span.ElapsedSeconds());
     if (config.verbose && (epoch % 20 == 0 || epoch + 1 == config.epochs)) {
       LOG_INFO << "graph-train epoch " << epoch << " loss " << metrics.final_loss;
     }

@@ -1,0 +1,142 @@
+#include "obs/export_prom.h"
+
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+namespace revelio::obs {
+
+namespace {
+
+// %.17g round-trips every double; exponents are fine in exposition values.
+std::string FormatValue(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+void AppendHistogram(std::ostringstream* out, const MetricsSnapshot::HistogramEntry& entry) {
+  const std::string name = PrometheusMetricName(entry.name);
+  *out << "# TYPE " << name << " histogram\n";
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < entry.bounds.size(); ++b) {
+    cumulative += b < entry.counts.size() ? entry.counts[b] : 0;
+    *out << name << "_bucket{le=\"" << FormatValue(entry.bounds[b]) << "\"} " << cumulative
+         << "\n";
+  }
+  *out << name << "_bucket{le=\"+Inf\"} " << entry.count << "\n";
+  *out << name << "_sum " << FormatValue(entry.sum) << "\n";
+  *out << name << "_count " << entry.count << "\n";
+  const HistogramSummary summary = SummarizeHistogram(entry);
+  *out << "# TYPE " << name << "_p50 gauge\n";
+  *out << name << "_p50 " << FormatValue(summary.p50) << "\n";
+  *out << "# TYPE " << name << "_p95 gauge\n";
+  *out << name << "_p95 " << FormatValue(summary.p95) << "\n";
+  *out << "# TYPE " << name << "_p99 gauge\n";
+  *out << name << "_p99 " << FormatValue(summary.p99) << "\n";
+}
+
+struct Exporter {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::thread thread;
+  bool stop = false;
+};
+
+Exporter& TheExporter() {
+  static Exporter* exporter = new Exporter();
+  return *exporter;
+}
+
+}  // namespace
+
+std::string PrometheusMetricName(const std::string& raw) {
+  std::string name = "revelio_";
+  for (char c : raw) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      name.push_back(c);
+    } else if (c == '.' || c == '-' || c == '_') {
+      name.push_back('_');
+    }
+    // Anything else is dropped: exposition names admit only [a-zA-Z0-9_:].
+  }
+  return name;
+}
+
+std::string PrometheusText(const MetricsSnapshot& snapshot) {
+  std::ostringstream out;
+  for (const auto& [raw_name, value] : snapshot.counters) {
+    const std::string name = PrometheusMetricName(raw_name) + "_total";
+    out << "# TYPE " << name << " counter\n";
+    out << name << " " << value << "\n";
+  }
+  for (const auto& [raw_name, value] : snapshot.gauges) {
+    const std::string name = PrometheusMetricName(raw_name);
+    out << "# TYPE " << name << " gauge\n";
+    out << name << " " << FormatValue(value) << "\n";
+  }
+  for (const auto& entry : snapshot.histograms) {
+    AppendHistogram(&out, entry);
+  }
+  return out.str();
+}
+
+bool WritePrometheusTextFile(const std::string& path) {
+  const std::string text = PrometheusText(MetricsRegistry::Global().Snapshot());
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool wrote = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  if (std::fclose(f) != 0 || !wrote) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+void StartMetricsExportThread(const std::string& path, int interval_ms) {
+  if (interval_ms <= 0) return;
+  StopMetricsExportThread();
+  Exporter& exporter = TheExporter();
+  exporter.stop = false;
+  exporter.thread = std::thread([path, interval_ms] {
+    Exporter& self = TheExporter();
+    std::unique_lock<std::mutex> lock(self.mu);
+    while (!self.cv.wait_for(lock, std::chrono::milliseconds(interval_ms),
+                             [&self] { return self.stop; })) {
+      lock.unlock();
+      WritePrometheusTextFile(path);
+      lock.lock();
+    }
+  });
+}
+
+void StopMetricsExportThread() {
+  Exporter& exporter = TheExporter();
+  if (!exporter.thread.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(exporter.mu);
+    exporter.stop = true;
+  }
+  exporter.cv.notify_all();
+  exporter.thread.join();
+}
+
+int MetricsExportIntervalFromEnv() {
+  const char* env = std::getenv("REVELIO_METRICS_INTERVAL_MS");
+  if (env == nullptr || env[0] == '\0') return 0;
+  const int interval = std::atoi(env);
+  return interval > 0 ? interval : 0;
+}
+
+}  // namespace revelio::obs

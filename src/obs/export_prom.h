@@ -1,0 +1,51 @@
+#ifndef REVELIO_OBS_EXPORT_PROM_H_
+#define REVELIO_OBS_EXPORT_PROM_H_
+
+// Prometheus-style text exposition of the metrics registry, plus an optional
+// background thread that re-exports a snapshot on a fixed interval so an
+// external scraper (or a human with `watch cat`) sees live SLO numbers while
+// a long run is in flight.
+//
+// Format notes (text exposition 0.0.4 subset):
+//   - metric names are sanitized: '.' and '-' become '_', anything else
+//     non-alphanumeric is dropped; every name gains a `revelio_` prefix.
+//   - counters export as `<name>_total`, gauges as `<name>`.
+//   - histograms export cumulative `<name>_bucket{le="..."}` series ending in
+//     le="+Inf", plus `<name>_sum` / `<name>_count`, plus derived
+//     `<name>_p50/p95/p99` gauges (Prometheus-style interpolation, see
+//     obs/metrics.h) so dashboards get quantiles without PromQL.
+//
+// The writer consumes a MetricsSnapshot, so tests can round-trip: snapshot ->
+// text -> parse -> compare against the same snapshot's JSON export.
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace revelio::obs {
+
+// `raw` -> exposition-safe metric name (prefixed, sanitized). Exposed for the
+// round-trip test.
+std::string PrometheusMetricName(const std::string& raw);
+
+// Renders the snapshot as a complete exposition document (# TYPE comments
+// included, terminating newline included).
+std::string PrometheusText(const MetricsSnapshot& snapshot);
+
+// Snapshot the global registry and write the exposition to `path`
+// (tmp+rename so scrapers never see a torn file). False on I/O failure.
+bool WritePrometheusTextFile(const std::string& path);
+
+// Background exporter: rewrites `path` every `interval_ms` until stopped.
+// One exporter at a time; starting again replaces the previous one.
+// REVELIO_METRICS_INTERVAL_MS=<ms> makes InitTelemetry-style callers start
+// this automatically (see MetricsExportIntervalFromEnv).
+void StartMetricsExportThread(const std::string& path, int interval_ms);
+void StopMetricsExportThread();
+
+// The REVELIO_METRICS_INTERVAL_MS value, or 0 when unset/invalid.
+int MetricsExportIntervalFromEnv();
+
+}  // namespace revelio::obs
+
+#endif  // REVELIO_OBS_EXPORT_PROM_H_

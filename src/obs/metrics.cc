@@ -159,6 +159,49 @@ void MetricsRegistry::ResetAll() {
   for (auto& [name, histogram] : histograms_) histogram->Reset();
 }
 
+// --- SLO summarization -------------------------------------------------------
+
+double HistogramQuantile(const MetricsSnapshot::HistogramEntry& entry, double q) {
+  if (entry.count == 0 || entry.counts.empty()) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const double rank = q * static_cast<double>(entry.count);
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < entry.counts.size(); ++b) {
+    const uint64_t in_bucket = entry.counts[b];
+    if (in_bucket == 0) continue;
+    const double cum_end = static_cast<double>(cumulative + in_bucket);
+    if (rank <= cum_end) {
+      if (b >= entry.bounds.size()) {
+        // Overflow bucket: saturate at the largest finite bound.
+        return entry.bounds.empty() ? 0.0 : entry.bounds.back();
+      }
+      const double upper = entry.bounds[b];
+      const double lower = b == 0 ? std::min(0.0, entry.bounds[0]) : entry.bounds[b - 1];
+      const double into_bucket = rank - static_cast<double>(cumulative);
+      return lower + (upper - lower) * (into_bucket / static_cast<double>(in_bucket));
+    }
+    cumulative += in_bucket;
+  }
+  return entry.bounds.empty() ? 0.0 : entry.bounds.back();
+}
+
+HistogramSummary SummarizeHistogram(const MetricsSnapshot::HistogramEntry& entry) {
+  HistogramSummary summary;
+  summary.p50 = HistogramQuantile(entry, 0.50);
+  summary.p95 = HistogramQuantile(entry, 0.95);
+  summary.p99 = HistogramQuantile(entry, 0.99);
+  return summary;
+}
+
+bool MergeHistogramEntry(MetricsSnapshot::HistogramEntry* into,
+                         const MetricsSnapshot::HistogramEntry& from) {
+  if (into->bounds != from.bounds || into->counts.size() != from.counts.size()) return false;
+  for (size_t b = 0; b < into->counts.size(); ++b) into->counts[b] += from.counts[b];
+  into->count += from.count;
+  into->sum += from.sum;
+  return true;
+}
+
 // --- Export ------------------------------------------------------------------
 
 void AppendMetricsSnapshot(JsonWriter* writer) {
@@ -187,6 +230,13 @@ void AppendMetricsSnapshot(JsonWriter* writer) {
     writer->Uint(entry.count);
     writer->Key("sum");
     writer->Double(entry.sum);
+    const HistogramSummary summary = SummarizeHistogram(entry);
+    writer->Key("p50");
+    writer->Double(summary.p50);
+    writer->Key("p95");
+    writer->Double(summary.p95);
+    writer->Key("p99");
+    writer->Double(summary.p99);
     writer->Key("bounds");
     writer->BeginArray();
     for (double b : entry.bounds) writer->Double(b);

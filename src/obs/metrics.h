@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "obs/json.h"
+#include "obs/recorder.h"
 
 namespace revelio::obs {
 
@@ -43,10 +44,22 @@ void SetEnabled(bool enabled);
 class Counter {
  public:
   void Add(uint64_t n) {
-    if (!Enabled() || n == 0) return;
+    if (n == 0) return;
+    // Counter deltas also land in the bounded flight ring (independent of the
+    // metrics switch) so a post-mortem shows what was being counted.
+    if (flight_ && FlightEnabled()) {
+      FlightRecorder::Global().Record(FlightEventKind::kCounterDelta, name_.c_str(),
+                                      static_cast<double>(n));
+    }
+    if (!Enabled()) return;
     cells_[internal::ThisThreadShard()].value.fetch_add(n, std::memory_order_relaxed);
   }
   void Increment() { Add(1); }
+
+  // Opts this counter out of flight-ring recording. For counters ticked on
+  // paths cheaper than a ring record itself (the pool's per-Acquire hit/miss),
+  // where the events would both dominate the cost and flood the bounded ring.
+  void DisableFlightRecording() { flight_ = false; }
 
   uint64_t Total() const;
   void Reset();
@@ -60,6 +73,7 @@ class Counter {
     std::atomic<uint64_t> value{0};
   };
   std::string name_;
+  bool flight_ = true;
   Cell cells_[kMetricShards];
 };
 
@@ -123,6 +137,30 @@ struct MetricsSnapshot {
   std::vector<std::pair<std::string, double>> gauges;      // sorted by name
   std::vector<HistogramEntry> histograms;                  // sorted by name
 };
+
+// --- SLO summarization over fixed-boundary buckets ---------------------------
+//
+// Quantiles are estimated Prometheus-style: find the bucket holding the
+// target rank, then interpolate linearly inside it. The first bucket's lower
+// edge is taken as min(0, bounds[0]) (the grids here are timing/size scales),
+// and any rank landing in the overflow bucket reports the largest finite
+// bound — the estimate saturates rather than extrapolates.
+
+// q in [0, 1]; returns 0 for an empty histogram.
+double HistogramQuantile(const MetricsSnapshot::HistogramEntry& entry, double q);
+
+struct HistogramSummary {
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+HistogramSummary SummarizeHistogram(const MetricsSnapshot::HistogramEntry& entry);
+
+// Element-wise merge of two shards of the same histogram (identical bounds).
+// Returns false (and leaves `into` untouched) on a bounds mismatch. Merging
+// is commutative and associative, so shard aggregation order never matters.
+bool MergeHistogramEntry(MetricsSnapshot::HistogramEntry* into,
+                         const MetricsSnapshot::HistogramEntry& from);
 
 class MetricsRegistry {
  public:

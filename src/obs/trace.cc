@@ -7,6 +7,7 @@
 #include <memory>
 #include <mutex>
 
+#include "obs/recorder.h"
 #include "util/table_printer.h"
 
 namespace revelio::obs {
@@ -250,18 +251,38 @@ std::string TraceRecorder::ProfileTable() const {
 
 // --- ScopedSpan --------------------------------------------------------------
 
-void ScopedSpan::Begin() {
+void ScopedSpan::Begin(FlightPolicy flight) {
+  // The flight recorder runs independently of the span log: spans feed the
+  // bounded post-mortem ring even when full tracing is off.
+  if (flight == FlightPolicy::kRecord && FlightEnabled()) {
+    flight_name_ = literal_name_ != nullptr
+                       ? literal_name_
+                       : (owned_name_.empty() ? nullptr : InternFlightName(owned_name_));
+    if (flight_name_ != nullptr) {
+      FlightRecorder::Global().Record(FlightEventKind::kSpanBegin, flight_name_);
+    }
+  }
   if (!Enabled()) return;
   log_ = TraceRecorder::Global().ThisThreadLog();
   start_us_ = TraceRecorder::NowMicros();
   ++log_->depth;
 }
 
-ScopedSpan::ScopedSpan(const char* name) : literal_name_(name) { Begin(); }
+ScopedSpan::ScopedSpan(const char* name, FlightPolicy flight) : literal_name_(name) {
+  Begin(flight);
+}
 
-ScopedSpan::ScopedSpan(std::string name) : owned_name_(std::move(name)) { Begin(); }
+ScopedSpan::ScopedSpan(std::string name, FlightPolicy flight) : owned_name_(std::move(name)) {
+  Begin(flight);
+}
 
 ScopedSpan::~ScopedSpan() {
+  if (flight_name_ != nullptr) {
+    // Record() re-checks the enable flag, so a span that straddles a
+    // SetFlightEnabled(false) simply drops its end event.
+    FlightRecorder::Global().Record(FlightEventKind::kSpanEnd, flight_name_,
+                                    timer_.ElapsedSeconds() * 1e6);
+  }
   if (log_ == nullptr) return;
   const double end_us = TraceRecorder::NowMicros();
   const int depth = --log_->depth;

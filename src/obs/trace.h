@@ -69,12 +69,19 @@ class TraceRecorder {
   internal::ThreadLog* ThisThreadLog();
 };
 
+// Whether a span feeds the bounded flight ring in addition to the span log.
+// Hot per-op kernel spans (fired thousands of times per explanation) opt out:
+// their ring records cost more than the work they describe, and the crash
+// ring wants coarse phase structure, not kernel-level noise — the same
+// trade-off as Counter::DisableFlightRecording for the pool counters.
+enum class FlightPolicy { kRecord, kSkip };
+
 class ScopedSpan {
  public:
   // The const char* overload records the pointer only (no allocation when
   // disabled); the string overload is for computed names.
-  explicit ScopedSpan(const char* name);
-  explicit ScopedSpan(std::string name);
+  explicit ScopedSpan(const char* name, FlightPolicy flight = FlightPolicy::kRecord);
+  explicit ScopedSpan(std::string name, FlightPolicy flight = FlightPolicy::kRecord);
   ~ScopedSpan();
 
   ScopedSpan(const ScopedSpan&) = delete;
@@ -85,12 +92,13 @@ class ScopedSpan {
   double ElapsedSeconds() const { return timer_.ElapsedSeconds(); }
 
  private:
-  void Begin();
+  void Begin(FlightPolicy flight);
   util::Timer timer_;
   const char* literal_name_ = nullptr;
   std::string owned_name_;
   double start_us_ = 0.0;
-  internal::ThreadLog* log_ = nullptr;  // non-null while recording
+  internal::ThreadLog* log_ = nullptr;   // non-null while recording
+  const char* flight_name_ = nullptr;    // non-null while flight-recording
 };
 
 }  // namespace revelio::obs

@@ -373,7 +373,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   const int n = a.rows();
   const int k = a.cols();
   const int m = b.cols();
-  obs::ScopedSpan span("tensor.MatMul");
+  obs::ScopedSpan span("tensor.MatMul", obs::FlightPolicy::kSkip);
   static obs::Counter* calls = obs::MetricsRegistry::Global().GetCounter("tensor.matmul.calls");
   static obs::Counter* flops = obs::MetricsRegistry::Global().GetCounter("tensor.matmul.flops");
   static obs::Counter* bytes = obs::MetricsRegistry::Global().GetCounter("tensor.matmul.bytes");

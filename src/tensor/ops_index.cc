@@ -36,7 +36,7 @@ int64_t ScatterGrain(int64_t num_rows, int64_t indices, int64_t cols) {
 
 Tensor GatherRows(const Tensor& a, const std::vector<int>& indices) {
   const int cols = a.cols();
-  obs::ScopedSpan span("tensor.GatherRows");
+  obs::ScopedSpan span("tensor.GatherRows", obs::FlightPolicy::kSkip);
   static obs::Counter* calls = obs::MetricsRegistry::Global().GetCounter("tensor.gather.calls");
   static obs::Counter* bytes = obs::MetricsRegistry::Global().GetCounter("tensor.gather.bytes");
   calls->Increment();
@@ -85,7 +85,7 @@ Tensor GatherRows(const Tensor& a, const std::vector<int>& indices) {
 Tensor ScatterAddRows(const Tensor& src, const std::vector<int>& indices, int num_rows) {
   CHECK_EQ(src.rows(), static_cast<int>(indices.size()));
   const int cols = src.cols();
-  obs::ScopedSpan span("tensor.ScatterAdd");
+  obs::ScopedSpan span("tensor.ScatterAdd", obs::FlightPolicy::kSkip);
   static obs::Counter* calls =
       obs::MetricsRegistry::Global().GetCounter("tensor.scatter_add.calls");
   static obs::Counter* bytes =

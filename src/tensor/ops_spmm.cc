@@ -114,7 +114,7 @@ void CheckPattern(const CsrPatternRef& pattern, const Tensor& x, const char* op)
 Tensor SpmmCsr(const CsrPatternRef& pattern, const Tensor& x) {
   CheckPattern(pattern, x, "SpmmCsr");
   const int cols = x.cols();
-  obs::ScopedSpan span("tensor.SpmmCsr");
+  obs::ScopedSpan span("tensor.SpmmCsr", obs::FlightPolicy::kSkip);
   RecordSpmmMetrics(*pattern, cols);
   auto out = NewNodeUninit(pattern->num_rows, cols);
   SpmmForward(*pattern, nullptr, x.values().data(), out->values.data(), cols);
@@ -132,7 +132,7 @@ Tensor SpmmCsrWeighted(const CsrPatternRef& pattern, const Tensor& weights, cons
   CHECK_EQ(weights.rows(), pattern->num_edges) << "SpmmCsrWeighted: weight vector length";
   CHECK_EQ(weights.cols(), 1);
   const int cols = x.cols();
-  obs::ScopedSpan span("tensor.SpmmCsr");
+  obs::ScopedSpan span("tensor.SpmmCsr", obs::FlightPolicy::kSkip);
   RecordSpmmMetrics(*pattern, cols);
   auto out = NewNodeUninit(pattern->num_rows, cols);
   SpmmForward(*pattern, weights.values().data(), x.values().data(), out->values.data(), cols);
@@ -154,7 +154,7 @@ Tensor SpmmCsrWeighted(const CsrPatternRef& pattern, const Tensor& weights, cons
 Tensor SpmmCsrMean(const CsrPatternRef& pattern, const Tensor& x) {
   CheckPattern(pattern, x, "SpmmCsrMean");
   const int cols = x.cols();
-  obs::ScopedSpan span("tensor.SpmmCsr");
+  obs::ScopedSpan span("tensor.SpmmCsr", obs::FlightPolicy::kSkip);
   RecordSpmmMetrics(*pattern, cols);
   // Mean = sum with per-nonzero weight 1/degree(row); rows with no nonzeros
   // keep their zero initialization. The weight vector is indexed by edge id

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "obs/trace.h"
 
 namespace revelio::tensor {
@@ -55,12 +56,19 @@ struct PoolMetrics {
 };
 
 PoolMetrics& Metrics() {
-  static PoolMetrics metrics{
-      obs::MetricsRegistry::Global().GetCounter("tensor.pool.hit"),
-      obs::MetricsRegistry::Global().GetCounter("tensor.pool.miss"),
-      obs::MetricsRegistry::Global().GetGauge("tensor.pool.bytes_in_use"),
-      obs::MetricsRegistry::Global().GetGauge("tensor.pool.bytes_peak"),
-  };
+  static PoolMetrics metrics = [] {
+    PoolMetrics m{
+        obs::MetricsRegistry::Global().GetCounter("tensor.pool.hit"),
+        obs::MetricsRegistry::Global().GetCounter("tensor.pool.miss"),
+        obs::MetricsRegistry::Global().GetGauge("tensor.pool.bytes_in_use"),
+        obs::MetricsRegistry::Global().GetGauge("tensor.pool.bytes_peak"),
+    };
+    // Per-Acquire ticks are cheaper than a flight-ring record; the ring gets
+    // the rare kPoolHighWater transitions instead of a flood of hit/miss.
+    m.hit->DisableFlightRecording();
+    m.miss->DisableFlightRecording();
+    return m;
+  }();
   return metrics;
 }
 
@@ -115,7 +123,11 @@ std::vector<float> TensorPool::Acquire(size_t count) {
     ++stats_.hits;
     stats_.bytes_retained -= bytes;
     stats_.bytes_in_use += bytes;
-    stats_.bytes_peak = std::max(stats_.bytes_peak, stats_.bytes_in_use);
+    if (stats_.bytes_in_use > stats_.bytes_peak) {
+      stats_.bytes_peak = stats_.bytes_in_use;
+      obs::RecordFlightEvent(obs::FlightEventKind::kPoolHighWater, "tensor.pool.high_water",
+                             static_cast<double>(stats_.bytes_peak));
+    }
     Metrics().hit->Increment();
     Metrics().bytes_in_use->Set(static_cast<double>(stats_.bytes_in_use));
     Metrics().bytes_peak->Set(static_cast<double>(stats_.bytes_peak));
@@ -123,12 +135,16 @@ std::vector<float> TensorPool::Acquire(size_t count) {
   }
   ++stats_.misses;
   stats_.bytes_in_use += bytes;
-  stats_.bytes_peak = std::max(stats_.bytes_peak, stats_.bytes_in_use);
+  if (stats_.bytes_in_use > stats_.bytes_peak) {
+    stats_.bytes_peak = stats_.bytes_in_use;
+    obs::RecordFlightEvent(obs::FlightEventKind::kPoolHighWater, "tensor.pool.high_water",
+                           static_cast<double>(stats_.bytes_peak));
+  }
   Metrics().miss->Increment();
   Metrics().bytes_in_use->Set(static_cast<double>(stats_.bytes_in_use));
   Metrics().bytes_peak->Set(static_cast<double>(stats_.bytes_peak));
   // The span marks only real allocations; steady-state epochs stay span-free.
-  obs::ScopedSpan span("tensor.pool.Acquire");
+  obs::ScopedSpan span("tensor.pool.Acquire", obs::FlightPolicy::kSkip);
   return std::vector<float>(count);
 }
 

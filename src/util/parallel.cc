@@ -97,7 +97,7 @@ obs::Counter* WorkerBusyCounter() {
 }
 
 void RunChunks(const std::shared_ptr<Region>& region) {
-  obs::ScopedSpan span("ParallelFor.worker");
+  obs::ScopedSpan span("ParallelFor.worker", obs::FlightPolicy::kSkip);
   const bool prev = tls_in_parallel_region;
   tls_in_parallel_region = true;
   for (;;) {
@@ -158,7 +158,7 @@ void ParallelFor(int64_t begin, int64_t end, int64_t grain,
     {
       // The degenerate one-task execution; traced under the same span name
       // as pool tasks so profiles cover both paths.
-      obs::ScopedSpan span("ParallelFor.worker");
+      obs::ScopedSpan span("ParallelFor.worker", obs::FlightPolicy::kSkip);
       fn(begin, end);
       if (obs::Enabled()) {
         WorkerBusyCounter()->Add(static_cast<uint64_t>(span.ElapsedSeconds() * 1e6));

@@ -24,8 +24,11 @@ std::string ReadFile(const std::string& path) {
 }
 
 TEST(BenchJsonTest, EnvelopeMatchesSchema) {
-  const std::string path = "bench_json_test_envelope.json";
-  const bool ok = WriteBenchJson(path, "schema_probe", [](obs::JsonWriter* w) {
+  // A bare filename is routed into the gitignored artifacts/ directory by
+  // PrepareArtifactPath; read it back from there.
+  const std::string path = "artifacts/bench_json_test_envelope.json";
+  const bool ok = WriteBenchJson("bench_json_test_envelope.json", "schema_probe",
+                                 [](obs::JsonWriter* w) {
     w->BeginObject();
     w->Key("answer");
     w->Int(42);
@@ -96,9 +99,19 @@ TEST(BenchJsonTest, EnvelopeMatchesSchema) {
 }
 
 TEST(BenchJsonTest, UnwritablePathReturnsFalse) {
-  const bool ok = WriteBenchJson("/nonexistent-dir/out.json", "schema_probe",
+  // PrepareArtifactPath creates missing parent directories (so a merely
+  // nonexistent directory no longer fails, even as root); block the write by
+  // putting a regular file where a parent directory would have to go.
+  const std::string blocker = "bench_json_test_blocker";
+  std::remove(blocker.c_str());
+  {
+    std::ofstream file(blocker);
+    file << "not a directory";
+  }
+  const bool ok = WriteBenchJson(blocker + "/out.json", "schema_probe",
                                  [](obs::JsonWriter* w) { w->Null(); });
   EXPECT_FALSE(ok);
+  std::remove(blocker.c_str());
 }
 
 }  // namespace

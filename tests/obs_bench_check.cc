@@ -1,0 +1,143 @@
+// Standalone validator for the flight-recorder overhead sweep, used as a
+// ctest fixture after `bench_table5_runtime --obs-out`:
+//   obs_bench_check <BENCH_obs.json> [--no-overhead-gate]
+// Exit 0 when the file carries the shared BENCH_*.json envelope, at least one
+// measured point exists, every point's explanations were bitwise-equal with
+// the recorder on vs off, the enabled run actually recorded events, and the
+// enabled overhead stays inside the ISSUE budget: overhead_ratio <= 1.05, or
+// an absolute on-minus-off delta under 25 ms (noise floor for the quick
+// fixture's sub-second timings). --no-overhead-gate skips only the timing
+// budget: sanitizer builds pass it because instrumented atomics inflate the
+// recorder's relative cost far beyond the release-build contract
+// (EXPERIMENTS.md: never quote timings from a sanitized binary) while the
+// correctness checks still apply. Exit 1 on validation failure, 2 on
+// usage/IO errors.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.h"
+
+namespace {
+
+using revelio::obs::JsonValue;
+
+constexpr double kMaxOverheadRatio = 1.05;
+constexpr double kAbsoluteNoiseFloorSeconds = 0.025;
+
+const JsonValue* RequireNumber(const JsonValue& object, const char* key) {
+  const JsonValue* value = object.Find(key);
+  if (value == nullptr || !value->is_number()) {
+    std::fprintf(stderr, "obs_bench_check: missing numeric \"%s\"\n", key);
+    return nullptr;
+  }
+  return value;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool overhead_gate = true;
+  if (argc == 3 && std::strcmp(argv[2], "--no-overhead-gate") == 0) {
+    overhead_gate = false;
+  } else if (argc != 2) {
+    std::fprintf(stderr, "usage: obs_bench_check <BENCH_obs.json> [--no-overhead-gate]\n");
+    return 2;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "obs_bench_check: cannot open %s\n", argv[1]);
+    return 2;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  JsonValue root;
+  std::string error;
+  if (!revelio::obs::ParseJson(buffer.str(), &root, &error)) {
+    std::fprintf(stderr, "obs_bench_check: %s is malformed JSON: %s\n", argv[1], error.c_str());
+    return 1;
+  }
+  const JsonValue* schema = root.Find("schema_version");
+  if (schema == nullptr || !schema->is_number() || schema->number_value != 1) {
+    std::fprintf(stderr, "obs_bench_check: missing schema_version 1\n");
+    return 1;
+  }
+  const JsonValue* bench = root.Find("bench");
+  if (bench == nullptr || !bench->is_string() || bench->string_value != "table5_obs") {
+    std::fprintf(stderr, "obs_bench_check: bench name is not table5_obs\n");
+    return 1;
+  }
+  const JsonValue* data = root.Find("data");
+  if (data == nullptr || !data->is_object()) {
+    std::fprintf(stderr, "obs_bench_check: missing data object\n");
+    return 1;
+  }
+  const JsonValue* capacity = RequireNumber(*data, "flight_capacity");
+  if (capacity == nullptr) return 1;
+  if (capacity->number_value <= 0) {
+    std::fprintf(stderr, "obs_bench_check: flight_capacity is not positive\n");
+    return 1;
+  }
+  const JsonValue* points = data->Find("points");
+  if (points == nullptr || !points->is_array() || points->array_items.empty()) {
+    std::fprintf(stderr, "obs_bench_check: missing non-empty data.points array\n");
+    return 1;
+  }
+
+  double worst_ratio = 0.0;
+  for (size_t i = 0; i < points->array_items.size(); ++i) {
+    const JsonValue& point = points->array_items[i];
+    if (!point.is_object()) {
+      std::fprintf(stderr, "obs_bench_check: point %zu is not an object\n", i);
+      return 1;
+    }
+    const JsonValue* off_seconds = RequireNumber(point, "off_seconds");
+    const JsonValue* on_seconds = RequireNumber(point, "on_seconds");
+    const JsonValue* ratio = RequireNumber(point, "overhead_ratio");
+    const JsonValue* events = RequireNumber(point, "flight_events");
+    if (off_seconds == nullptr || on_seconds == nullptr || ratio == nullptr ||
+        events == nullptr) {
+      return 1;
+    }
+    if (off_seconds->number_value <= 0.0 || on_seconds->number_value <= 0.0) {
+      std::fprintf(stderr, "obs_bench_check: point %zu has non-positive timings\n", i);
+      return 1;
+    }
+    const JsonValue* bitwise = point.Find("bitwise_equal");
+    if (bitwise == nullptr || bitwise->type != JsonValue::Type::kBool) {
+      std::fprintf(stderr, "obs_bench_check: point %zu lacks bool bitwise_equal\n", i);
+      return 1;
+    }
+    if (!bitwise->bool_value) {
+      std::fprintf(stderr,
+                   "obs_bench_check: point %zu: explanations diverged with the flight "
+                   "recorder enabled — the observability layer touched the numerics\n",
+                   i);
+      return 1;
+    }
+    if (events->number_value <= 0) {
+      std::fprintf(stderr,
+                   "obs_bench_check: point %zu recorded no flight events while enabled\n", i);
+      return 1;
+    }
+    const double delta = on_seconds->number_value - off_seconds->number_value;
+    if (overhead_gate && ratio->number_value > kMaxOverheadRatio &&
+        delta > kAbsoluteNoiseFloorSeconds) {
+      std::fprintf(stderr,
+                   "obs_bench_check: point %zu: flight-recorder overhead %.3fx "
+                   "(off %.4fs -> on %.4fs, +%.4fs) exceeds the %.2fx budget\n",
+                   i, ratio->number_value, off_seconds->number_value,
+                   on_seconds->number_value, delta, kMaxOverheadRatio);
+      return 1;
+    }
+    if (ratio->number_value > worst_ratio) worst_ratio = ratio->number_value;
+  }
+
+  std::printf("obs_bench_check: %s ok (%zu points, worst overhead %.3fx)\n", argv[1],
+              points->array_items.size(), worst_ratio);
+  return 0;
+}

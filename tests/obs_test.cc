@@ -393,5 +393,174 @@ TEST_F(ObsTest, SnapshotIsSortedByName) {
   }
 }
 
+// --- JSON escaping round trips (audit/trace writers depend on these) ---------
+
+TEST_F(ObsTest, JsonEscapeControlCharactersRoundTrip) {
+  // Every byte below 0x20 plus the named escapes must survive write -> parse.
+  std::string raw;
+  for (int c = 1; c < 0x20; ++c) raw.push_back(static_cast<char>(c));
+  raw += "\"\\/ plain ASCII";
+  obs::JsonWriter writer;
+  writer.BeginObject();
+  writer.Key(raw);  // keys are escaped through the same path as values
+  writer.String(raw);
+  writer.EndObject();
+
+  obs::JsonValue root;
+  std::string error;
+  ASSERT_TRUE(obs::ParseJson(writer.str(), &root, &error)) << error;
+  ASSERT_EQ(root.object_items.size(), 1u);
+  EXPECT_EQ(root.object_items[0].first, raw);
+  EXPECT_EQ(root.object_items[0].second.string_value, raw);
+}
+
+TEST_F(ObsTest, JsonEscapeEmbeddedNulAndHighBytes) {
+  const std::string raw = std::string("a\0b", 3) + "\xc3\xa9";  // NUL + UTF-8 é
+  obs::JsonWriter writer;
+  writer.String(raw);
+  // NUL is escaped as \u0000 so the document itself stays NUL-free.
+  EXPECT_EQ(writer.str().find('\0'), std::string::npos);
+  obs::JsonValue root;
+  std::string error;
+  ASSERT_TRUE(obs::ParseJson(writer.str(), &root, &error)) << error;
+  EXPECT_EQ(root.string_value, raw);
+}
+
+TEST_F(ObsTest, JsonNonFiniteParsesBackAsNull) {
+  obs::JsonWriter writer;
+  writer.BeginArray();
+  writer.Double(std::numeric_limits<double>::infinity());
+  writer.Double(-std::numeric_limits<double>::infinity());
+  writer.Double(std::numeric_limits<double>::quiet_NaN());
+  writer.Double(1.5);
+  writer.EndArray();
+  obs::JsonValue root;
+  std::string error;
+  ASSERT_TRUE(obs::ParseJson(writer.str(), &root, &error)) << error;
+  ASSERT_EQ(root.array_items.size(), 4u);
+  EXPECT_EQ(root.array_items[0].type, obs::JsonValue::Type::kNull);
+  EXPECT_EQ(root.array_items[1].type, obs::JsonValue::Type::kNull);
+  EXPECT_EQ(root.array_items[2].type, obs::JsonValue::Type::kNull);
+  EXPECT_EQ(root.array_items[3].number_value, 1.5);
+}
+
+// --- SLO histogram summarization ---------------------------------------------
+
+obs::MetricsSnapshot::HistogramEntry MakeEntry(std::vector<double> bounds,
+                                               std::vector<uint64_t> counts) {
+  obs::MetricsSnapshot::HistogramEntry entry;
+  entry.name = "test.quantile";
+  entry.bounds = std::move(bounds);
+  entry.counts = std::move(counts);
+  for (uint64_t c : entry.counts) entry.count += c;
+  return entry;
+}
+
+TEST_F(ObsTest, HistogramQuantileUniformSingleBucket) {
+  // 100 observations all in (0, 10]: the estimate interpolates linearly, so
+  // p50 = 5, p95 = 9.5, p99 = 9.9.
+  const auto entry = MakeEntry({10.0}, {100, 0});
+  EXPECT_DOUBLE_EQ(obs::HistogramQuantile(entry, 0.50), 5.0);
+  EXPECT_DOUBLE_EQ(obs::HistogramQuantile(entry, 0.95), 9.5);
+  EXPECT_DOUBLE_EQ(obs::HistogramQuantile(entry, 0.99), 9.9);
+  EXPECT_DOUBLE_EQ(obs::HistogramQuantile(entry, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(obs::HistogramQuantile(entry, 1.0), 10.0);
+}
+
+TEST_F(ObsTest, HistogramQuantileSeededDistributionLandsInRightBucket) {
+  // A seeded skewed grid: 80 fast, 15 medium, 4 slow, 1 overflow.
+  const auto entry = MakeEntry({0.001, 0.01, 0.1, 1.0}, {80, 15, 4, 0, 1});
+  const obs::HistogramSummary summary = obs::SummarizeHistogram(entry);
+  // p50 lands inside the first bucket (rank 50 of 80).
+  EXPECT_GT(summary.p50, 0.0);
+  EXPECT_LE(summary.p50, 0.001);
+  EXPECT_DOUBLE_EQ(summary.p50, 0.001 * (50.0 / 80.0));
+  // p95 is exactly the second bucket's upper bound (rank 95 = cum end).
+  EXPECT_DOUBLE_EQ(summary.p95, 0.01);
+  // p99 lands in the third bucket: rank 99, 4 observations span (0.01, 0.1].
+  EXPECT_DOUBLE_EQ(summary.p99, 0.01 + (0.1 - 0.01) * ((99.0 - 95.0) / 4.0));
+}
+
+TEST_F(ObsTest, HistogramQuantileOverflowSaturatesAtLargestBound) {
+  // Most mass in the overflow bucket: every quantile past the finite buckets
+  // reports the largest finite bound instead of extrapolating.
+  const auto entry = MakeEntry({1.0, 2.0}, {1, 1, 98});
+  EXPECT_DOUBLE_EQ(obs::HistogramQuantile(entry, 0.5), 2.0);
+  EXPECT_DOUBLE_EQ(obs::HistogramQuantile(entry, 0.99), 2.0);
+  // Out-of-range q is clamped.
+  EXPECT_DOUBLE_EQ(obs::HistogramQuantile(entry, 1.5), 2.0);
+  EXPECT_DOUBLE_EQ(obs::HistogramQuantile(entry, -0.5), 0.0);
+}
+
+TEST_F(ObsTest, HistogramQuantileEmptyAndNegativeGrids) {
+  const auto empty = MakeEntry({1.0}, {0, 0});
+  EXPECT_DOUBLE_EQ(obs::HistogramQuantile(empty, 0.5), 0.0);
+  // A grid starting below zero uses bounds[0] as the first lower edge.
+  const auto negative = MakeEntry({-1.0, 1.0}, {0, 10, 0});
+  EXPECT_DOUBLE_EQ(obs::HistogramQuantile(negative, 0.5), 0.0);  // midpoint of (-1, 1)
+}
+
+TEST_F(ObsTest, HistogramMergeIsCommutativeAndAssociative) {
+  const auto a = MakeEntry({1.0, 2.0}, {1, 2, 3});
+  const auto b = MakeEntry({1.0, 2.0}, {4, 0, 1});
+  const auto c = MakeEntry({1.0, 2.0}, {0, 7, 2});
+
+  // (a + b) + c
+  auto left = a;
+  ASSERT_TRUE(obs::MergeHistogramEntry(&left, b));
+  ASSERT_TRUE(obs::MergeHistogramEntry(&left, c));
+  // a + (b + c)
+  auto right_inner = b;
+  ASSERT_TRUE(obs::MergeHistogramEntry(&right_inner, c));
+  auto right = a;
+  ASSERT_TRUE(obs::MergeHistogramEntry(&right, right_inner));
+  // b + a (commutativity)
+  auto swapped = b;
+  ASSERT_TRUE(obs::MergeHistogramEntry(&swapped, a));
+
+  EXPECT_EQ(left.counts, right.counts);
+  EXPECT_EQ(left.count, right.count);
+  EXPECT_DOUBLE_EQ(left.sum, right.sum);
+  auto ab = a;
+  ASSERT_TRUE(obs::MergeHistogramEntry(&ab, b));
+  EXPECT_EQ(ab.counts, swapped.counts);
+  // Quantiles of the merge depend only on the merged counts.
+  EXPECT_DOUBLE_EQ(obs::SummarizeHistogram(left).p95, obs::SummarizeHistogram(right).p95);
+}
+
+TEST_F(ObsTest, HistogramMergeRejectsMismatchedBounds) {
+  auto into = MakeEntry({1.0, 2.0}, {1, 2, 3});
+  const auto original = into;
+  const auto other = MakeEntry({1.0, 3.0}, {4, 5, 6});
+  EXPECT_FALSE(obs::MergeHistogramEntry(&into, other));
+  EXPECT_EQ(into.counts, original.counts) << "failed merge must leave `into` untouched";
+  EXPECT_EQ(into.count, original.count);
+}
+
+TEST_F(ObsTest, SnapshotQuantilesMatchShardedObservation) {
+  // Observations spread across ParallelFor shards summarize the same as the
+  // single-shard math: the snapshot merges shards before we summarize.
+  obs::SetEnabled(true);
+  util::SetNumThreads(4);
+  obs::Histogram* histogram =
+      obs::MetricsRegistry::Global().GetHistogram("test.quantile.sharded", {1.0, 2.0, 4.0});
+  histogram->Reset();
+  util::ParallelFor(0, 400, 25, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) histogram->Observe(0.5 + 3.0 * (i % 2));
+  });
+  const obs::MetricsSnapshot snapshot = obs::MetricsRegistry::Global().Snapshot();
+  const obs::MetricsSnapshot::HistogramEntry* entry = nullptr;
+  for (const auto& h : snapshot.histograms) {
+    if (h.name == "test.quantile.sharded") entry = &h;
+  }
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->count, 400u);
+  // 200 at 0.5 (bucket <=1), 200 at 3.5 (bucket <=4): p50 is the first
+  // bucket's upper edge, p95 interpolates inside (2, 4].
+  const obs::HistogramSummary summary = obs::SummarizeHistogram(*entry);
+  EXPECT_DOUBLE_EQ(summary.p50, 1.0);
+  EXPECT_DOUBLE_EQ(summary.p95, 2.0 + 2.0 * ((380.0 - 200.0) / 200.0));
+}
+
 }  // namespace
 }  // namespace revelio
