@@ -32,6 +32,7 @@ PRIMARY_FIELDS = {
     "tensor_pool": ("pool_speedup", "higher"),
     "megabatch_sweep": ("speedup", "higher"),
     "table5_obs": ("overhead_ratio", "lower"),
+    "serve_trace": ("serve_speedup", "higher"),
 }
 
 

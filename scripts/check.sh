@@ -88,7 +88,12 @@ if [[ "${FAST}" -eq 0 ]]; then
   # forced on so its lock-free ring takes concurrent writes from the same
   # run TSan is watching.
   run_stage "tsan-megabatch" env REVELIO_FLIGHT_RECORDER=1 ctest --preset tsan -R megabatch_equivalence_test
-  run_stage "tsan"        ctest --preset tsan -E "spmm_equivalence_test|megabatch_equivalence_test"
+  # Serving engine under TSan: the fault-injection suite, the equivalence
+  # sweep (concurrent workers + coalescing vs batch ExplainAll), and the
+  # trace-replay fixture all hammer the admission queue with concurrent
+  # submitters, worker pop/coalesce loops, and mid-stream shutdown.
+  run_stage "tsan-serve"  ctest --preset tsan -L serve
+  run_stage "tsan"        ctest --preset tsan -LE serve -E "spmm_equivalence_test|megabatch_equivalence_test"
 fi
 
 echo

@@ -263,10 +263,12 @@ void TrainAmortized(explain::Explainer* explainer, const PreparedModel& prepared
   }
 }
 
-std::vector<explain::Explanation> ExplainAll(explain::Explainer* explainer,
-                                             const std::vector<ExplanationTask>& tasks,
-                                             Objective objective) {
-  obs::ScopedSpan span("eval.ExplainAll");
+namespace {
+
+// The dispatch body of ExplainAll over tasks that already passed validation.
+std::vector<explain::Explanation> ExplainAllValidated(explain::Explainer* explainer,
+                                                      const std::vector<ExplanationTask>& tasks,
+                                                      Objective objective) {
   std::vector<explain::Explanation> explanations(tasks.size());
   explain::Explanation* out = explanations.data();
   const ExplanationTask* in = tasks.data();
@@ -311,6 +313,40 @@ std::vector<explain::Explanation> ExplainAll(explain::Explainer* explainer,
                         out[i] = explainer->Explain(in[i], objective);
                       }
                     });
+  return explanations;
+}
+
+}  // namespace
+
+std::vector<explain::Explanation> ExplainAll(explain::Explainer* explainer,
+                                             const std::vector<ExplanationTask>& tasks,
+                                             Objective objective) {
+  obs::ScopedSpan span("eval.ExplainAll");
+  std::vector<explain::Explanation> explanations(tasks.size());
+  // Per-task admission: a task that fails validation gets the error parked in
+  // its (index-aligned) result slot instead of aborting the whole batch. The
+  // remaining tasks compact and run through the unchanged dispatch paths —
+  // grouping of the compacted run may differ from the original batch, which
+  // is fine because results never depend on grouping (megabatch contract).
+  std::vector<ExplanationTask> valid;
+  std::vector<size_t> valid_index;
+  valid.reserve(tasks.size());
+  valid_index.reserve(tasks.size());
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    util::Status status = explain::ValidateExplanationTask(tasks[i]);
+    if (status.ok()) {
+      valid.push_back(tasks[i]);
+      valid_index.push_back(i);
+    } else {
+      explanations[i].status = std::move(status);
+    }
+  }
+  if (valid.empty()) return explanations;
+  std::vector<explain::Explanation> results =
+      ExplainAllValidated(explainer, valid, objective);
+  for (size_t j = 0; j < results.size(); ++j) {
+    explanations[valid_index[j]] = std::move(results[j]);
+  }
   return explanations;
 }
 

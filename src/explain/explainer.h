@@ -32,6 +32,12 @@ struct ExplanationTask {
 };
 
 struct Explanation {
+  // Ok for a produced explanation. Batch drivers (eval::ExplainAll, the
+  // serving engine) park a per-task error here — a failed task must not
+  // abort its whole batch, and the slot stays index-aligned either way.
+  // When !status.ok() the score vectors are empty.
+  util::Status status = util::Status::Ok();
+
   // Importance per base edge of task.graph (higher = more important). For
   // counterfactual explanations higher still means "more important", i.e.
   // removing high-scoring edges should destroy the prediction (paper §IV-C).

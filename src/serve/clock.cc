@@ -1,0 +1,18 @@
+#include "serve/clock.h"
+
+#include <chrono>
+
+namespace revelio::serve {
+
+const MonotonicClock* MonotonicClock::Global() {
+  static MonotonicClock clock;
+  return &clock;
+}
+
+int64_t MonotonicClock::NowNanos() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace revelio::serve

@@ -1,0 +1,57 @@
+#ifndef REVELIO_SERVE_CLOCK_H_
+#define REVELIO_SERVE_CLOCK_H_
+
+// Injectable time source for the serving engine.
+//
+// Every deadline and latency computation in src/serve goes through a Clock
+// so the fault-injection tests (tests/serve_test.cc) and the trace-replay
+// bench (bench/bench_serve.cc) can drive time deterministically: a
+// ManualClock only moves when the test advances it, which makes timing
+// assertions exact (no wall-clock sleeps, no flake margins — the same
+// motivation as the monotonic TimerTest pattern). Production servers use
+// MonotonicClock::Global(), a steady_clock wrapper.
+
+#include <atomic>
+#include <cstdint>
+
+namespace revelio::serve {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  // Nanoseconds on a monotonic scale. Only differences are meaningful.
+  virtual int64_t NowNanos() const = 0;
+
+  double NowSeconds() const { return static_cast<double>(NowNanos()) * 1e-9; }
+};
+
+// std::chrono::steady_clock. Stateless; share the process-wide instance.
+class MonotonicClock : public Clock {
+ public:
+  static const MonotonicClock* Global();
+  int64_t NowNanos() const override;
+};
+
+// Test clock: time is a plain counter that moves only via Advance/Set.
+// Reads and writes are atomic so worker threads may read it concurrently
+// with a test thread advancing it.
+class ManualClock : public Clock {
+ public:
+  explicit ManualClock(int64_t start_nanos = 0) : nanos_(start_nanos) {}
+
+  int64_t NowNanos() const override { return nanos_.load(std::memory_order_acquire); }
+
+  void AdvanceNanos(int64_t delta) { nanos_.fetch_add(delta, std::memory_order_acq_rel); }
+  void AdvanceSeconds(double seconds) {
+    AdvanceNanos(static_cast<int64_t>(seconds * 1e9));
+  }
+  void SetNanos(int64_t nanos) { nanos_.store(nanos, std::memory_order_release); }
+
+ private:
+  std::atomic<int64_t> nanos_;
+};
+
+}  // namespace revelio::serve
+
+#endif  // REVELIO_SERVE_CLOCK_H_

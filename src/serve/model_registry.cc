@@ -1,0 +1,46 @@
+#include "serve/model_registry.h"
+
+namespace revelio::serve {
+
+util::Status ModelRegistry::Register(const std::string& name,
+                                     std::unique_ptr<gnn::GnnModel> model) {
+  if (name.empty()) return util::Status::InvalidArgument("model name is empty");
+  if (model == nullptr) return util::Status::InvalidArgument("model is null");
+  model->Freeze();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = models_.emplace(name, std::move(model));
+  (void)it;
+  if (!inserted) {
+    return util::Status::AlreadyExists("model \"" + name + "\" is already registered");
+  }
+  return util::Status::Ok();
+}
+
+util::Status ModelRegistry::Remove(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (models_.erase(name) == 0) {
+    return util::Status::NotFound("model \"" + name + "\" is not registered");
+  }
+  return util::Status::Ok();
+}
+
+const gnn::GnnModel* ModelRegistry::Lookup(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = models_.find(name);
+  return it == models_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> ModelRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(models_.size());
+  for (const auto& [name, model] : models_) names.push_back(name);
+  return names;
+}
+
+size_t ModelRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return models_.size();
+}
+
+}  // namespace revelio::serve

@@ -1,0 +1,50 @@
+#ifndef REVELIO_SERVE_MODEL_REGISTRY_H_
+#define REVELIO_SERVE_MODEL_REGISTRY_H_
+
+// Multi-tenant model registry: N trained GNNs resident in one process,
+// looked up by name on every request. Registration freezes the model
+// (nn::Module::Freeze), which is the contract that makes concurrent
+// explanation against a shared model race-free — explainer backward passes
+// then never touch the shared weight grad buffers (see eval::PrepareModel).
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "gnn/model.h"
+#include "util/status.h"
+
+namespace revelio::serve {
+
+class ModelRegistry {
+ public:
+  ModelRegistry() = default;
+  ModelRegistry(const ModelRegistry&) = delete;
+  ModelRegistry& operator=(const ModelRegistry&) = delete;
+
+  // Takes ownership and freezes the model. AlreadyExists on a duplicate name
+  // (re-registering a tenant's model is a deploy step, not a silent swap);
+  // InvalidArgument on an empty name or null model.
+  util::Status Register(const std::string& name, std::unique_ptr<gnn::GnnModel> model);
+
+  // NotFound when the name was never registered (or was removed).
+  util::Status Remove(const std::string& name);
+
+  // nullptr when absent. The pointer stays valid until Remove — in-flight
+  // requests hold it only while the server keeps the registry alive, which
+  // the server's shutdown ordering guarantees.
+  const gnn::GnnModel* Lookup(const std::string& name) const;
+
+  std::vector<std::string> Names() const;  // sorted
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<gnn::GnnModel>> models_;
+};
+
+}  // namespace revelio::serve
+
+#endif  // REVELIO_SERVE_MODEL_REGISTRY_H_

@@ -1,0 +1,148 @@
+#include "serve/queue.h"
+
+namespace revelio::serve {
+
+const char* QueueStateName(QueueState state) {
+  switch (state) {
+    case QueueState::kRunning:
+      return "running";
+    case QueueState::kDraining:
+      return "draining";
+    case QueueState::kCancelling:
+      return "cancelling";
+    case QueueState::kStopped:
+      return "stopped";
+  }
+  return "unknown";
+}
+
+AdmissionQueue::AdmissionQueue(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+util::Status AdmissionQueue::TryPush(const QueueItem& item) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (state_ != QueueState::kRunning) {
+      return util::Status::Unavailable(std::string("admission queue is ") +
+                                       QueueStateName(state_));
+    }
+    if (items_.size() >= capacity_) {
+      return util::Status::ResourceExhausted("admission queue full (" +
+                                             std::to_string(capacity_) + " queued)");
+    }
+    items_.push_back(item);
+    ++total_pushed_;
+  }
+  not_empty_.notify_one();
+  return util::Status::Ok();
+}
+
+util::Status AdmissionQueue::Push(const QueueItem& item) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [this] {
+      return state_ != QueueState::kRunning || items_.size() < capacity_;
+    });
+    if (state_ != QueueState::kRunning) {
+      return util::Status::Unavailable(std::string("admission queue is ") +
+                                       QueueStateName(state_));
+    }
+    items_.push_back(item);
+    ++total_pushed_;
+  }
+  not_empty_.notify_one();
+  return util::Status::Ok();
+}
+
+bool AdmissionQueue::TryPop(QueueItem* item) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) return false;
+    *item = items_.front();
+    items_.pop_front();
+    ++total_popped_;
+  }
+  not_full_.notify_one();
+  return true;
+}
+
+bool AdmissionQueue::TryPopMatching(uint64_t coalesce_key, QueueItem* item) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty() || items_.front().coalesce_key != coalesce_key) return false;
+    *item = items_.front();
+    items_.pop_front();
+    ++total_popped_;
+  }
+  not_full_.notify_one();
+  return true;
+}
+
+bool AdmissionQueue::WaitPop(QueueItem* item) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this] {
+      return !items_.empty() || state_ != QueueState::kRunning;
+    });
+    if (items_.empty()) return false;  // shutdown with no backlog: worker exits
+    *item = items_.front();
+    items_.pop_front();
+    ++total_popped_;
+  }
+  not_full_.notify_one();
+  return true;
+}
+
+std::vector<QueueItem> AdmissionQueue::BeginShutdown(bool cancel) {
+  std::vector<QueueItem> removed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (state_ != QueueState::kRunning) return removed;
+    state_ = cancel ? QueueState::kCancelling : QueueState::kDraining;
+    if (cancel) {
+      removed.assign(items_.begin(), items_.end());
+      items_.clear();
+      total_cancelled_ += removed.size();
+    }
+  }
+  // Wake every blocked producer (they fail with Unavailable) and every
+  // waiting consumer (they drain the backlog or exit).
+  not_full_.notify_all();
+  not_empty_.notify_all();
+  return removed;
+}
+
+void AdmissionQueue::MarkStopped() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    state_ = QueueState::kStopped;
+  }
+  not_full_.notify_all();
+  not_empty_.notify_all();
+}
+
+size_t AdmissionQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return items_.size();
+}
+
+QueueState AdmissionQueue::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+uint64_t AdmissionQueue::total_pushed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_pushed_;
+}
+
+uint64_t AdmissionQueue::total_popped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_popped_;
+}
+
+uint64_t AdmissionQueue::total_cancelled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_cancelled_;
+}
+
+}  // namespace revelio::serve

@@ -1,0 +1,114 @@
+#ifndef REVELIO_SERVE_QUEUE_H_
+#define REVELIO_SERVE_QUEUE_H_
+
+// Bounded admission queue for the explanation-serving engine.
+//
+// A deliberately small, lock-based MPMC FIFO with an explicit lifecycle FSM —
+// the part of the server whose behavior must be provable under hostile load,
+// so it depends on nothing but util (tests/parallel_tsan_test.cc compiles it
+// straight into the always-on TSan smoke binary and hammers it with
+// concurrent submitters racing a shutdown).
+//
+// Lifecycle (one-way transitions, guarded by the queue mutex):
+//
+//   kRunning ----BeginShutdown(cancel=false)----> kDraining ---+
+//      |                                                       +--> kStopped
+//      +--------BeginShutdown(cancel=true)-----> kCancelling --+
+//
+//   kRunning:    TryPush admits until `capacity` items are queued (then
+//                ResourceExhausted); Push blocks for space.
+//   kDraining:   admission closed (Unavailable); consumers keep popping
+//                until the backlog is gone.
+//   kCancelling: admission closed; BeginShutdown has already handed every
+//                queued item back to the caller (who fails them), so
+//                consumers see an empty queue and exit.
+//   kStopped:    MarkStopped() after workers are joined; all operations
+//                fail fast.
+//
+// Entries are POD descriptors; the `payload` pointer is owned by the caller
+// (the server keeps a PendingRequest behind it). The queue never dereferences
+// it. Deadlines are stamped by the server and checked by the server at pop
+// time — the queue itself has no clock, which keeps its state machine pure.
+
+#include <cstddef>
+#include <cstdint>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "util/status.h"
+
+namespace revelio::serve {
+
+struct QueueItem {
+  uint64_t id = 0;
+  uint64_t coalesce_key = 0;   // equal keys may fuse into one ExplainBatch
+  int64_t enqueue_nanos = 0;   // server clock at admission
+  int64_t deadline_nanos = 0;  // absolute server-clock deadline; 0 = none
+  void* payload = nullptr;     // owned by the enqueuing server, opaque here
+};
+
+enum class QueueState { kRunning, kDraining, kCancelling, kStopped };
+
+const char* QueueStateName(QueueState state);
+
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(size_t capacity);
+
+  // Non-blocking admission. ResourceExhausted when full, Unavailable once
+  // shutdown has begun.
+  util::Status TryPush(const QueueItem& item);
+
+  // Blocking admission: waits for space while the queue is running. Returns
+  // Unavailable if shutdown begins while waiting.
+  util::Status Push(const QueueItem& item);
+
+  // Non-blocking pop of the oldest item. False when empty.
+  bool TryPop(QueueItem* item);
+
+  // Non-blocking pop of the oldest item ONLY if its coalesce_key matches —
+  // the coalescing loop extends a batch with consecutive same-key requests
+  // without ever reordering across keys (FIFO is preserved).
+  bool TryPopMatching(uint64_t coalesce_key, QueueItem* item);
+
+  // Blocking pop for worker threads: waits until an item is available or the
+  // backlog can never grow again. Returns false exactly when the queue is
+  // empty and no longer running (the worker-exit condition).
+  bool WaitPop(QueueItem* item);
+
+  // Closes admission. With cancel=true every queued item is removed and
+  // returned so the caller can fail it; with cancel=false (drain) the
+  // backlog stays for consumers and the returned vector is empty. Idempotent:
+  // later calls return empty and leave the state at the first transition.
+  std::vector<QueueItem> BeginShutdown(bool cancel);
+
+  // Final transition once consumers are joined.
+  void MarkStopped();
+
+  size_t depth() const;
+  size_t capacity() const { return capacity_; }
+  QueueState state() const;
+
+  // Lifetime totals (monotone, under the queue mutex) for the fault-injection
+  // oracles: everything pushed is eventually popped or cancelled.
+  uint64_t total_pushed() const;
+  uint64_t total_popped() const;
+  uint64_t total_cancelled() const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<QueueItem> items_;
+  QueueState state_ = QueueState::kRunning;
+  uint64_t total_pushed_ = 0;
+  uint64_t total_popped_ = 0;
+  uint64_t total_cancelled_ = 0;
+};
+
+}  // namespace revelio::serve
+
+#endif  // REVELIO_SERVE_QUEUE_H_

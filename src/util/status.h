@@ -18,6 +18,13 @@ enum class StatusCode {
   kFailedPrecondition,
   kInternal,
   kUnimplemented,
+  // Serving-path codes (src/serve): admission, deadline, and lifecycle
+  // failures that callers are expected to handle, not log-and-abort on.
+  kAlreadyExists,       // duplicate registration (model registry)
+  kResourceExhausted,   // bounded queue full — explicit admission rejection
+  kDeadlineExceeded,    // request deadline expired before/while serving
+  kCancelled,           // request dropped by a cancelling shutdown
+  kUnavailable,         // server not running (before Start / after Shutdown)
 };
 
 // Returns a short human-readable name ("Ok", "InvalidArgument", ...).
@@ -45,6 +52,21 @@ class Status {
   }
   static Status Unimplemented(std::string message) {
     return Status(StatusCode::kUnimplemented, std::move(message));
+  }
+  static Status AlreadyExists(std::string message) {
+    return Status(StatusCode::kAlreadyExists, std::move(message));
+  }
+  static Status ResourceExhausted(std::string message) {
+    return Status(StatusCode::kResourceExhausted, std::move(message));
+  }
+  static Status DeadlineExceeded(std::string message) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(message));
+  }
+  static Status Cancelled(std::string message) {
+    return Status(StatusCode::kCancelled, std::move(message));
+  }
+  static Status Unavailable(std::string message) {
+    return Status(StatusCode::kUnavailable, std::move(message));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

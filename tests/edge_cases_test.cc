@@ -6,10 +6,13 @@
 #include <gtest/gtest.h>
 
 #include "eval/metrics.h"
+#include "eval/runner.h"
+#include "explain/explainer.h"
 #include "flow/message_flow.h"
 #include "gnn/trainer.h"
 #include "nn/loss.h"
 #include "tensor/ops.h"
+#include "util/rng.h"
 
 namespace revelio {
 namespace {
@@ -159,6 +162,55 @@ TEST(StructuralEdgeCases, FidelityHandlesAllOrNothingSparsity) {
   EXPECT_NEAR(eval::FidelityPlus(task, scores, 0.0),
               eval::FidelityMinus(task, scores, 1.0), 1e-6)
       << "removing all edges is the same subgraph under both protocols";
+}
+
+TEST(StructuralEdgeCases, ExplainAllSurvivesAnInvalidTaskMidBatch) {
+  // A task that fails validation must not abort the whole batch: its slot
+  // carries the error (empty scores) and every valid neighbor still produces
+  // the same bits as explaining it alone.
+  const int n = 6;
+  graph::Graph graph(n);
+  for (int v = 0; v < n; ++v) graph.AddUndirectedEdge(v, (v + 1) % n);
+  util::Rng rng(11);
+  Tensor features = Tensor::Uniform(n, 3, -1.0f, 1.0f, &rng);
+
+  gnn::GnnConfig config;
+  config.arch = gnn::GnnArch::kGcn;
+  config.input_dim = 3;
+  config.hidden_dim = 4;
+  config.num_classes = 2;
+  config.num_layers = 2;
+  gnn::GnnModel model(config);
+  model.Freeze();
+
+  auto make_task = [&](int target_node) {
+    explain::ExplanationTask task;
+    task.model = &model;
+    task.graph = &graph;
+    task.features = features;
+    task.target_node = target_node;
+    task.target_class = 0;
+    return task;
+  };
+  std::vector<explain::ExplanationTask> tasks{make_task(0), make_task(99), make_task(3)};
+
+  eval::RunnerConfig runner_config;
+  runner_config.explainer_epochs = 4;
+  std::unique_ptr<explain::Explainer> explainer = eval::MakeExplainer("Revelio", runner_config);
+  std::vector<explain::Explanation> batch =
+      eval::ExplainAll(explainer.get(), tasks, explain::Objective::kFactual);
+
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batch[1].status.code(), util::StatusCode::kInvalidArgument);
+  EXPECT_TRUE(batch[1].edge_scores.empty());
+  EXPECT_TRUE(batch[0].status.ok());
+  EXPECT_TRUE(batch[2].status.ok());
+
+  std::unique_ptr<explain::Explainer> solo = eval::MakeExplainer("Revelio", runner_config);
+  explain::Explanation alone0 = solo->Explain(tasks[0], explain::Objective::kFactual);
+  explain::Explanation alone2 = solo->Explain(tasks[2], explain::Objective::kFactual);
+  EXPECT_EQ(batch[0].edge_scores, alone0.edge_scores);
+  EXPECT_EQ(batch[2].edge_scores, alone2.edge_scores);
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 // gtest: the binary exits 0 when TSan stays silent (TSan aborts with a
 // non-zero exit on the first race) and the few logic checks below hold.
 
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <thread>
@@ -13,11 +14,13 @@
 #include "obs/metrics.h"
 #include "obs/recorder.h"
 #include "obs/trace.h"
+#include "serve/queue.h"
 #include "tensor/ops.h"
 #include "tensor/pool.h"
 #include "tensor/tensor.h"
 #include "util/parallel.h"
 #include "util/rng.h"
+#include "util/status.h"
 
 namespace {
 
@@ -206,6 +209,70 @@ int main() {
       ok = false;
     }
     recorder.Clear();
+  }
+
+  // Admission queue under contention (src/serve): concurrent TrySubmit-style
+  // producers and blocking producers hammer a small bounded queue while
+  // consumer threads WaitPop and one thread begins a cancelling shutdown
+  // mid-stream. TSan checks the mutex/CV discipline; the conservation check
+  // (pushed == popped + cancelled once quiesced) catches lost or duplicated
+  // items across the lifecycle transition.
+  {
+    namespace serve = revelio::serve;
+    serve::AdmissionQueue queue(8);
+    constexpr int kProducers = 4;
+    constexpr int kPerProducer = 400;
+    std::atomic<uint64_t> admitted{0};
+    std::atomic<uint64_t> consumed{0};
+    std::vector<std::thread> producers;
+    for (int t = 0; t < kProducers; ++t) {
+      producers.emplace_back([&queue, &admitted, t] {
+        serve::QueueItem item;
+        for (int i = 0; i < kPerProducer; ++i) {
+          item.id = static_cast<uint64_t>(t) * kPerProducer + i;
+          item.coalesce_key = static_cast<uint64_t>(t % 2);
+          // Even producers shed load (TryPush), odd producers block (Push);
+          // both must fail cleanly once shutdown begins.
+          const revelio::util::Status pushed =
+              (t % 2 == 0) ? queue.TryPush(item) : queue.Push(item);
+          if (pushed.ok()) admitted.fetch_add(1);
+        }
+      });
+    }
+    std::vector<std::thread> consumers;
+    for (int t = 0; t < 2; ++t) {
+      consumers.emplace_back([&queue, &consumed] {
+        serve::QueueItem item;
+        while (queue.WaitPop(&item)) {
+          consumed.fetch_add(1);
+          // Opportunistic coalescing against the racing producers.
+          while (queue.TryPopMatching(item.coalesce_key, &item)) consumed.fetch_add(1);
+        }
+      });
+    }
+    // Let some traffic flow, then cancel mid-stream.
+    while (queue.total_popped() < kPerProducer / 2) std::this_thread::yield();
+    const std::vector<serve::QueueItem> first_wave = queue.BeginShutdown(/*cancel=*/true);
+    for (auto& producer : producers) producer.join();
+    for (auto& consumer : consumers) consumer.join();
+    // Consumers may have drained items between the cancel sweep and their
+    // exit; anything still queued is accounted by a second sweep.
+    serve::QueueItem leftover;
+    uint64_t swept = first_wave.size();
+    while (queue.TryPop(&leftover)) ++swept;
+    queue.MarkStopped();
+    if (admitted.load() != consumed.load() + swept) {
+      std::fprintf(stderr, "FAIL: admission queue lost items (%llu != %llu + %llu)\n",
+                   static_cast<unsigned long long>(admitted.load()),
+                   static_cast<unsigned long long>(consumed.load()),
+                   static_cast<unsigned long long>(swept));
+      ok = false;
+    }
+    if (queue.total_pushed() !=
+        queue.total_popped() + queue.total_cancelled()) {
+      std::fprintf(stderr, "FAIL: admission queue totals do not conserve\n");
+      ok = false;
+    }
   }
 
   // Parallel tensor kernels: run the same workload at 1 and 4 threads under
