@@ -37,6 +37,7 @@
 #include "flow/message_flow.h"
 #include "gnn/model.h"
 #include "obs/metrics.h"
+#include "plan/plan.h"
 #include "tensor/ops.h"
 #include "tensor/pool.h"
 #include "tensor/sparse.h"
@@ -554,6 +555,12 @@ std::vector<PoolPoint> RunPoolSweep(bool quick) {
       quick ? std::vector<int>{16, 32, 64} : std::vector<int>{32, 64, 128};
   const int epochs = quick ? 8 : 24;
   const bool pool_was_enabled = tensor::PoolEnabled();
+  // This sweep measures the per-epoch allocator cost of the EAGER loop; with
+  // a recorded plan replaying, epochs after the first allocate nothing and
+  // the pooled-vs-legacy contrast vanishes. (bench_table5_runtime
+  // --plan-sweep covers the plan path.)
+  const bool plan_was_enabled = plan::ExecPlanEnabled();
+  plan::SetExecPlanEnabled(false);
   std::vector<PoolPoint> points;
   util::Rng rng(31);
   for (int nodes : sizes) {
@@ -633,6 +640,7 @@ std::vector<PoolPoint> RunPoolSweep(bool quick) {
     points.push_back(point);
   }
   tensor::SetPoolEnabled(pool_was_enabled);
+  plan::SetExecPlanEnabled(plan_was_enabled);
   return points;
 }
 

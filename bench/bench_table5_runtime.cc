@@ -4,7 +4,10 @@
 // slowest by orders of magnitude; among flow-based methods Revelio is the
 // fastest and scales with T*T_Phi instead of |F|*T_Phi (Table II).
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
+#include <utility>
 
 #include "bench_common.h"
 #include "eval/runner.h"
@@ -12,6 +15,7 @@
 #include "explain/pgexplainer.h"
 #include "obs/recorder.h"
 #include "obs/trace.h"
+#include "plan/plan.h"
 #include "tensor/pool.h"
 #include "util/timer.h"
 
@@ -193,6 +197,12 @@ int main(int argc, char** argv) {
     std::vector<SweepRow> rows;
     const bool megabatch_was_enabled = explain::MegaBatchEnabled();
     const int megabatch_old_size = explain::MegaBatchSize();
+    // Pin execution plans off: replay would accelerate the sequential
+    // baseline far more than the fused groups (small per-instance tensors are
+    // dispatch-dominated), compressing the ratio this sweep isolates. The
+    // plan x megabatch composition is measured by --plan-sweep instead.
+    const bool batch_sweep_plans = plan::ExecPlanEnabled();
+    plan::SetExecPlanEnabled(false);
     std::printf("\n== Revelio mega-batched vs sequential (writes %s) ==\n",
                 batch_sweep_out.c_str());
     for (size_t d = 0; d < scope.datasets.size(); ++d) {
@@ -254,6 +264,7 @@ int main(int argc, char** argv) {
     }
     explain::SetMegaBatchEnabled(megabatch_was_enabled);
     explain::SetMegaBatchSize(megabatch_old_size);
+    plan::SetExecPlanEnabled(batch_sweep_plans);
     bench::WriteBenchJson(batch_sweep_out, "megabatch_sweep", [&](obs::JsonWriter* w) {
       w->BeginObject();
       w->Key("points");
@@ -274,6 +285,142 @@ int main(int argc, char** argv) {
         w->Double(r.speedup);
         w->Key("bitwise_equal");
         w->Bool(r.bitwise_equal);
+        w->EndObject();
+      }
+      w->EndArray();
+      w->EndObject();
+    });
+  }
+
+  // --plan-sweep FILE: measure the recorded-execution-plan replay path
+  // (REVELIO_EXEC_PLAN, DESIGN.md section 12) against the fully eager loop at
+  // increasing epoch counts. Epoch 0 records the tape either way; every
+  // further epoch replays it (fused elementwise chains, level-parallel
+  // steps, zero pool traffic), so the speedup grows as the record cost
+  // amortizes — the largest epoch count is the gated point. Every point must
+  // stay bitwise-equal and report zero replay-time pool acquisitions. Run
+  // with --threads 1 for the paper comparison.
+  const std::string plan_sweep_out = flags.GetString("plan-sweep", "");
+  if (!plan_sweep_out.empty()) {
+    struct PlanRow {
+      std::string dataset;
+      int instances = 0;
+      int epochs = 0;
+      double eager_seconds = 0.0;
+      double plan_seconds = 0.0;
+      double plan_speedup = 0.0;
+      bool bitwise_equal = true;
+      uint64_t replays = 0;
+      uint64_t replay_pool_acquires = 0;
+    };
+    std::vector<PlanRow> rows;
+    const bool plan_was_enabled = plan::ExecPlanEnabled();
+    const bool metrics_were_enabled = obs::Enabled();
+    obs::SetEnabled(true);  // the sweep reads the plan.* counters
+    obs::Counter* replays_counter = obs::MetricsRegistry::Global().GetCounter("plan.replays");
+    obs::Counter* acquires_counter =
+        obs::MetricsRegistry::Global().GetCounter("plan.replay_pool_acquires");
+    constexpr int kPlanReps = 5;
+    std::printf("\n== Revelio plan replay vs eager (writes %s) ==\n", plan_sweep_out.c_str());
+    for (size_t d = 0; d < scope.datasets.size(); ++d) {
+      std::vector<int> epoch_points{scope.config.explainer_epochs / 10,
+                                    scope.config.explainer_epochs / 2,
+                                    scope.config.explainer_epochs};
+      for (int& e : epoch_points) e = std::max(e, 2);
+      epoch_points.erase(std::unique(epoch_points.begin(), epoch_points.end()),
+                         epoch_points.end());
+      for (const int epochs : epoch_points) {
+        eval::RunnerConfig config = scope.config;
+        config.explainer_epochs = epochs;
+        auto explainer = eval::MakeExplainer("Revelio", config);
+        std::vector<explain::ExplanationTask> tasks;
+        tasks.reserve(instances[d].size());
+        for (const auto& instance : instances[d]) {
+          tasks.push_back(instance.MakeTask(prepared[d].model.get()));
+        }
+        if (tasks.empty()) continue;
+        auto run = [&] {
+          util::Timer timer;
+          std::vector<explain::Explanation> explanations =
+              eval::ExplainAll(explainer.get(), tasks, explain::Objective::kFactual);
+          return std::pair<std::vector<explain::Explanation>, double>(std::move(explanations),
+                                                                      timer.ElapsedSeconds());
+        };
+        PlanRow row;
+        row.dataset = scope.datasets[d];
+        row.instances = static_cast<int>(tasks.size());
+        row.epochs = epochs;
+        // Warm both modes (model/graph caches, pool size classes), then take
+        // the best of interleaved reps so scheduler drift hits both equally.
+        plan::SetExecPlanEnabled(false);
+        (void)run();
+        plan::SetExecPlanEnabled(true);
+        (void)run();
+        std::vector<explain::Explanation> eager_explanations;
+        std::vector<explain::Explanation> plan_explanations;
+        double eager_best = 0.0;
+        double plan_best = 0.0;
+        for (int rep = 0; rep < kPlanReps; ++rep) {
+          plan::SetExecPlanEnabled(false);
+          auto [eager, eager_seconds] = run();
+          plan::SetExecPlanEnabled(true);
+          const uint64_t replays_before = replays_counter->Total();
+          const uint64_t acquires_before = acquires_counter->Total();
+          auto [planned, plan_seconds] = run();
+          row.replays = replays_counter->Total() - replays_before;
+          row.replay_pool_acquires += acquires_counter->Total() - acquires_before;
+          if (rep == 0 || eager_seconds < eager_best) eager_best = eager_seconds;
+          if (rep == 0 || plan_seconds < plan_best) plan_best = plan_seconds;
+          if (rep == 0) {
+            eager_explanations = std::move(eager);
+            plan_explanations = std::move(planned);
+          }
+        }
+        row.eager_seconds = eager_best;
+        row.plan_seconds = plan_best;
+        row.plan_speedup = plan_best > 0.0 ? eager_best / plan_best : 0.0;
+        row.bitwise_equal = eager_explanations.size() == plan_explanations.size();
+        for (size_t i = 0; i < eager_explanations.size() && row.bitwise_equal; ++i) {
+          if (eager_explanations[i].edge_scores != plan_explanations[i].edge_scores ||
+              eager_explanations[i].flow_scores != plan_explanations[i].flow_scores) {
+            row.bitwise_equal = false;
+          }
+        }
+        std::printf("%-12s epochs=%-3d  eager %8.4fs  plan %8.4fs  speedup=%5.2fx  "
+                    "replays=%llu  replay_acquires=%llu  bitwise_equal=%s\n",
+                    row.dataset.c_str(), row.epochs, row.eager_seconds, row.plan_seconds,
+                    row.plan_speedup, static_cast<unsigned long long>(row.replays),
+                    static_cast<unsigned long long>(row.replay_pool_acquires),
+                    row.bitwise_equal ? "yes" : "NO");
+        rows.push_back(std::move(row));
+      }
+    }
+    plan::SetExecPlanEnabled(plan_was_enabled);
+    obs::SetEnabled(metrics_were_enabled);
+    bench::WriteBenchJson(plan_sweep_out, "plan_sweep", [&](obs::JsonWriter* w) {
+      w->BeginObject();
+      w->Key("points");
+      w->BeginArray();
+      for (const PlanRow& r : rows) {
+        w->BeginObject();
+        w->Key("dataset");
+        w->String(r.dataset);
+        w->Key("instances");
+        w->Int(r.instances);
+        w->Key("epochs");
+        w->Int(r.epochs);
+        w->Key("eager_seconds");
+        w->Double(r.eager_seconds);
+        w->Key("plan_seconds");
+        w->Double(r.plan_seconds);
+        w->Key("plan_speedup");
+        w->Double(r.plan_speedup);
+        w->Key("bitwise_equal");
+        w->Bool(r.bitwise_equal);
+        w->Key("replays");
+        w->Uint(r.replays);
+        w->Key("replay_pool_acquires");
+        w->Uint(r.replay_pool_acquires);
         w->EndObject();
       }
       w->EndArray();

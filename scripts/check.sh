@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
 # Full verification ladder: tier-1 -> property suites -> ASan -> UBSan -> TSan.
 # The property stage includes the fused-SpMM equivalence suite
-# (spmm_equivalence_test) and the mega-batch equivalence suite
-# (megabatch_equivalence_test); the TSan pass runs each as its own named
-# stage so a data race in the fused aggregation path or the shared batched
-# backward is attributed directly. The pool
-# stage reruns the tensor-pool equivalence suite under ASan with
+# (spmm_equivalence_test), the mega-batch equivalence suite
+# (megabatch_equivalence_test), and the plan replay harness
+# (plan_equivalence_test); the TSan pass runs each as its own named
+# stage so a data race in the fused aggregation path, the shared batched
+# backward, or the level-parallel plan executor is attributed directly. The
+# pool and plan stages rerun their equivalence suites under ASan with
 # REVELIO_POISON_POOL=1 so full-overwrite contract violations surface as NaNs.
 #
 # Usage: scripts/check.sh [--fast] [-j N]
@@ -78,6 +79,11 @@ if [[ "${FAST}" -eq 0 ]]; then
   # kernel reading an "uninitialized" pooled output trips the bitwise check
   # while ASan watches the allocator itself.
   run_stage "pool"        env REVELIO_POISON_POOL=1 ctest --preset asan -R pool_equivalence_test
+  # Plan replay again under ASan with NaN-poisoned recycled buffers: replay
+  # writes every arena slot in place, so a step that skips (or under-writes)
+  # an output surfaces as a NaN in the bitwise comparison while ASan watches
+  # the arena's bounds.
+  run_stage "plan"        env REVELIO_POISON_POOL=1 ctest --preset asan -R "plan_equivalence_test|plan_test"
   run_stage "ubsan-build" build_preset ubsan
   run_stage "ubsan"       ctest --preset ubsan
   run_stage "tsan-build"  build_preset tsan
@@ -93,7 +99,11 @@ if [[ "${FAST}" -eq 0 ]]; then
   # trace-replay fixture all hammer the admission queue with concurrent
   # submitters, worker pop/coalesce loops, and mid-stream shutdown.
   run_stage "tsan-serve"  ctest --preset tsan -L serve
-  run_stage "tsan"        ctest --preset tsan -LE serve -E "spmm_equivalence_test|megabatch_equivalence_test"
+  # Plan replay under TSan: level-parallel step execution shares the arena
+  # across pool workers, and re-record after invalidation races the global
+  # plan version bump; both must stay clean across thread counts.
+  run_stage "tsan-plan"   ctest --preset tsan -R "plan_equivalence_test|plan_test"
+  run_stage "tsan"        ctest --preset tsan -LE serve -E "spmm_equivalence_test|megabatch_equivalence_test|plan_equivalence_test|plan_test"
 fi
 
 echo

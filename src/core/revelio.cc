@@ -11,10 +11,14 @@
 #include "obs/audit.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "plan/plan.h"
 #include "tensor/ops.h"
 #include "util/check.h"
 
 namespace revelio::core {
+
+// The mega-batch MegaBatchPlan local below shadows the plan namespace.
+namespace execplan = revelio::plan;
 
 using explain::Explanation;
 using explain::ExplanationTask;
@@ -219,34 +223,62 @@ RevelioExplainer::FlowExplanation RevelioExplainer::ExplainFlows(const Explanati
 
   {
     obs::ScopedSpan optimize_span("revelio.optimize");
+    // Recorded execution plan (DESIGN.md §12): epoch 0 records the op tape
+    // while running eagerly; later epochs replay it (fused + level-parallel,
+    // no pool traffic) with bitwise-identical results. Retained handles read
+    // this epoch's values in place after a replay.
+    const bool use_plan = execplan::ExecPlanEnabled();
+    execplan::PlanSession plan_session;
+    auto make_key = [&] {
+      return execplan::PlanKey{{task.graph->structure_version(),
+                            static_cast<uint64_t>(flows.num_flows()),
+                            static_cast<uint64_t>(num_layers),
+                            static_cast<uint64_t>(task.features.rows()),
+                            static_cast<uint64_t>(task.features.cols()),
+                            static_cast<uint64_t>(logit_row),
+                            static_cast<uint64_t>(task.target_class),
+                            static_cast<uint64_t>(objective == Objective::kFactual ? 1 : 0),
+                            static_cast<uint64_t>(options_.use_tanh_flow_masks ? 1 : 0),
+                            static_cast<uint64_t>(options_.layer_scaling)}};
+    };
+    Tensor omega_flows;
+    Tensor loss;
     for (int epoch = 0; epoch < options_.epochs; ++epoch) {
       optimizer.ZeroGrad();
-      Tensor omega_flows = options_.use_tanh_flow_masks ? tensor::Tanh(flow_mask_params)
-                                                        : tensor::Sigmoid(flow_mask_params);
-      std::vector<Tensor> masks =
-          BuildLayerEdgeMasks(flows, omega_flows, layer_weights, options_.layer_scaling);
-      Tensor logits = model.Run(*task.graph, edges, task.features, masks).logits;
+      const bool replayed = use_plan && plan_session.Replay(make_key());
+      if (!replayed) {
+        {
+          execplan::PlanSession::RecordScope record(use_plan ? &plan_session : nullptr);
+          omega_flows = options_.use_tanh_flow_masks ? tensor::Tanh(flow_mask_params)
+                                                     : tensor::Sigmoid(flow_mask_params);
+          std::vector<Tensor> masks =
+              BuildLayerEdgeMasks(flows, omega_flows, layer_weights, options_.layer_scaling);
+          Tensor logits = model.Run(*task.graph, edges, task.features, masks).logits;
 
-      Tensor objective_loss =
-          objective == Objective::kFactual
-              ? nn::FactualObjective(logits, logit_row, task.target_class)
-              : nn::CounterfactualObjective(logits, logit_row, task.target_class);
-      Tensor regularizer = UsedEdgeMean(flows, masks);
-      if (objective == Objective::kCounterfactual) {
-        // Eq. 9 penalizes mean(1 - omega[E]).
-        regularizer = tensor::AddScalar(tensor::Neg(regularizer), 1.0f);
+          Tensor objective_loss =
+              objective == Objective::kFactual
+                  ? nn::FactualObjective(logits, logit_row, task.target_class)
+                  : nn::CounterfactualObjective(logits, logit_row, task.target_class);
+          Tensor regularizer = UsedEdgeMean(flows, masks);
+          if (objective == Objective::kCounterfactual) {
+            // Eq. 9 penalizes mean(1 - omega[E]).
+            regularizer = tensor::AddScalar(tensor::Neg(regularizer), 1.0f);
+          }
+          loss = tensor::Add(objective_loss, tensor::MulScalar(regularizer, options_.alpha));
+        }
+        loss.Backward();
+        if (use_plan) plan_session.Seal(loss, make_key());
       }
-      Tensor loss = tensor::Add(objective_loss, tensor::MulScalar(regularizer, options_.alpha));
-      loss.Backward();
       optimizer.Step();
       if (obs::AuditRecord* audit = obs::AuditScope::Current()) {
         audit->loss_curve.push_back(loss.At(0, 0));
         audit->mask_entropy.push_back(
             MeanMaskEntropy(omega_flows, 0, flows.num_flows(), options_.use_tanh_flow_masks));
       }
-      // Recycle this epoch's intermediates: after the first epoch primes the
-      // pool's size classes, the optimization loop runs allocation-free.
-      loss.ReleaseTape();
+      // Legacy path: recycle this epoch's intermediates (after the first
+      // epoch primes the pool's size classes the loop runs allocation-free).
+      // The plan path instead keeps the tape pinned for replay.
+      if (!use_plan) loss.ReleaseTape();
     }
     obs::AuditScope::AddPhase("optimize", optimize_span.ElapsedSeconds());
   }
@@ -399,68 +431,100 @@ std::vector<RevelioExplainer::FlowExplanation> RevelioExplainer::ExplainFlowsBat
     obs::ScopedSpan optimize_span("revelio.optimize");
     static obs::Counter* steps = obs::MetricsRegistry::Global().GetCounter("megabatch.steps");
     const std::vector<int>* node_to_graph = plan.node_task ? nullptr : &plan.batch.node_to_graph;
+    // Recorded execution plan over the fused step (DESIGN.md §12): the key
+    // folds in every instance's graph stamp plus the fused extents, so any
+    // membership or shape change forces a re-record.
+    const bool use_plan = execplan::ExecPlanEnabled();
+    execplan::PlanSession plan_session;
+    auto make_key = [&] {
+      execplan::PlanKey key;
+      key.parts = {static_cast<uint64_t>(num_instances),
+                   static_cast<uint64_t>(total_flows),
+                   static_cast<uint64_t>(total_mask_rows),
+                   static_cast<uint64_t>(num_layers),
+                   static_cast<uint64_t>(objective == Objective::kFactual ? 1 : 0),
+                   static_cast<uint64_t>(options_.use_tanh_flow_masks ? 1 : 0),
+                   static_cast<uint64_t>(options_.layer_scaling)};
+      for (int i = 0; i < num_instances; ++i) {
+        key.parts.push_back(tasks[i]->graph->structure_version());
+      }
+      return key;
+    };
+    Tensor omega_flows;
+    Tensor p;
+    Tensor regularizer;
+    Tensor loss;
     for (int epoch = 0; epoch < options_.epochs; ++epoch) {
       optimizer.ZeroGrad();
-      Tensor omega_flows = options_.use_tanh_flow_masks ? tensor::Tanh(flow_mask_params)
-                                                        : tensor::Sigmoid(flow_mask_params);
-      Tensor scale;
-      switch (options_.layer_scaling) {
-        case RevelioOptions::LayerScaling::kExp:
-          scale = tensor::Exp(layer_weights);
-          break;
-        case RevelioOptions::LayerScaling::kSoftplus:
-          scale = tensor::Softplus(layer_weights);
-          break;
-        case RevelioOptions::LayerScaling::kNone:
-          break;
-      }
-      std::vector<Tensor> masks(num_layers);
-      for (int l = 0; l < num_layers; ++l) {
-        // Mask rows land directly in mega layer-edge order, ready for the
-        // shared SpmmCsrWeighted aggregation — no pack permutation.
-        Tensor accumulated = tensor::ScatterAddRows(omega_flows, scatter_idx[l], total_mask_rows);
-        if (scale.defined()) {
-          // Per-row variant of ScaleByScalarTensor: row r of instance i
-          // scales by exp(w[i, l]), the same float product per element.
-          accumulated = tensor::RowScale(accumulated, tensor::GatherRows(scale, scale_rows[l]));
+      const bool replayed = use_plan && plan_session.Replay(make_key());
+      if (!replayed) {
+        {
+          execplan::PlanSession::RecordScope record(use_plan ? &plan_session : nullptr);
+          omega_flows = options_.use_tanh_flow_masks ? tensor::Tanh(flow_mask_params)
+                                                     : tensor::Sigmoid(flow_mask_params);
+          Tensor scale;
+          switch (options_.layer_scaling) {
+            case RevelioOptions::LayerScaling::kExp:
+              scale = tensor::Exp(layer_weights);
+              break;
+            case RevelioOptions::LayerScaling::kSoftplus:
+              scale = tensor::Softplus(layer_weights);
+              break;
+            case RevelioOptions::LayerScaling::kNone:
+              break;
+          }
+          std::vector<Tensor> masks(num_layers);
+          for (int l = 0; l < num_layers; ++l) {
+            // Mask rows land directly in mega layer-edge order, ready for the
+            // shared SpmmCsrWeighted aggregation — no pack permutation.
+            Tensor accumulated =
+                tensor::ScatterAddRows(omega_flows, scatter_idx[l], total_mask_rows);
+            if (scale.defined()) {
+              // Per-row variant of ScaleByScalarTensor: row r of instance i
+              // scales by exp(w[i, l]), the same float product per element.
+              accumulated =
+                  tensor::RowScale(accumulated, tensor::GatherRows(scale, scale_rows[l]));
+            }
+            masks[l] = tensor::Sigmoid(accumulated);
+          }
+          Tensor logits = model.Run(plan.batch.graph, plan.mega_edges, plan.batch.features, masks,
+                                    node_to_graph, num_instances)
+                              .logits;
+          // One shared row-softmax; each instance reads its own logits row, so
+          // per-row values and gradients match the per-instance softmax bitwise.
+          Tensor probs = tensor::RowSoftmax(logits);
+          // One gather reads every instance's explained probability; the
+          // elementwise Log/Neg chain applies the same per-row float math as the
+          // sequential 1x1 ops, and Sum's backward seeds each row with exactly
+          // the 1.0 the per-instance losses receive from the sequential Add.
+          p = tensor::SelectMany(probs, plan.logit_row, target_classes);
+          Tensor objective_total =
+              tensor::Sum(objective == Objective::kFactual
+                              ? tensor::Neg(tensor::Log(p))
+                              : tensor::Neg(tensor::Log(tensor::AddScalar(tensor::Neg(p), 1.0f))));
+          // Per-instance UsedEdgeMean via segment sums: each instance's rows are
+          // contiguous and in its own layer order, so every segment reproduces
+          // the sequential Sum's double-accumulator chain bitwise.
+          Tensor used_total;
+          for (int l = 0; l < num_layers; ++l) {
+            if (used_idx[l].empty()) continue;
+            Tensor layer_sum = tensor::SegmentSumRows(tensor::GatherRows(masks[l], used_idx[l]),
+                                                      used_seg[l], num_instances);
+            used_total = used_total.defined() ? tensor::Add(used_total, layer_sum) : layer_sum;
+          }
+          regularizer = tensor::Mul(used_total, inv_count_vec);
+          if (objective == Objective::kCounterfactual) {
+            // Eq. 9 penalizes mean(1 - omega[E]).
+            regularizer = tensor::AddScalar(tensor::Neg(regularizer), 1.0f);
+          }
+          // Batched loss = sum of the per-instance losses: gradients of disjoint
+          // parameter segments never mix, so each instance trains as if alone.
+          loss = tensor::Add(objective_total,
+                             tensor::Sum(tensor::MulScalar(regularizer, options_.alpha)));
         }
-        masks[l] = tensor::Sigmoid(accumulated);
+        loss.Backward();
+        if (use_plan) plan_session.Seal(loss, make_key());
       }
-      Tensor logits = model.Run(plan.batch.graph, plan.mega_edges, plan.batch.features, masks,
-                                node_to_graph, num_instances)
-                          .logits;
-      // One shared row-softmax; each instance reads its own logits row, so
-      // per-row values and gradients match the per-instance softmax bitwise.
-      Tensor probs = tensor::RowSoftmax(logits);
-      // One gather reads every instance's explained probability; the
-      // elementwise Log/Neg chain applies the same per-row float math as the
-      // sequential 1x1 ops, and Sum's backward seeds each row with exactly
-      // the 1.0 the per-instance losses receive from the sequential Add.
-      Tensor p = tensor::SelectMany(probs, plan.logit_row, target_classes);
-      Tensor objective_total =
-          tensor::Sum(objective == Objective::kFactual
-                          ? tensor::Neg(tensor::Log(p))
-                          : tensor::Neg(tensor::Log(tensor::AddScalar(tensor::Neg(p), 1.0f))));
-      // Per-instance UsedEdgeMean via segment sums: each instance's rows are
-      // contiguous and in its own layer order, so every segment reproduces
-      // the sequential Sum's double-accumulator chain bitwise.
-      Tensor used_total;
-      for (int l = 0; l < num_layers; ++l) {
-        if (used_idx[l].empty()) continue;
-        Tensor layer_sum = tensor::SegmentSumRows(tensor::GatherRows(masks[l], used_idx[l]),
-                                                  used_seg[l], num_instances);
-        used_total = used_total.defined() ? tensor::Add(used_total, layer_sum) : layer_sum;
-      }
-      Tensor regularizer = tensor::Mul(used_total, inv_count_vec);
-      if (objective == Objective::kCounterfactual) {
-        // Eq. 9 penalizes mean(1 - omega[E]).
-        regularizer = tensor::AddScalar(tensor::Neg(regularizer), 1.0f);
-      }
-      // Batched loss = sum of the per-instance losses: gradients of disjoint
-      // parameter segments never mix, so each instance trains as if alone.
-      Tensor loss = tensor::Add(objective_total,
-                                tensor::Sum(tensor::MulScalar(regularizer, options_.alpha)));
-      loss.Backward();
       optimizer.Step();
       steps->Increment();
       if (obs::AuditScope::Current() != nullptr) {
@@ -480,7 +544,7 @@ std::vector<RevelioExplainer::FlowExplanation> RevelioExplainer::ExplainFlowsBat
               omega_flows, flow_offset[i], flow_offset[i + 1], options_.use_tanh_flow_masks));
         }
       }
-      loss.ReleaseTape();
+      if (!use_plan) loss.ReleaseTape();
     }
     obs::AuditScope::AddPhaseAll("optimize", optimize_span.ElapsedSeconds());
   }

@@ -12,9 +12,13 @@
 #include "obs/audit.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "plan/plan.h"
 #include "tensor/ops.h"
 
 namespace revelio::explain {
+
+// The mega-batch MegaBatchPlan local below shadows the plan namespace.
+namespace execplan = revelio::plan;
 
 using tensor::Tensor;
 
@@ -69,38 +73,60 @@ Explanation GnnExplainerMethod::ExplainImpl(const ExplanationTask& task, Objecti
   AppendGnnExplainerAuditConfig(obs::AuditScope::Current(), options_);
 
   obs::ScopedSpan optimize_span("gnnexplainer.optimize");
+  // Recorded execution plan (DESIGN.md §12): epoch 0 records while running
+  // eagerly; later epochs replay the tape bitwise-identically.
+  const bool use_plan = execplan::ExecPlanEnabled();
+  execplan::PlanSession plan_session;
+  auto make_key = [&] {
+    return execplan::PlanKey{{task.graph->structure_version(),
+                              static_cast<uint64_t>(num_base),
+                              static_cast<uint64_t>(task.features.rows()),
+                              static_cast<uint64_t>(task.features.cols()),
+                              static_cast<uint64_t>(task.logit_row()),
+                              static_cast<uint64_t>(task.target_class),
+                              static_cast<uint64_t>(objective == Objective::kFactual ? 1 : 0)}};
+  };
+  Tensor base_mask;
+  Tensor loss;
   for (int epoch = 0; epoch < options_.epochs; ++epoch) {
     optimizer.ZeroGrad();
-    Tensor base_mask = tensor::Sigmoid(mask_params);
-    Tensor layer_mask = ExpandToLayerEdges(base_mask, edges);
-    std::vector<Tensor> masks(model.num_layers(), layer_mask);
-    Tensor logits = model.Run(*task.graph, edges, task.features, masks).logits;
+    const bool replayed = use_plan && plan_session.Replay(make_key());
+    if (!replayed) {
+      {
+        execplan::PlanSession::RecordScope record(use_plan ? &plan_session : nullptr);
+        base_mask = tensor::Sigmoid(mask_params);
+        Tensor layer_mask = ExpandToLayerEdges(base_mask, edges);
+        std::vector<Tensor> masks(model.num_layers(), layer_mask);
+        Tensor logits = model.Run(*task.graph, edges, task.features, masks).logits;
 
-    Tensor loss = objective == Objective::kFactual
-                      ? nn::FactualObjective(logits, task.logit_row(), task.target_class)
-                      : nn::CounterfactualObjective(logits, task.logit_row(), task.target_class);
-    // Size regularizer: keep the kept-edge set small (factual) or the
-    // removed-edge set small (counterfactual).
-    Tensor size_term = objective == Objective::kFactual
-                           ? tensor::Mean(base_mask)
-                           : tensor::Mean(tensor::AddScalar(tensor::Neg(base_mask), 1.0f));
-    loss = tensor::Add(loss, tensor::MulScalar(size_term, options_.size_penalty));
-    // Element-wise entropy pushes masks toward binary values.
-    Tensor entropy = tensor::Neg(tensor::Add(
-        tensor::Mul(base_mask, tensor::Log(base_mask)),
-        tensor::Mul(tensor::AddScalar(tensor::Neg(base_mask), 1.0f),
-                    tensor::Log(tensor::AddScalar(tensor::Neg(base_mask), 1.0f)))));
-    loss = tensor::Add(loss, tensor::MulScalar(tensor::Mean(entropy), options_.entropy_penalty));
-    loss.Backward();
+        loss = objective == Objective::kFactual
+                   ? nn::FactualObjective(logits, task.logit_row(), task.target_class)
+                   : nn::CounterfactualObjective(logits, task.logit_row(), task.target_class);
+        // Size regularizer: keep the kept-edge set small (factual) or the
+        // removed-edge set small (counterfactual).
+        Tensor size_term = objective == Objective::kFactual
+                               ? tensor::Mean(base_mask)
+                               : tensor::Mean(tensor::AddScalar(tensor::Neg(base_mask), 1.0f));
+        loss = tensor::Add(loss, tensor::MulScalar(size_term, options_.size_penalty));
+        // Element-wise entropy pushes masks toward binary values.
+        Tensor entropy = tensor::Neg(tensor::Add(
+            tensor::Mul(base_mask, tensor::Log(base_mask)),
+            tensor::Mul(tensor::AddScalar(tensor::Neg(base_mask), 1.0f),
+                        tensor::Log(tensor::AddScalar(tensor::Neg(base_mask), 1.0f)))));
+        loss =
+            tensor::Add(loss, tensor::MulScalar(tensor::Mean(entropy), options_.entropy_penalty));
+      }
+      loss.Backward();
+      if (use_plan) plan_session.Seal(loss, make_key());
+    }
     optimizer.Step();
     if (obs::AuditRecord* audit = obs::AuditScope::Current()) {
       audit->loss_curve.push_back(loss.At(0, 0));
       audit->mask_entropy.push_back(MeanSigmoidMaskEntropy(base_mask, 0, num_base));
     }
-    // Each epoch's graph of intermediates goes back to the tensor pool, so
-    // after the first epoch primes the size classes the loop allocates
-    // nothing new.
-    loss.ReleaseTape();
+    // Legacy path: each epoch's intermediates go back to the tensor pool (the
+    // plan path keeps the tape pinned for replay instead).
+    if (!use_plan) loss.ReleaseTape();
   }
   obs::AuditScope::AddPhase("optimize", optimize_span.ElapsedSeconds());
 
@@ -192,46 +218,72 @@ std::vector<Explanation> GnnExplainerMethod::ExplainBatchImpl(
   static obs::Counter* steps = obs::MetricsRegistry::Global().GetCounter("megabatch.steps");
 
   obs::ScopedSpan optimize_span("gnnexplainer.optimize");
+  // Recorded execution plan over the fused step; the key folds in every
+  // instance's graph stamp so membership or shape changes force a re-record.
+  const bool use_plan = execplan::ExecPlanEnabled();
+  execplan::PlanSession plan_session;
+  auto make_key = [&] {
+    execplan::PlanKey key;
+    key.parts = {static_cast<uint64_t>(num_instances), static_cast<uint64_t>(total_base),
+                 static_cast<uint64_t>(total_mask_rows), static_cast<uint64_t>(num_layers),
+                 static_cast<uint64_t>(objective == Objective::kFactual ? 1 : 0)};
+    for (int i = 0; i < num_instances; ++i) {
+      key.parts.push_back(tasks[i]->graph->structure_version());
+    }
+    return key;
+  };
+  Tensor base_mask;
+  Tensor p;
+  Tensor size_term;
+  Tensor entropy_term;
+  Tensor loss;
   for (int epoch = 0; epoch < options_.epochs; ++epoch) {
     optimizer.ZeroGrad();
-    Tensor base_mask = tensor::Sigmoid(mask_params);
-    Tensor layer_mask =
-        tensor::Add(tensor::ScatterAddRows(base_mask, base_to_mask_row, total_mask_rows),
-                    Tensor::FromVector(self_ones));
-    std::vector<Tensor> masks(num_layers, layer_mask);
-    Tensor logits =
-        model.Run(plan.batch.graph, plan.mega_edges, plan.batch.features, masks, node_to_graph,
-                  num_instances)
-            .logits;
+    const bool replayed = use_plan && plan_session.Replay(make_key());
+    if (!replayed) {
+      {
+        execplan::PlanSession::RecordScope record(use_plan ? &plan_session : nullptr);
+        base_mask = tensor::Sigmoid(mask_params);
+        Tensor layer_mask =
+            tensor::Add(tensor::ScatterAddRows(base_mask, base_to_mask_row, total_mask_rows),
+                        Tensor::FromVector(self_ones));
+        std::vector<Tensor> masks(num_layers, layer_mask);
+        Tensor logits =
+            model.Run(plan.batch.graph, plan.mega_edges, plan.batch.features, masks, node_to_graph,
+                      num_instances)
+                .logits;
 
-    // One shared row-softmax; each instance reads its own logits row. One
-    // gather then reads every instance's explained probability; the
-    // elementwise Log/Neg chain applies the same per-row float math as the
-    // sequential 1x1 ops, and Sum's backward seeds each row with exactly 1.
-    Tensor probs = tensor::RowSoftmax(logits);
-    Tensor p = tensor::SelectMany(probs, plan.logit_row, target_classes);
-    Tensor loss =
-        tensor::Sum(objective == Objective::kFactual
-                        ? tensor::Neg(tensor::Log(p))
-                        : tensor::Neg(tensor::Log(tensor::AddScalar(tensor::Neg(p), 1.0f))));
-    // Per-instance size and entropy means via segment sums over the
-    // contiguous parameter segments (bitwise-equal to per-instance Mean).
-    Tensor size_source = objective == Objective::kFactual
-                             ? base_mask
-                             : tensor::AddScalar(tensor::Neg(base_mask), 1.0f);
-    Tensor size_term = tensor::Mul(
-        tensor::SegmentSumRows(size_source, base_seg, num_instances), inv_base_vec);
-    loss = tensor::Add(
-        loss, tensor::Sum(tensor::MulScalar(size_term, options_.size_penalty)));
-    Tensor entropy = tensor::Neg(tensor::Add(
-        tensor::Mul(base_mask, tensor::Log(base_mask)),
-        tensor::Mul(tensor::AddScalar(tensor::Neg(base_mask), 1.0f),
-                    tensor::Log(tensor::AddScalar(tensor::Neg(base_mask), 1.0f)))));
-    Tensor entropy_term = tensor::Mul(
-        tensor::SegmentSumRows(entropy, base_seg, num_instances), inv_base_vec);
-    loss = tensor::Add(
-        loss, tensor::Sum(tensor::MulScalar(entropy_term, options_.entropy_penalty)));
-    loss.Backward();
+        // One shared row-softmax; each instance reads its own logits row. One
+        // gather then reads every instance's explained probability; the
+        // elementwise Log/Neg chain applies the same per-row float math as the
+        // sequential 1x1 ops, and Sum's backward seeds each row with exactly 1.
+        Tensor probs = tensor::RowSoftmax(logits);
+        p = tensor::SelectMany(probs, plan.logit_row, target_classes);
+        loss =
+            tensor::Sum(objective == Objective::kFactual
+                            ? tensor::Neg(tensor::Log(p))
+                            : tensor::Neg(tensor::Log(tensor::AddScalar(tensor::Neg(p), 1.0f))));
+        // Per-instance size and entropy means via segment sums over the
+        // contiguous parameter segments (bitwise-equal to per-instance Mean).
+        Tensor size_source = objective == Objective::kFactual
+                                 ? base_mask
+                                 : tensor::AddScalar(tensor::Neg(base_mask), 1.0f);
+        size_term = tensor::Mul(
+            tensor::SegmentSumRows(size_source, base_seg, num_instances), inv_base_vec);
+        loss = tensor::Add(
+            loss, tensor::Sum(tensor::MulScalar(size_term, options_.size_penalty)));
+        Tensor entropy = tensor::Neg(tensor::Add(
+            tensor::Mul(base_mask, tensor::Log(base_mask)),
+            tensor::Mul(tensor::AddScalar(tensor::Neg(base_mask), 1.0f),
+                        tensor::Log(tensor::AddScalar(tensor::Neg(base_mask), 1.0f)))));
+        entropy_term = tensor::Mul(
+            tensor::SegmentSumRows(entropy, base_seg, num_instances), inv_base_vec);
+        loss = tensor::Add(
+            loss, tensor::Sum(tensor::MulScalar(entropy_term, options_.entropy_penalty)));
+      }
+      loss.Backward();
+      if (use_plan) plan_session.Seal(loss, make_key());
+    }
     optimizer.Step();
     steps->Increment();
     if (obs::AuditScope::Current() != nullptr) {
@@ -252,7 +304,7 @@ std::vector<Explanation> GnnExplainerMethod::ExplainBatchImpl(
             MeanSigmoidMaskEntropy(base_mask, base_offset[i], base_offset[i + 1]));
       }
     }
-    loss.ReleaseTape();
+    if (!use_plan) loss.ReleaseTape();
   }
   obs::AuditScope::AddPhaseAll("optimize", optimize_span.ElapsedSeconds());
 

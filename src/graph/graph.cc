@@ -1,10 +1,32 @@
 #include "graph/graph.h"
 
 #include <algorithm>
+#include <atomic>
 #include <sstream>
 #include <unordered_set>
 
 namespace revelio::graph {
+
+namespace internal {
+
+uint64_t NextGraphStructureVersion() {
+  static std::atomic<uint64_t> counter(0);
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+}  // namespace internal
+
+void Graph::set_num_nodes(int n) {
+  CHECK_GE(n, num_nodes_);
+  num_nodes_ = n;
+  // The in/out adjacency lists are sized to the old node count; leaving
+  // adjacency_built_ set would make InEdges/OutEdges on the new nodes index
+  // out of bounds (and miss rebuilds after later AddEdge calls).
+  adjacency_built_ = false;
+  in_csr_.reset();
+  out_csr_.reset();
+  structure_version_ = internal::NextGraphStructureVersion();
+}
 
 int Graph::AddEdge(int src, int dst) {
   CHECK(src >= 0 && src < num_nodes_) << "src " << src << " out of range";
@@ -14,6 +36,7 @@ int Graph::AddEdge(int src, int dst) {
   adjacency_built_ = false;
   in_csr_.reset();
   out_csr_.reset();
+  structure_version_ = internal::NextGraphStructureVersion();
   return static_cast<int>(edges_.size()) - 1;
 }
 

@@ -8,6 +8,7 @@
 // edge list never contains self-loops; models that need them (GCN/GIN/GAT)
 // work on the augmented LayerEdgeSet built by gnn::BuildLayerEdges.
 
+#include <cstdint>
 #include <string>
 #include <utility>
 #include <vector>
@@ -25,6 +26,11 @@ struct Edge {
 
 inline bool operator==(const Edge& a, const Edge& b) { return a.src == b.src && a.dst == b.dst; }
 
+namespace internal {
+// Next value of the process-wide graph structure stamp (atomic, starts at 1).
+uint64_t NextGraphStructureVersion();
+}  // namespace internal
+
 class Graph {
  public:
   Graph() = default;
@@ -35,12 +41,15 @@ class Graph {
   const std::vector<Edge>& edges() const { return edges_; }
   const Edge& edge(int e) const { return edges_[e]; }
 
-  void set_num_nodes(int n) {
-    CHECK_GE(n, num_nodes_);
-    num_nodes_ = n;
-    in_csr_.reset();
-    out_csr_.reset();
-  }
+  // Process-unique stamp advanced by every structural mutation (AddEdge,
+  // set_num_nodes) — and therefore fresh on a RemoveEdges result, which is
+  // rebuilt edge by edge. Recorded execution plans key on it (DESIGN.md
+  // §12), so a mutated or rebuilt graph can never replay a stale plan.
+  uint64_t structure_version() const { return structure_version_; }
+
+  // Grows the node set (and invalidates every adjacency cache: the in/out
+  // edge lists are sized to the node count, not just the CSR views).
+  void set_num_nodes(int n);
 
   // Appends a directed edge src -> dst; returns its index. Self-loops are
   // rejected (the paper treats graphs as directed without self-loops).
@@ -86,6 +95,7 @@ class Graph {
 
   int num_nodes_ = 0;
   std::vector<Edge> edges_;
+  uint64_t structure_version_ = internal::NextGraphStructureVersion();
 
   // Lazily-built adjacency caches.
   mutable bool adjacency_built_ = false;

@@ -1,0 +1,96 @@
+#include "plan/arena.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace revelio::plan {
+
+namespace {
+
+bool LiveOverlap(const ArenaSlot& a, const ArenaSlot& b) {
+  return a.def <= b.last_use && b.def <= a.last_use;
+}
+
+bool ByteOverlap(const ArenaSlot& a, const ArenaSlot& b) {
+  if (a.bytes == 0 || b.bytes == 0) return false;
+  return a.offset < b.offset + b.bytes && b.offset < a.offset + a.bytes;
+}
+
+}  // namespace
+
+MemoryPlan BuildMemoryPlan(const tensor::rec::OpTape& tape) {
+  MemoryPlan plan;
+  const auto& ops = tape.ops;
+  const int n = static_cast<int>(ops.size());
+  plan.slots.resize(n);
+
+  std::unordered_map<const tensor::internal::TensorNode*, int> producer;
+  producer.reserve(ops.size());
+  for (int i = 0; i < n; ++i) {
+    producer[ops[i].out.get()] = i;
+  }
+
+  for (int i = 0; i < n; ++i) {
+    ArenaSlot& slot = plan.slots[i];
+    slot.def = i;
+    slot.last_use = i;
+    slot.bytes = static_cast<size_t>(ops[i].out->numel()) * sizeof(float);
+  }
+  for (int i = 0; i < n; ++i) {
+    for (const auto& input : ops[i].inputs) {
+      auto it = producer.find(input.get());
+      if (it != producer.end()) {
+        plan.slots[it->second].last_use = std::max(plan.slots[it->second].last_use, i);
+      }
+    }
+  }
+
+  // First-fit in def order: place each slot at the lowest offset that clears
+  // every already-placed slot whose liveness interval intersects its own.
+  for (int i = 0; i < n; ++i) {
+    ArenaSlot& slot = plan.slots[i];
+    if (slot.bytes == 0) {
+      slot.offset = 0;
+      continue;
+    }
+    std::vector<const ArenaSlot*> conflicts;
+    for (int j = 0; j < i; ++j) {
+      const ArenaSlot& other = plan.slots[j];
+      if (other.bytes > 0 && LiveOverlap(slot, other)) conflicts.push_back(&other);
+    }
+    std::sort(conflicts.begin(), conflicts.end(),
+              [](const ArenaSlot* a, const ArenaSlot* b) { return a->offset < b->offset; });
+    size_t offset = 0;
+    for (const ArenaSlot* other : conflicts) {
+      if (offset + slot.bytes <= other->offset) break;  // fits in the gap below `other`
+      offset = std::max(offset, other->offset + other->bytes);
+    }
+    slot.offset = offset;
+    plan.total_bytes = std::max(plan.total_bytes, offset + slot.bytes);
+  }
+
+  for (int i = 0; i < n; ++i) {
+    size_t live = 0;
+    for (const ArenaSlot& slot : plan.slots) {
+      if (slot.def <= i && i <= slot.last_use) live += slot.bytes;
+    }
+    plan.peak_live_bytes = std::max(plan.peak_live_bytes, live);
+  }
+  return plan;
+}
+
+bool ValidateMemoryPlan(const MemoryPlan& plan) {
+  const int n = static_cast<int>(plan.slots.size());
+  for (int i = 0; i < n; ++i) {
+    const ArenaSlot& a = plan.slots[i];
+    if (a.last_use < a.def) return false;
+    if (a.bytes > 0 && a.offset + a.bytes > plan.total_bytes) return false;
+    for (int j = i + 1; j < n; ++j) {
+      const ArenaSlot& b = plan.slots[j];
+      if (LiveOverlap(a, b) && ByteOverlap(a, b)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace revelio::plan

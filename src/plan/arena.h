@@ -1,0 +1,47 @@
+#ifndef REVELIO_PLAN_ARENA_H_
+#define REVELIO_PLAN_ARENA_H_
+
+// Static memory plan for a recorded op tape (DESIGN.md §12).
+//
+// At seal time every op output gets a forward liveness interval
+// [def, last_use] over op indices (def = the producing op, last_use = the
+// last op reading it forward) and a byte extent, and first-fit coloring
+// assigns arena offsets so that no two intervals that overlap in time
+// overlap in memory. This is the layout a slab backend would allocate in one
+// shot; today the physical backing is the pool buffers pinned by the tape
+// (already resident, so replay performs zero acquisitions — gated by the
+// pool-stats delta in tests), and the plan doubles as the specification the
+// validity property suite checks.
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/record.h"
+
+namespace revelio::plan {
+
+struct ArenaSlot {
+  int def = 0;       // producing op index (tape order)
+  int last_use = 0;  // last op index reading the output forward (>= def)
+  size_t bytes = 0;  // float payload of the output tensor
+  size_t offset = 0; // assigned arena offset
+};
+
+struct MemoryPlan {
+  std::vector<ArenaSlot> slots;  // one per tape op, in tape order
+  size_t total_bytes = 0;        // arena extent (max offset + bytes)
+  size_t peak_live_bytes = 0;    // sum of bytes live at the busiest op index
+};
+
+// Computes liveness intervals and first-fit offsets for every op output on
+// the tape. O(n^2) in the op count at seal time; replay never touches it.
+MemoryPlan BuildMemoryPlan(const tensor::rec::OpTape& tape);
+
+// True iff no two slots whose liveness intervals intersect occupy
+// overlapping byte ranges (zero-byte slots never conflict) and every slot
+// fits inside total_bytes. The plan-validity property suite drives this.
+bool ValidateMemoryPlan(const MemoryPlan& plan);
+
+}  // namespace revelio::plan
+
+#endif  // REVELIO_PLAN_ARENA_H_

@@ -6,6 +6,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "tensor/op_helpers.h"
+#include "tensor/record.h"
 #include "util/parallel.h"
 
 // Parallelization strategy (see DESIGN.md "Parallel execution"): every
@@ -13,6 +14,13 @@
 // flat index space for elementwise ops — so each output element is written
 // by exactly one chunk and the accumulation order within an element matches
 // the serial loop. Results are bitwise-identical for any thread count.
+//
+// Recording (DESIGN.md §12): when a plan tape is active, each op appends the
+// very same kernel lambda it just ran, bound to the same node buffers, so
+// replay recomputes identical bits. Kernels therefore read every varying
+// input through node-backed pointers (not by-value snapshots), and any
+// scratch state is reset inside the lambda. obs spans/counters stay outside
+// the recorded closure: replay is on the hot path and must not re-count.
 
 namespace revelio::tensor {
 
@@ -35,9 +43,13 @@ Tensor Add(const Tensor& a, const Tensor& b) {
   const float* av = a.values().data();
   const float* bv = b.values().data();
   float* ov = out->values.data();
-  ElementwiseFor(out->numel(), [av, bv, ov](int64_t begin, int64_t end) {
+  auto chunk = [av, bv, ov](int64_t begin, int64_t end) {
     for (int64_t i = begin; i < end; ++i) ov[i] = av[i] + bv[i];
-  });
+  };
+  ElementwiseFor(out->numel(), chunk);
+  if (rec::Recording()) {
+    rec::RecordElementwise("Add", out, {a.node(), b.node()}, out->numel(), chunk);
+  }
   AttachBackward(out, {a, b}, [](TensorNode* o) {
     AccumulateInto(o->parents[0].get(), o->grad, 1.0f);
     AccumulateInto(o->parents[1].get(), o->grad, 1.0f);
@@ -51,9 +63,13 @@ Tensor Sub(const Tensor& a, const Tensor& b) {
   const float* av = a.values().data();
   const float* bv = b.values().data();
   float* ov = out->values.data();
-  ElementwiseFor(out->numel(), [av, bv, ov](int64_t begin, int64_t end) {
+  auto chunk = [av, bv, ov](int64_t begin, int64_t end) {
     for (int64_t i = begin; i < end; ++i) ov[i] = av[i] - bv[i];
-  });
+  };
+  ElementwiseFor(out->numel(), chunk);
+  if (rec::Recording()) {
+    rec::RecordElementwise("Sub", out, {a.node(), b.node()}, out->numel(), chunk);
+  }
   AttachBackward(out, {a, b}, [](TensorNode* o) {
     AccumulateInto(o->parents[0].get(), o->grad, 1.0f);
     AccumulateInto(o->parents[1].get(), o->grad, -1.0f);
@@ -67,9 +83,13 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
   const float* av = a.values().data();
   const float* bv = b.values().data();
   float* ov = out->values.data();
-  ElementwiseFor(out->numel(), [av, bv, ov](int64_t begin, int64_t end) {
+  auto chunk = [av, bv, ov](int64_t begin, int64_t end) {
     for (int64_t i = begin; i < end; ++i) ov[i] = av[i] * bv[i];
-  });
+  };
+  ElementwiseFor(out->numel(), chunk);
+  if (rec::Recording()) {
+    rec::RecordElementwise("Mul", out, {a.node(), b.node()}, out->numel(), chunk);
+  }
   AttachBackward(out, {a, b}, [](TensorNode* o) {
     TensorNode* an = o->parents[0].get();
     TensorNode* bn = o->parents[1].get();
@@ -103,13 +123,19 @@ Tensor AddRowBroadcast(const Tensor& matrix, const Tensor& row) {
   const float* rv = row.values().data();
   float* ov = out->values.data();
   const int cols = matrix.cols();
-  util::ParallelFor(0, matrix.rows(), RowGrain(cols),
-                    [mv, rv, ov, cols](int64_t rb, int64_t re) {
-                      for (int64_t r = rb; r < re; ++r) {
-                        const size_t base = static_cast<size_t>(r) * cols;
-                        for (int c = 0; c < cols; ++c) ov[base + c] = mv[base + c] + rv[c];
-                      }
-                    });
+  const int rows = matrix.rows();
+  auto run = [mv, rv, ov, cols, rows]() {
+    util::ParallelFor(0, rows, RowGrain(cols), [mv, rv, ov, cols](int64_t rb, int64_t re) {
+      for (int64_t r = rb; r < re; ++r) {
+        const size_t base = static_cast<size_t>(r) * cols;
+        for (int c = 0; c < cols; ++c) ov[base + c] = mv[base + c] + rv[c];
+      }
+    });
+  };
+  run();
+  if (rec::Recording()) {
+    rec::Record("AddRowBroadcast", out, {matrix.node(), row.node()}, run);
+  }
   AttachBackward(out, {matrix, row}, [](TensorNode* o) {
     TensorNode* mn = o->parents[0].get();
     TensorNode* rn = o->parents[1].get();
@@ -138,9 +164,13 @@ Tensor AddScalar(const Tensor& a, float s) {
   auto out = NewNodeLikeUninit(a);
   const float* av = a.values().data();
   float* ov = out->values.data();
-  ElementwiseFor(out->numel(), [av, ov, s](int64_t begin, int64_t end) {
+  auto chunk = [av, ov, s](int64_t begin, int64_t end) {
     for (int64_t i = begin; i < end; ++i) ov[i] = av[i] + s;
-  });
+  };
+  ElementwiseFor(out->numel(), chunk);
+  if (rec::Recording()) {
+    rec::RecordElementwise("AddScalar", out, {a.node()}, out->numel(), chunk);
+  }
   AttachBackward(out, {a},
                  [](TensorNode* o) { AccumulateInto(o->parents[0].get(), o->grad, 1.0f); });
   return Tensor::FromNode(out);
@@ -150,9 +180,13 @@ Tensor MulScalar(const Tensor& a, float s) {
   auto out = NewNodeLikeUninit(a);
   const float* av = a.values().data();
   float* ov = out->values.data();
-  ElementwiseFor(out->numel(), [av, ov, s](int64_t begin, int64_t end) {
+  auto chunk = [av, ov, s](int64_t begin, int64_t end) {
     for (int64_t i = begin; i < end; ++i) ov[i] = av[i] * s;
-  });
+  };
+  ElementwiseFor(out->numel(), chunk);
+  if (rec::Recording()) {
+    rec::RecordElementwise("MulScalar", out, {a.node()}, out->numel(), chunk);
+  }
   AttachBackward(out, {a},
                  [s](TensorNode* o) { AccumulateInto(o->parents[0].get(), o->grad, s); });
   return Tensor::FromNode(out);
@@ -165,10 +199,18 @@ Tensor ScaleByScalarTensor(const Tensor& a, const Tensor& scalar) {
   auto out = NewNodeLikeUninit(a);
   const float* av = a.values().data();
   float* ov = out->values.data();
-  const float s = scalar.Value();
-  ElementwiseFor(out->numel(), [av, ov, s](int64_t begin, int64_t end) {
+  // The scalar is read through its node buffer inside the chunk (not hoisted
+  // by value): on plan replay the scale has been re-trained since recording.
+  const float* sv = scalar.values().data();
+  auto chunk = [av, ov, sv](int64_t begin, int64_t end) {
+    const float s = sv[0];
     for (int64_t i = begin; i < end; ++i) ov[i] = av[i] * s;
-  });
+  };
+  ElementwiseFor(out->numel(), chunk);
+  if (rec::Recording()) {
+    rec::RecordElementwise("ScaleByScalarTensor", out, {a.node(), scalar.node()}, out->numel(),
+                           chunk);
+  }
   AttachBackward(out, {a, scalar}, [](TensorNode* o) {
     TensorNode* an = o->parents[0].get();
     TensorNode* sn = o->parents[1].get();
@@ -198,9 +240,13 @@ Tensor Relu(const Tensor& a) {
   auto out = NewNodeLikeUninit(a);
   const float* av = a.values().data();
   float* ov = out->values.data();
-  ElementwiseFor(out->numel(), [av, ov](int64_t begin, int64_t end) {
+  auto chunk = [av, ov](int64_t begin, int64_t end) {
     for (int64_t i = begin; i < end; ++i) ov[i] = av[i] > 0.0f ? av[i] : 0.0f;
-  });
+  };
+  ElementwiseFor(out->numel(), chunk);
+  if (rec::Recording()) {
+    rec::RecordElementwise("Relu", out, {a.node()}, out->numel(), chunk);
+  }
   AttachBackward(out, {a}, [](TensorNode* o) {
     TensorNode* an = o->parents[0].get();
     if (!an->requires_grad) return;
@@ -222,11 +268,15 @@ Tensor LeakyRelu(const Tensor& a, float negative_slope) {
   auto out = NewNodeLikeUninit(a);
   const float* av = a.values().data();
   float* ov = out->values.data();
-  ElementwiseFor(out->numel(), [av, ov, negative_slope](int64_t begin, int64_t end) {
+  auto chunk = [av, ov, negative_slope](int64_t begin, int64_t end) {
     for (int64_t i = begin; i < end; ++i) {
       ov[i] = av[i] > 0.0f ? av[i] : negative_slope * av[i];
     }
-  });
+  };
+  ElementwiseFor(out->numel(), chunk);
+  if (rec::Recording()) {
+    rec::RecordElementwise("LeakyRelu", out, {a.node()}, out->numel(), chunk);
+  }
   AttachBackward(out, {a}, [negative_slope](TensorNode* o) {
     TensorNode* an = o->parents[0].get();
     if (!an->requires_grad) return;
@@ -248,9 +298,13 @@ Tensor Tanh(const Tensor& a) {
   auto out = NewNodeLikeUninit(a);
   const float* av = a.values().data();
   float* ov = out->values.data();
-  ElementwiseFor(out->numel(), [av, ov](int64_t begin, int64_t end) {
+  auto chunk = [av, ov](int64_t begin, int64_t end) {
     for (int64_t i = begin; i < end; ++i) ov[i] = std::tanh(av[i]);
-  });
+  };
+  ElementwiseFor(out->numel(), chunk);
+  if (rec::Recording()) {
+    rec::RecordElementwise("Tanh", out, {a.node()}, out->numel(), chunk);
+  }
   AttachBackward(out, {a}, [](TensorNode* o) {
     TensorNode* an = o->parents[0].get();
     if (!an->requires_grad) return;
@@ -272,9 +326,13 @@ Tensor Sigmoid(const Tensor& a) {
   auto out = NewNodeLikeUninit(a);
   const float* av = a.values().data();
   float* ov = out->values.data();
-  ElementwiseFor(out->numel(), [av, ov](int64_t begin, int64_t end) {
+  auto chunk = [av, ov](int64_t begin, int64_t end) {
     for (int64_t i = begin; i < end; ++i) ov[i] = 1.0f / (1.0f + std::exp(-av[i]));
-  });
+  };
+  ElementwiseFor(out->numel(), chunk);
+  if (rec::Recording()) {
+    rec::RecordElementwise("Sigmoid", out, {a.node()}, out->numel(), chunk);
+  }
   AttachBackward(out, {a}, [](TensorNode* o) {
     TensorNode* an = o->parents[0].get();
     if (!an->requires_grad) return;
@@ -296,9 +354,13 @@ Tensor Exp(const Tensor& a) {
   auto out = NewNodeLikeUninit(a);
   const float* av = a.values().data();
   float* ov = out->values.data();
-  ElementwiseFor(out->numel(), [av, ov](int64_t begin, int64_t end) {
+  auto chunk = [av, ov](int64_t begin, int64_t end) {
     for (int64_t i = begin; i < end; ++i) ov[i] = std::exp(av[i]);
-  });
+  };
+  ElementwiseFor(out->numel(), chunk);
+  if (rec::Recording()) {
+    rec::RecordElementwise("Exp", out, {a.node()}, out->numel(), chunk);
+  }
   AttachBackward(out, {a}, [](TensorNode* o) {
     TensorNode* an = o->parents[0].get();
     if (!an->requires_grad) return;
@@ -318,9 +380,13 @@ Tensor Log(const Tensor& a, float eps) {
   auto out = NewNodeLikeUninit(a);
   const float* av = a.values().data();
   float* ov = out->values.data();
-  ElementwiseFor(out->numel(), [av, ov, eps](int64_t begin, int64_t end) {
+  auto chunk = [av, ov, eps](int64_t begin, int64_t end) {
     for (int64_t i = begin; i < end; ++i) ov[i] = std::log(std::max(av[i], eps));
-  });
+  };
+  ElementwiseFor(out->numel(), chunk);
+  if (rec::Recording()) {
+    rec::RecordElementwise("Log", out, {a.node()}, out->numel(), chunk);
+  }
   AttachBackward(out, {a}, [eps](TensorNode* o) {
     TensorNode* an = o->parents[0].get();
     if (!an->requires_grad) return;
@@ -342,13 +408,17 @@ Tensor Softplus(const Tensor& a) {
   auto out = NewNodeLikeUninit(a);
   const float* av = a.values().data();
   float* ov = out->values.data();
-  ElementwiseFor(out->numel(), [av, ov](int64_t begin, int64_t end) {
+  auto chunk = [av, ov](int64_t begin, int64_t end) {
     for (int64_t i = begin; i < end; ++i) {
       // Numerically stable softplus: log(1 + exp(x)) = max(x, 0) + log1p(exp(-|x|)).
       const float x = av[i];
       ov[i] = std::max(x, 0.0f) + std::log1p(std::exp(-std::fabs(x)));
     }
-  });
+  };
+  ElementwiseFor(out->numel(), chunk);
+  if (rec::Recording()) {
+    rec::RecordElementwise("Softplus", out, {a.node()}, out->numel(), chunk);
+  }
   AttachBackward(out, {a}, [](TensorNode* o) {
     TensorNode* an = o->parents[0].get();
     if (!an->requires_grad) return;
@@ -390,18 +460,24 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   const float* bv = b.values().data();
   float* ov = out->values.data();
   const int64_t row_flops = int64_t{2} * k * m;
-  util::ParallelFor(0, n, RowGrain(row_flops), [av, bv, ov, k, m](int64_t ib, int64_t ie) {
-    for (int64_t i = ib; i < ie; ++i) {
-      float* orow = ov + static_cast<size_t>(i) * m;
-      std::fill(orow, orow + m, 0.0f);
-      for (int kk = 0; kk < k; ++kk) {
-        const float aik = av[static_cast<size_t>(i) * k + kk];
-        if (aik == 0.0f) continue;
-        const float* brow = bv + static_cast<size_t>(kk) * m;
-        for (int j = 0; j < m; ++j) orow[j] += aik * brow[j];
+  auto run = [av, bv, ov, n, k, m, row_flops]() {
+    util::ParallelFor(0, n, RowGrain(row_flops), [av, bv, ov, k, m](int64_t ib, int64_t ie) {
+      for (int64_t i = ib; i < ie; ++i) {
+        float* orow = ov + static_cast<size_t>(i) * m;
+        std::fill(orow, orow + m, 0.0f);
+        for (int kk = 0; kk < k; ++kk) {
+          const float aik = av[static_cast<size_t>(i) * k + kk];
+          if (aik == 0.0f) continue;
+          const float* brow = bv + static_cast<size_t>(kk) * m;
+          for (int j = 0; j < m; ++j) orow[j] += aik * brow[j];
+        }
       }
-    }
-  });
+    });
+  };
+  run();
+  if (rec::Recording()) {
+    rec::Record("MatMul", out, {a.node(), b.node()}, run);
+  }
   AttachBackward(out, {a, b}, [n, k, m](TensorNode* o) {
     TensorNode* an = o->parents[0].get();
     TensorNode* bn = o->parents[1].get();
@@ -455,9 +531,18 @@ Tensor Sum(const Tensor& a) {
   auto out = NewNodeUninit(1, 1);
   // Scalar reduction stays serial: a single double accumulator in index
   // order keeps the result independent of the thread count.
-  double acc = 0.0;
-  for (float v : a.values()) acc += v;
-  out->values[0] = static_cast<float>(acc);
+  const float* av = a.values().data();
+  const int64_t n = a.numel();
+  float* ov = out->values.data();
+  auto run = [av, n, ov]() {
+    double acc = 0.0;
+    for (int64_t i = 0; i < n; ++i) acc += av[i];
+    ov[0] = static_cast<float>(acc);
+  };
+  run();
+  if (rec::Recording()) {
+    rec::Record("Sum", out, {a.node()}, run);
+  }
   AttachBackward(out, {a}, [](TensorNode* o) {
     TensorNode* an = o->parents[0].get();
     if (!an->requires_grad) return;
@@ -482,19 +567,26 @@ Tensor RowSoftmax(const Tensor& a) {
   const int cols = a.cols();
   const float* av = a.values().data();
   float* ov = out->values.data();
-  util::ParallelFor(0, a.rows(), RowGrain(3 * cols), [av, ov, cols](int64_t rb, int64_t re) {
-    for (int64_t r = rb; r < re; ++r) {
-      const size_t base = static_cast<size_t>(r) * cols;
-      float max_v = av[base];
-      for (int c = 1; c < cols; ++c) max_v = std::max(max_v, av[base + c]);
-      double denom = 0.0;
-      for (int c = 0; c < cols; ++c) {
-        ov[base + c] = std::exp(av[base + c] - max_v);
-        denom += ov[base + c];
+  const int rows = a.rows();
+  auto run = [av, ov, cols, rows]() {
+    util::ParallelFor(0, rows, RowGrain(3 * cols), [av, ov, cols](int64_t rb, int64_t re) {
+      for (int64_t r = rb; r < re; ++r) {
+        const size_t base = static_cast<size_t>(r) * cols;
+        float max_v = av[base];
+        for (int c = 1; c < cols; ++c) max_v = std::max(max_v, av[base + c]);
+        double denom = 0.0;
+        for (int c = 0; c < cols; ++c) {
+          ov[base + c] = std::exp(av[base + c] - max_v);
+          denom += ov[base + c];
+        }
+        for (int c = 0; c < cols; ++c) ov[base + c] /= static_cast<float>(denom);
       }
-      for (int c = 0; c < cols; ++c) ov[base + c] /= static_cast<float>(denom);
-    }
-  });
+    });
+  };
+  run();
+  if (rec::Recording()) {
+    rec::Record("RowSoftmax", out, {a.node()}, run);
+  }
   AttachBackward(out, {a}, [cols](TensorNode* o) {
     TensorNode* an = o->parents[0].get();
     if (!an->requires_grad) return;
@@ -521,17 +613,24 @@ Tensor RowLogSoftmax(const Tensor& a) {
   const int cols = a.cols();
   const float* av = a.values().data();
   float* ov = out->values.data();
-  util::ParallelFor(0, a.rows(), RowGrain(3 * cols), [av, ov, cols](int64_t rb, int64_t re) {
-    for (int64_t r = rb; r < re; ++r) {
-      const size_t base = static_cast<size_t>(r) * cols;
-      float max_v = av[base];
-      for (int c = 1; c < cols; ++c) max_v = std::max(max_v, av[base + c]);
-      double denom = 0.0;
-      for (int c = 0; c < cols; ++c) denom += std::exp(av[base + c] - max_v);
-      const float log_denom = max_v + static_cast<float>(std::log(denom));
-      for (int c = 0; c < cols; ++c) ov[base + c] = av[base + c] - log_denom;
-    }
-  });
+  const int rows = a.rows();
+  auto run = [av, ov, cols, rows]() {
+    util::ParallelFor(0, rows, RowGrain(3 * cols), [av, ov, cols](int64_t rb, int64_t re) {
+      for (int64_t r = rb; r < re; ++r) {
+        const size_t base = static_cast<size_t>(r) * cols;
+        float max_v = av[base];
+        for (int c = 1; c < cols; ++c) max_v = std::max(max_v, av[base + c]);
+        double denom = 0.0;
+        for (int c = 0; c < cols; ++c) denom += std::exp(av[base + c] - max_v);
+        const float log_denom = max_v + static_cast<float>(std::log(denom));
+        for (int c = 0; c < cols; ++c) ov[base + c] = av[base + c] - log_denom;
+      }
+    });
+  };
+  run();
+  if (rec::Recording()) {
+    rec::Record("RowLogSoftmax", out, {a.node()}, run);
+  }
   AttachBackward(out, {a}, [cols](TensorNode* o) {
     TensorNode* an = o->parents[0].get();
     if (!an->requires_grad) return;

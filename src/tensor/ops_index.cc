@@ -6,6 +6,7 @@
 #include "obs/trace.h"
 #include "tensor/op_helpers.h"
 #include "tensor/ops.h"
+#include "tensor/record.h"
 #include "util/parallel.h"
 
 // Irregular (index-driven) kernels. Parallel variants partition the OUTPUT
@@ -45,20 +46,29 @@ Tensor GatherRows(const Tensor& a, const std::vector<int>& indices) {
   const float* av = a.values().data();
   float* ov = out->values.data();
   const int num_src_rows = a.rows();
-  const int* idx = indices.data();
-  // Output rows are independent -> partition over i.
-  util::ParallelFor(0, static_cast<int64_t>(indices.size()), RowGrain(cols),
-                    [av, ov, idx, cols, num_src_rows](int64_t ib, int64_t ie) {
-                      (void)num_src_rows;
-                      for (int64_t i = ib; i < ie; ++i) {
-                        const int src = idx[i];
-                        DCHECK(src >= 0 && src < num_src_rows)
-                            << "GatherRows index " << src << " out of range";
-                        std::copy(av + static_cast<size_t>(src) * cols,
-                                  av + static_cast<size_t>(src + 1) * cols,
-                                  ov + static_cast<size_t>(i) * cols);
-                      }
-                    });
+  const int64_t n = static_cast<int64_t>(indices.size());
+  // The index list is caller-owned, so the kernel takes it as a parameter:
+  // the eager call borrows it, the recorded closure owns a copy.
+  auto kernel = [av, ov, cols, num_src_rows, n](const int* idx) {
+    // Output rows are independent -> partition over i.
+    util::ParallelFor(0, n, RowGrain(cols),
+                      [av, ov, idx, cols, num_src_rows](int64_t ib, int64_t ie) {
+                        (void)num_src_rows;
+                        for (int64_t i = ib; i < ie; ++i) {
+                          const int src = idx[i];
+                          DCHECK(src >= 0 && src < num_src_rows)
+                              << "GatherRows index " << src << " out of range";
+                          std::copy(av + static_cast<size_t>(src) * cols,
+                                    av + static_cast<size_t>(src + 1) * cols,
+                                    ov + static_cast<size_t>(i) * cols);
+                        }
+                      });
+  };
+  kernel(indices.data());
+  if (rec::Recording()) {
+    rec::Record("GatherRows", out, {a.node()},
+                [kernel, indices]() { kernel(indices.data()); });
+  }
   AttachBackward(out, {a}, [indices, cols](TensorNode* o) {
     TensorNode* an = o->parents[0].get();
     if (!an->requires_grad) return;
@@ -95,25 +105,31 @@ Tensor ScatterAddRows(const Tensor& src, const std::vector<int>& indices, int nu
   auto out = NewNodeUninit(num_rows, cols);
   const float* sv = src.values().data();
   float* ov = out->values.data();
-  const int* idx = indices.data();
   const int64_t n = static_cast<int64_t>(indices.size());
   // Partition over destination rows; each chunk zeroes its own row range
   // (the pooled buffer arrives dirty), then scans all indices and adds the
   // rows landing in its range, in the serial scan order.
-  util::ParallelFor(0, num_rows, ScatterGrain(num_rows, n, cols),
-                    [sv, ov, idx, cols, n, num_rows](int64_t rb, int64_t re) {
-                      (void)num_rows;
-                      std::fill(ov + rb * cols, ov + re * cols, 0.0f);
-                      for (int64_t i = 0; i < n; ++i) {
-                        const int dst = idx[i];
-                        DCHECK(dst >= 0 && dst < num_rows)
-                            << "ScatterAddRows index " << dst << " out of range";
-                        if (dst < rb || dst >= re) continue;
-                        const size_t dst_base = static_cast<size_t>(dst) * cols;
-                        const size_t src_base = static_cast<size_t>(i) * cols;
-                        for (int c = 0; c < cols; ++c) ov[dst_base + c] += sv[src_base + c];
-                      }
-                    });
+  auto kernel = [sv, ov, cols, n, num_rows](const int* idx) {
+    util::ParallelFor(0, num_rows, ScatterGrain(num_rows, n, cols),
+                      [sv, ov, idx, cols, n, num_rows](int64_t rb, int64_t re) {
+                        (void)num_rows;
+                        std::fill(ov + rb * cols, ov + re * cols, 0.0f);
+                        for (int64_t i = 0; i < n; ++i) {
+                          const int dst = idx[i];
+                          DCHECK(dst >= 0 && dst < num_rows)
+                              << "ScatterAddRows index " << dst << " out of range";
+                          if (dst < rb || dst >= re) continue;
+                          const size_t dst_base = static_cast<size_t>(dst) * cols;
+                          const size_t src_base = static_cast<size_t>(i) * cols;
+                          for (int c = 0; c < cols; ++c) ov[dst_base + c] += sv[src_base + c];
+                        }
+                      });
+  };
+  kernel(indices.data());
+  if (rec::Recording()) {
+    rec::Record("ScatterAddRows", out, {src.node()},
+                [kernel, indices]() { kernel(indices.data()); });
+  }
   AttachBackward(out, {src}, [indices, cols](TensorNode* o) {
     TensorNode* sn = o->parents[0].get();
     if (!sn->requires_grad) return;
@@ -144,12 +160,19 @@ Tensor RowScale(const Tensor& a, const Tensor& scale) {
   const float* av = a.values().data();
   const float* sv = scale.values().data();
   float* ov = out->values.data();
-  util::ParallelFor(0, a.rows(), RowGrain(cols), [av, sv, ov, cols](int64_t rb, int64_t re) {
-    for (int64_t r = rb; r < re; ++r) {
-      const size_t base = static_cast<size_t>(r) * cols;
-      for (int c = 0; c < cols; ++c) ov[base + c] = av[base + c] * sv[r];
-    }
-  });
+  const int rows = a.rows();
+  auto run = [av, sv, ov, cols, rows]() {
+    util::ParallelFor(0, rows, RowGrain(cols), [av, sv, ov, cols](int64_t rb, int64_t re) {
+      for (int64_t r = rb; r < re; ++r) {
+        const size_t base = static_cast<size_t>(r) * cols;
+        for (int c = 0; c < cols; ++c) ov[base + c] = av[base + c] * sv[r];
+      }
+    });
+  };
+  run();
+  if (rec::Recording()) {
+    rec::Record("RowScale", out, {a.node(), scale.node()}, run);
+  }
   AttachBackward(out, {a, scale}, [cols](TensorNode* o) {
     TensorNode* an = o->parents[0].get();
     TensorNode* sn = o->parents[1].get();
@@ -191,17 +214,21 @@ Tensor ConcatCols(const Tensor& a, const Tensor& b) {
   const float* av = a.values().data();
   const float* bv = b.values().data();
   float* ov = out->values.data();
-  util::ParallelFor(0, a.rows(), RowGrain(ac + bc),
-                    [av, bv, ov, ac, bc](int64_t rb, int64_t re) {
-                      for (int64_t r = rb; r < re; ++r) {
-                        std::copy(av + static_cast<size_t>(r) * ac,
-                                  av + static_cast<size_t>(r + 1) * ac,
-                                  ov + static_cast<size_t>(r) * (ac + bc));
-                        std::copy(bv + static_cast<size_t>(r) * bc,
-                                  bv + static_cast<size_t>(r + 1) * bc,
-                                  ov + static_cast<size_t>(r) * (ac + bc) + ac);
-                      }
-                    });
+  const int rows = a.rows();
+  auto run = [av, bv, ov, ac, bc, rows]() {
+    util::ParallelFor(0, rows, RowGrain(ac + bc), [av, bv, ov, ac, bc](int64_t rb, int64_t re) {
+      for (int64_t r = rb; r < re; ++r) {
+        std::copy(av + static_cast<size_t>(r) * ac, av + static_cast<size_t>(r + 1) * ac,
+                  ov + static_cast<size_t>(r) * (ac + bc));
+        std::copy(bv + static_cast<size_t>(r) * bc, bv + static_cast<size_t>(r + 1) * bc,
+                  ov + static_cast<size_t>(r) * (ac + bc) + ac);
+      }
+    });
+  };
+  run();
+  if (rec::Recording()) {
+    rec::Record("ConcatCols", out, {a.node(), b.node()}, run);
+  }
   AttachBackward(out, {a, b}, [ac, bc](TensorNode* o) {
     TensorNode* an = o->parents[0].get();
     TensorNode* bn = o->parents[1].get();
@@ -244,36 +271,44 @@ Tensor SegmentSoftmax(const Tensor& values, const std::vector<int>& segment_ids,
   auto out = NewNodeUninit(n, 1);
   const float* v = values.values().data();
   float* ov = out->values.data();
-  const int* seg = segment_ids.data();
   // Per-segment max for numerical stability, then normalize. Partitioned
   // over segments (each chunk owns a segment range and scans all entries),
   // so both the reductions and the normalized outputs have one writer each.
-  std::vector<float> seg_max(num_segments, -std::numeric_limits<float>::infinity());
-  std::vector<double> seg_sum(num_segments, 0.0);
-  float* max_data = seg_max.data();
-  double* sum_data = seg_sum.data();
-  const int64_t seg_grain = ScatterGrain(num_segments, n, 2);
-  util::ParallelFor(0, num_segments, seg_grain,
-                    [v, ov, seg, max_data, sum_data, n, num_segments](int64_t sb, int64_t se) {
-                      (void)num_segments;
-                      for (int64_t i = 0; i < n; ++i) {
-                        const int s = seg[i];
-                        DCHECK(s >= 0 && s < num_segments);
-                        if (s < sb || s >= se) continue;
-                        max_data[s] = std::max(max_data[s], v[i]);
-                      }
-                      for (int64_t i = 0; i < n; ++i) {
-                        const int s = seg[i];
-                        if (s < sb || s >= se) continue;
-                        ov[i] = std::exp(v[i] - max_data[s]);
-                        sum_data[s] += ov[i];
-                      }
-                      for (int64_t i = 0; i < n; ++i) {
-                        const int s = seg[i];
-                        if (s < sb || s >= se) continue;
-                        ov[i] /= static_cast<float>(sum_data[s]);
-                      }
-                    });
+  // The reduction scratch lives inside the kernel: every invocation
+  // (eager or replayed) starts from fresh accumulators.
+  auto kernel = [v, ov, n, num_segments](const int* seg) {
+    std::vector<float> seg_max(num_segments, -std::numeric_limits<float>::infinity());
+    std::vector<double> seg_sum(num_segments, 0.0);
+    float* max_data = seg_max.data();
+    double* sum_data = seg_sum.data();
+    const int64_t seg_grain = ScatterGrain(num_segments, n, 2);
+    util::ParallelFor(0, num_segments, seg_grain,
+                      [v, ov, seg, max_data, sum_data, n, num_segments](int64_t sb, int64_t se) {
+                        (void)num_segments;
+                        for (int64_t i = 0; i < n; ++i) {
+                          const int s = seg[i];
+                          DCHECK(s >= 0 && s < num_segments);
+                          if (s < sb || s >= se) continue;
+                          max_data[s] = std::max(max_data[s], v[i]);
+                        }
+                        for (int64_t i = 0; i < n; ++i) {
+                          const int s = seg[i];
+                          if (s < sb || s >= se) continue;
+                          ov[i] = std::exp(v[i] - max_data[s]);
+                          sum_data[s] += ov[i];
+                        }
+                        for (int64_t i = 0; i < n; ++i) {
+                          const int s = seg[i];
+                          if (s < sb || s >= se) continue;
+                          ov[i] /= static_cast<float>(sum_data[s]);
+                        }
+                      });
+  };
+  kernel(segment_ids.data());
+  if (rec::Recording()) {
+    rec::Record("SegmentSoftmax", out, {values.node()},
+                [kernel, segment_ids]() { kernel(segment_ids.data()); });
+  }
   AttachBackward(out, {values}, [segment_ids, num_segments, n](TensorNode* o) {
     TensorNode* vn = o->parents[0].get();
     if (!vn->requires_grad) return;
@@ -305,7 +340,7 @@ Tensor SegmentSoftmax(const Tensor& values, const std::vector<int>& segment_ids,
 Tensor SegmentMeanRows(const Tensor& a, const std::vector<int>& segment_ids, int num_segments) {
   CHECK_EQ(a.rows(), static_cast<int>(segment_ids.size()));
   const int cols = a.cols();
-  auto out = NewNode(num_segments, cols);
+  auto out = NewNodeUninit(num_segments, cols);
   std::vector<int> counts(num_segments, 0);
   for (int s : segment_ids) {
     DCHECK(s >= 0 && s < num_segments);
@@ -313,21 +348,29 @@ Tensor SegmentMeanRows(const Tensor& a, const std::vector<int>& segment_ids, int
   }
   const float* av = a.values().data();
   float* ov = out->values.data();
-  const int* seg = segment_ids.data();
-  const int* cnt = counts.data();
   const int64_t rows = a.rows();
-  // Partition over destination segments (owner computes).
-  util::ParallelFor(0, num_segments, ScatterGrain(num_segments, rows, cols),
-                    [av, ov, seg, cnt, cols, rows](int64_t sb, int64_t se) {
-                      for (int64_t r = 0; r < rows; ++r) {
-                        const int s = seg[r];
-                        if (s < sb || s >= se) continue;
-                        const float inv = 1.0f / static_cast<float>(cnt[s]);
-                        const size_t src = static_cast<size_t>(r) * cols;
-                        const size_t dst = static_cast<size_t>(s) * cols;
-                        for (int c = 0; c < cols; ++c) ov[dst + c] += av[src + c] * inv;
-                      }
-                    });
+  // Partition over destination segments (owner computes); each chunk zeroes
+  // its own segment range before accumulating, so re-running the kernel on
+  // a retained output buffer starts clean.
+  auto kernel = [av, ov, cols, rows, num_segments](const int* seg, const int* cnt) {
+    util::ParallelFor(0, num_segments, ScatterGrain(num_segments, rows, cols),
+                      [av, ov, seg, cnt, cols, rows](int64_t sb, int64_t se) {
+                        std::fill(ov + sb * cols, ov + se * cols, 0.0f);
+                        for (int64_t r = 0; r < rows; ++r) {
+                          const int s = seg[r];
+                          if (s < sb || s >= se) continue;
+                          const float inv = 1.0f / static_cast<float>(cnt[s]);
+                          const size_t src = static_cast<size_t>(r) * cols;
+                          const size_t dst = static_cast<size_t>(s) * cols;
+                          for (int c = 0; c < cols; ++c) ov[dst + c] += av[src + c] * inv;
+                        }
+                      });
+  };
+  kernel(segment_ids.data(), counts.data());
+  if (rec::Recording()) {
+    rec::Record("SegmentMeanRows", out, {a.node()},
+                [kernel, segment_ids, counts]() { kernel(segment_ids.data(), counts.data()); });
+  }
   AttachBackward(out, {a}, [segment_ids, counts, cols](TensorNode* o) {
     TensorNode* an = o->parents[0].get();
     if (!an->requires_grad) return;
@@ -353,33 +396,40 @@ Tensor SegmentMeanRows(const Tensor& a, const std::vector<int>& segment_ids, int
 Tensor SegmentSumRows(const Tensor& a, const std::vector<int>& segment_ids, int num_segments) {
   CHECK_EQ(a.rows(), static_cast<int>(segment_ids.size()));
   const int cols = a.cols();
-  auto out = NewNode(num_segments, cols);
+  // Every (segment, column) slot is overwritten by its owning chunk below.
+  auto out = NewNodeUninit(num_segments, cols);
   const float* av = a.values().data();
   float* ov = out->values.data();
-  const int* seg = segment_ids.data();
   const int64_t rows = a.rows();
   // Partition over destination segments (owner computes). Each (segment,
   // column) sums through a double accumulator in row-scan order so the result
   // matches a serial Sum over the segment's rows bitwise, at any thread count.
-  util::ParallelFor(0, num_segments, ScatterGrain(num_segments, rows, cols),
-                    [av, ov, seg, cols, rows](int64_t sb, int64_t se) {
-                      std::vector<double> acc(static_cast<size_t>(se - sb) * cols, 0.0);
-                      for (int64_t r = 0; r < rows; ++r) {
-                        const int s = seg[r];
-                        DCHECK(s >= 0);
-                        if (s < sb || s >= se) continue;
-                        const size_t src = static_cast<size_t>(r) * cols;
-                        const size_t dst = static_cast<size_t>(s - sb) * cols;
-                        for (int c = 0; c < cols; ++c) acc[dst + c] += av[src + c];
-                      }
-                      for (int64_t s = sb; s < se; ++s) {
-                        const size_t dst = static_cast<size_t>(s) * cols;
-                        const size_t local = static_cast<size_t>(s - sb) * cols;
-                        for (int c = 0; c < cols; ++c) {
-                          ov[dst + c] = static_cast<float>(acc[local + c]);
+  auto kernel = [av, ov, cols, rows, num_segments](const int* seg) {
+    util::ParallelFor(0, num_segments, ScatterGrain(num_segments, rows, cols),
+                      [av, ov, seg, cols, rows](int64_t sb, int64_t se) {
+                        std::vector<double> acc(static_cast<size_t>(se - sb) * cols, 0.0);
+                        for (int64_t r = 0; r < rows; ++r) {
+                          const int s = seg[r];
+                          DCHECK(s >= 0);
+                          if (s < sb || s >= se) continue;
+                          const size_t src = static_cast<size_t>(r) * cols;
+                          const size_t dst = static_cast<size_t>(s - sb) * cols;
+                          for (int c = 0; c < cols; ++c) acc[dst + c] += av[src + c];
                         }
-                      }
-                    });
+                        for (int64_t s = sb; s < se; ++s) {
+                          const size_t dst = static_cast<size_t>(s) * cols;
+                          const size_t local = static_cast<size_t>(s - sb) * cols;
+                          for (int c = 0; c < cols; ++c) {
+                            ov[dst + c] = static_cast<float>(acc[local + c]);
+                          }
+                        }
+                      });
+  };
+  kernel(segment_ids.data());
+  if (rec::Recording()) {
+    rec::Record("SegmentSumRows", out, {a.node()},
+                [kernel, segment_ids]() { kernel(segment_ids.data()); });
+  }
   AttachBackward(out, {a}, [segment_ids, cols](TensorNode* o) {
     TensorNode* an = o->parents[0].get();
     if (!an->requires_grad) return;
@@ -405,38 +455,50 @@ Tensor SegmentMaxRows(const Tensor& a, const std::vector<int>& segment_ids, int 
   const int cols = a.cols();
   auto out = NewNode(num_segments, cols);
   // argmax[(s, c)] = row index feeding the max (-1 for empty segments).
-  std::vector<int> argmax(static_cast<size_t>(num_segments) * cols, -1);
+  // Shared between the forward kernel and the backward closure so a replayed
+  // forward refreshes the routing the backward reads; the kernel re-arms it
+  // to -1 on every invocation. Empty segments keep the zero-initialized
+  // output value (the buffer is never recycled while the tape is alive).
+  auto argmax = std::make_shared<std::vector<int>>(static_cast<size_t>(num_segments) * cols, -1);
   const float* av = a.values().data();
   float* ov = out->values.data();
-  const int* seg = segment_ids.data();
-  int* arg = argmax.data();
+  int* arg = argmax->data();
   const int64_t rows = a.rows();
+  const int64_t flats = static_cast<int64_t>(argmax->size());
   // Partition over destination segments (owner computes).
-  util::ParallelFor(0, num_segments, ScatterGrain(num_segments, rows, cols),
-                    [av, ov, seg, arg, cols, rows, num_segments](int64_t sb, int64_t se) {
-                      (void)num_segments;
-                      for (int64_t r = 0; r < rows; ++r) {
-                        const int s = seg[r];
-                        DCHECK(s >= 0 && s < num_segments);
-                        if (s < sb || s >= se) continue;
-                        for (int c = 0; c < cols; ++c) {
-                          const size_t flat = static_cast<size_t>(s) * cols + c;
-                          const float value = av[static_cast<size_t>(r) * cols + c];
-                          if (arg[flat] < 0 || value > ov[flat]) {
-                            ov[flat] = value;
-                            arg[flat] = static_cast<int>(r);
+  auto kernel = [av, ov, arg, cols, rows, num_segments, flats](const int* seg) {
+    std::fill(arg, arg + flats, -1);
+    util::ParallelFor(0, num_segments, ScatterGrain(num_segments, rows, cols),
+                      [av, ov, seg, arg, cols, rows, num_segments](int64_t sb, int64_t se) {
+                        (void)num_segments;
+                        for (int64_t r = 0; r < rows; ++r) {
+                          const int s = seg[r];
+                          DCHECK(s >= 0 && s < num_segments);
+                          if (s < sb || s >= se) continue;
+                          for (int c = 0; c < cols; ++c) {
+                            const size_t flat = static_cast<size_t>(s) * cols + c;
+                            const float value = av[static_cast<size_t>(r) * cols + c];
+                            if (arg[flat] < 0 || value > ov[flat]) {
+                              ov[flat] = value;
+                              arg[flat] = static_cast<int>(r);
+                            }
                           }
                         }
-                      }
-                    });
+                      });
+  };
+  kernel(segment_ids.data());
+  if (rec::Recording()) {
+    rec::Record("SegmentMaxRows", out, {a.node()},
+                [kernel, segment_ids]() { kernel(segment_ids.data()); });
+  }
   AttachBackward(out, {a}, [argmax, cols](TensorNode* o) {
     TensorNode* an = o->parents[0].get();
     if (!an->requires_grad) return;
     an->EnsureGrad();
     const float* g = o->grad.data();
     float* ga = an->grad.data();
-    const int* arg = argmax.data();
-    const int64_t flats = static_cast<int64_t>(argmax.size());
+    const int* arg = argmax->data();
+    const int64_t flats = static_cast<int64_t>(argmax->size());
     // Two (segment, c) slots can share an argmax row but never a column, so
     // partitioning over columns gives every grad element a single writer.
     util::ParallelFor(0, cols, ScatterGrain(cols, flats, 1),
@@ -456,8 +518,14 @@ Tensor Select(const Tensor& a, int row, int col) {
   CHECK(row >= 0 && row < a.rows() && col >= 0 && col < a.cols())
       << "Select(" << row << "," << col << ") out of range " << a.rows() << "x" << a.cols();
   auto out = NewNode(1, 1);
-  out->values[0] = a.At(row, col);
   const size_t flat = static_cast<size_t>(row) * a.cols() + col;
+  const float* av = a.values().data();
+  float* ov = out->values.data();
+  auto run = [av, ov, flat]() { ov[0] = av[flat]; };
+  run();
+  if (rec::Recording()) {
+    rec::Record("Select", out, {a.node()}, run);
+  }
   AttachBackward(out, {a}, [flat](TensorNode* o) {
     TensorNode* an = o->parents[0].get();
     if (!an->requires_grad) return;
@@ -480,13 +548,18 @@ Tensor SelectMany(const Tensor& a, const std::vector<int>& rows, const std::vect
   auto out = NewNodeUninit(static_cast<int>(n), 1);
   const float* av = a.values().data();
   float* ov = out->values.data();
-  const int* rp = rows.data();
-  const int* cp = cols.data();
-  util::ParallelFor(0, n, RowGrain(1), [av, ov, rp, cp, a_cols](int64_t kb, int64_t ke) {
-    for (int64_t k = kb; k < ke; ++k) {
-      ov[k] = av[static_cast<size_t>(rp[k]) * a_cols + cp[k]];
-    }
-  });
+  auto kernel = [av, ov, a_cols, n](const int* rp, const int* cp) {
+    util::ParallelFor(0, n, RowGrain(1), [av, ov, rp, cp, a_cols](int64_t kb, int64_t ke) {
+      for (int64_t k = kb; k < ke; ++k) {
+        ov[k] = av[static_cast<size_t>(rp[k]) * a_cols + cp[k]];
+      }
+    });
+  };
+  kernel(rows.data(), cols.data());
+  if (rec::Recording()) {
+    rec::Record("SelectMany", out, {a.node()},
+                [kernel, rows, cols]() { kernel(rows.data(), cols.data()); });
+  }
   AttachBackward(out, {a}, [rows, cols, a_rows, a_cols](TensorNode* o) {
     TensorNode* an = o->parents[0].get();
     if (!an->requires_grad) return;
@@ -516,13 +589,22 @@ Tensor NllLoss(const Tensor& log_probs, const std::vector<int>& targets) {
   CHECK_GT(targets.size(), 0u);
   const int cols = log_probs.cols();
   auto out = NewNode(1, 1);
-  const auto& lp = log_probs.values();
-  double acc = 0.0;
-  for (size_t i = 0; i < targets.size(); ++i) {
-    DCHECK(targets[i] >= 0 && targets[i] < cols);
-    acc -= lp[i * cols + targets[i]];
+  const float* lp = log_probs.values().data();
+  float* ov = out->values.data();
+  const int64_t n = static_cast<int64_t>(targets.size());
+  auto kernel = [lp, ov, cols, n](const int* tgt) {
+    double acc = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      DCHECK(tgt[i] >= 0 && tgt[i] < cols);
+      acc -= lp[static_cast<size_t>(i) * cols + tgt[i]];
+    }
+    ov[0] = static_cast<float>(acc / static_cast<double>(n));
+  };
+  kernel(targets.data());
+  if (rec::Recording()) {
+    rec::Record("NllLoss", out, {log_probs.node()},
+                [kernel, targets]() { kernel(targets.data()); });
   }
-  out->values[0] = static_cast<float>(acc / static_cast<double>(targets.size()));
   AttachBackward(out, {log_probs}, [targets, cols](TensorNode* o) {
     TensorNode* ln = o->parents[0].get();
     if (!ln->requires_grad) return;

@@ -4,6 +4,7 @@
 #include "obs/trace.h"
 #include "tensor/op_helpers.h"
 #include "tensor/ops.h"
+#include "tensor/record.h"
 #include "tensor/sparse.h"
 #include "util/parallel.h"
 
@@ -117,7 +118,13 @@ Tensor SpmmCsr(const CsrPatternRef& pattern, const Tensor& x) {
   obs::ScopedSpan span("tensor.SpmmCsr", obs::FlightPolicy::kSkip);
   RecordSpmmMetrics(*pattern, cols);
   auto out = NewNodeUninit(pattern->num_rows, cols);
-  SpmmForward(*pattern, nullptr, x.values().data(), out->values.data(), cols);
+  const float* xv = x.values().data();
+  float* ov = out->values.data();
+  SpmmForward(*pattern, nullptr, xv, ov, cols);
+  if (rec::Recording()) {
+    rec::Record("SpmmCsr", out, {x.node()},
+                [pattern, xv, ov, cols]() { SpmmForward(*pattern, nullptr, xv, ov, cols); });
+  }
   AttachBackward(out, {x}, [pattern, cols](TensorNode* o) {
     TensorNode* xn = o->parents[0].get();
     if (!xn->requires_grad) return;
@@ -135,7 +142,14 @@ Tensor SpmmCsrWeighted(const CsrPatternRef& pattern, const Tensor& weights, cons
   obs::ScopedSpan span("tensor.SpmmCsr", obs::FlightPolicy::kSkip);
   RecordSpmmMetrics(*pattern, cols);
   auto out = NewNodeUninit(pattern->num_rows, cols);
-  SpmmForward(*pattern, weights.values().data(), x.values().data(), out->values.data(), cols);
+  const float* wv = weights.values().data();
+  const float* xv = x.values().data();
+  float* ov = out->values.data();
+  SpmmForward(*pattern, wv, xv, ov, cols);
+  if (rec::Recording()) {
+    rec::Record("SpmmCsrWeighted", out, {weights.node(), x.node()},
+                [pattern, wv, xv, ov, cols]() { SpmmForward(*pattern, wv, xv, ov, cols); });
+  }
   AttachBackward(out, {weights, x}, [pattern, cols](TensorNode* o) {
     TensorNode* wn = o->parents[0].get();
     TensorNode* xn = o->parents[1].get();
@@ -171,7 +185,14 @@ Tensor SpmmCsrMean(const CsrPatternRef& pattern, const Tensor& x) {
     }
   }
   auto out = NewNodeUninit(pattern->num_rows, cols);
-  SpmmForward(*pattern, degree_weights->data(), x.values().data(), out->values.data(), cols);
+  const float* xv = x.values().data();
+  float* ov = out->values.data();
+  SpmmForward(*pattern, degree_weights->data(), xv, ov, cols);
+  if (rec::Recording()) {
+    rec::Record("SpmmCsrMean", out, {x.node()}, [pattern, degree_weights, xv, ov, cols]() {
+      SpmmForward(*pattern, degree_weights->data(), xv, ov, cols);
+    });
+  }
   AttachBackward(out, {x}, [pattern, degree_weights, cols](TensorNode* o) {
     TensorNode* xn = o->parents[0].get();
     if (!xn->requires_grad) return;

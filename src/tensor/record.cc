@@ -1,0 +1,47 @@
+#include "tensor/record.h"
+
+#include <utility>
+
+#include "tensor/op_helpers.h"
+#include "util/parallel.h"
+
+namespace revelio::tensor::rec {
+
+namespace detail {
+thread_local OpTape* g_active_tape = nullptr;
+}  // namespace detail
+
+using detail::g_active_tape;
+
+void Record(const char* name, std::shared_ptr<internal::TensorNode> out,
+            std::vector<std::shared_ptr<internal::TensorNode>> inputs,
+            std::function<void()> replay) {
+  OpTape* tape = g_active_tape;
+  if (tape == nullptr) return;
+  RecordedOp op;
+  op.name = name;
+  op.out = std::move(out);
+  op.inputs = std::move(inputs);
+  op.replay = std::move(replay);
+  tape->ops.push_back(std::move(op));
+}
+
+void RecordElementwise(const char* name, std::shared_ptr<internal::TensorNode> out,
+                       std::vector<std::shared_ptr<internal::TensorNode>> inputs, int64_t numel,
+                       ChunkFn chunk) {
+  OpTape* tape = g_active_tape;
+  if (tape == nullptr) return;
+  RecordedOp op;
+  op.name = name;
+  op.out = std::move(out);
+  op.inputs = std::move(inputs);
+  op.numel = numel;
+  op.replay = [chunk, numel]() {
+    util::ParallelFor(0, numel, kElementwiseGrain,
+                      [&chunk](int64_t begin, int64_t end) { chunk(begin, end); });
+  };
+  op.chunk = std::move(chunk);
+  tape->ops.push_back(std::move(op));
+}
+
+}  // namespace revelio::tensor::rec

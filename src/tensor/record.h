@@ -1,0 +1,80 @@
+#ifndef REVELIO_TENSOR_RECORD_H_
+#define REVELIO_TENSOR_RECORD_H_
+
+// Op-tape recording hooks for the plan subsystem (src/plan).
+//
+// While a thread-local tape is installed (rec::SetActiveTape), every op
+// implementation appends one RecordedOp describing how to recompute its
+// output values in place from its input nodes' current values. The closure
+// captures raw pointers into the node buffers — valid for the lifetime of
+// the tape, which pins every node via shared_ptr — plus by-value copies of
+// any caller-owned index vectors (copied only when recording, so the eager
+// path pays nothing beyond one thread-local null check per op).
+//
+// Elementwise ops additionally expose their per-chunk kernel (ChunkFn over
+// the flat index space), which lets the plan compiler fuse consecutive
+// same-extent elementwise ops into a single parallel sweep. A chunked
+// kernel must write out[i] only from inputs at the same flat index i.
+//
+// The recorded closures re-run the exact float expressions of the eager
+// kernels (they are the same lambdas), so replay is bitwise-equal to eager
+// execution at any thread count — the contract proven by
+// tests/prop/plan_equivalence_test.cc.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace revelio::tensor::rec {
+
+// Per-chunk elementwise kernel over [begin, end) of the flat index space.
+using ChunkFn = std::function<void(int64_t begin, int64_t end)>;
+
+struct RecordedOp {
+  const char* name = "";  // registry name (tensor/op_registry.cc)
+  std::shared_ptr<internal::TensorNode> out;
+  std::vector<std::shared_ptr<internal::TensorNode>> inputs;
+  // Recomputes out->values from the inputs' current values. Never touches
+  // grads, obs counters, or the pool; always safe to re-run.
+  std::function<void()> replay;
+  // Set only for fusable elementwise ops: the kernel behind `replay`,
+  // invocable per chunk. `numel` is its flat extent.
+  ChunkFn chunk;
+  int64_t numel = 0;
+};
+
+// A recorded epoch: ops in construction order (a topological order of the
+// data dependencies by definition of program order).
+struct OpTape {
+  std::vector<RecordedOp> ops;
+};
+
+namespace detail {
+// Exposed for the inline readers below; use ActiveTape()/SetActiveTape().
+extern thread_local OpTape* g_active_tape;
+}  // namespace detail
+
+// The calling thread's active tape (nullptr when not recording). Inline so
+// the per-op Recording() guard compiles to one thread-local load + compare.
+inline OpTape* ActiveTape() { return detail::g_active_tape; }
+inline void SetActiveTape(OpTape* tape) { detail::g_active_tape = tape; }
+inline bool Recording() { return ActiveTape() != nullptr; }
+
+// Appends one op to the active tape. Callers must guard with Recording()
+// so the eager path never pays for closure materialization.
+void Record(const char* name, std::shared_ptr<internal::TensorNode> out,
+            std::vector<std::shared_ptr<internal::TensorNode>> inputs,
+            std::function<void()> replay);
+
+// Elementwise variant: derives `replay` from the chunk kernel and marks the
+// op fusable.
+void RecordElementwise(const char* name, std::shared_ptr<internal::TensorNode> out,
+                       std::vector<std::shared_ptr<internal::TensorNode>> inputs, int64_t numel,
+                       ChunkFn chunk);
+
+}  // namespace revelio::tensor::rec
+
+#endif  // REVELIO_TENSOR_RECORD_H_

@@ -21,6 +21,32 @@ void TensorNode::EnsureGrad() {
   if (grad.empty()) grad = AcquireZeroedBuffer(values.size());
 }
 
+void CollectBackwardOrder(TensorNode* root, std::vector<TensorNode*>* order) {
+  // Iterative post-order DFS producing a topological order (children after
+  // all of their parents when traversed in reverse). The containers are
+  // thread_local: Backward runs hundreds of times per explained instance and
+  // reusing their storage keeps the steady-state epoch allocation-free.
+  thread_local std::unordered_set<TensorNode*> visited;
+  thread_local std::vector<std::pair<TensorNode*, size_t>> stack;
+  visited.clear();
+  stack.clear();
+  stack.emplace_back(root, 0);
+  visited.insert(root);
+  while (!stack.empty()) {
+    auto& [current, next_parent] = stack.back();
+    if (next_parent < current->parents.size()) {
+      TensorNode* parent = current->parents[next_parent].get();
+      ++next_parent;
+      if (parent->requires_grad && visited.insert(parent).second) {
+        stack.emplace_back(parent, 0);
+      }
+    } else {
+      order->push_back(current);
+      stack.pop_back();
+    }
+  }
+}
+
 }  // namespace internal
 
 namespace {
@@ -141,31 +167,9 @@ void Tensor::Backward() const {
   CHECK(is_scalar()) << "Backward() must start from a scalar loss";
   CHECK(node_->requires_grad) << "Backward() on a tensor that does not require grad";
 
-  // Iterative post-order DFS producing a topological order (children after
-  // all of their parents when traversed in reverse). The containers are
-  // thread_local: Backward runs hundreds of times per explained instance and
-  // reusing their storage keeps the steady-state epoch allocation-free.
   thread_local std::vector<TensorNode*> order;
-  thread_local std::unordered_set<TensorNode*> visited;
-  thread_local std::vector<std::pair<TensorNode*, size_t>> stack;
   order.clear();
-  visited.clear();
-  stack.clear();
-  stack.emplace_back(node_.get(), 0);
-  visited.insert(node_.get());
-  while (!stack.empty()) {
-    auto& [current, next_parent] = stack.back();
-    if (next_parent < current->parents.size()) {
-      TensorNode* parent = current->parents[next_parent].get();
-      ++next_parent;
-      if (parent->requires_grad && visited.insert(parent).second) {
-        stack.emplace_back(parent, 0);
-      }
-    } else {
-      order.push_back(current);
-      stack.pop_back();
-    }
-  }
+  internal::CollectBackwardOrder(node_.get(), &order);
 
   node_->EnsureGrad();
   node_->grad[0] += 1.0f;

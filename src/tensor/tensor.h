@@ -57,6 +57,13 @@ struct TensorNode {
   void EnsureGrad();
 };
 
+// Appends to `order` the post-order DFS over requires_grad parents rooted at
+// `root` (parents before children when read backwards — the order Backward()
+// runs backward_fns in). Shared by Tensor::Backward and the plan subsystem,
+// which caches the order at seal time so replayed backward passes are
+// bitwise-identical to eager ones.
+void CollectBackwardOrder(TensorNode* root, std::vector<TensorNode*>* order);
+
 }  // namespace internal
 
 // Value-semantic handle to a tensor node.

@@ -71,6 +71,76 @@ TEST(GraphTest, RemoveNoEdgesIsIdentity) {
   EXPECT_EQ(same.num_edges(), g.num_edges());
 }
 
+// --- Structure versions and cache invalidation (DESIGN.md §12) -------------
+// Recorded execution plans key on structure_version(); these tests pin the
+// stamping rules the plan keys depend on.
+
+TEST(GraphTest, StructureVersionIsProcessUniqueAndBumpedByMutation) {
+  Graph a(3);
+  Graph b(3);
+  EXPECT_NE(a.structure_version(), b.structure_version())
+      << "distinct graphs must never share a stamp, even with equal shape";
+
+  const uint64_t before_edge = a.structure_version();
+  a.AddEdge(0, 1);
+  const uint64_t after_edge = a.structure_version();
+  EXPECT_NE(after_edge, before_edge);
+
+  a.set_num_nodes(5);
+  EXPECT_NE(a.structure_version(), after_edge);
+}
+
+TEST(GraphTest, RemoveEdgesResultCarriesFreshStructureVersion) {
+  Graph g = MakePathGraph(5);
+  const uint64_t original = g.structure_version();
+  Graph reduced = g.RemoveEdges({1});
+  EXPECT_NE(reduced.structure_version(), original)
+      << "a rebuilt graph replaying a plan keyed on the original would be stale";
+  EXPECT_EQ(g.structure_version(), original) << "the source graph is untouched";
+  // Even a no-op removal yields a new stamp: the result is a distinct object
+  // whose caches start cold.
+  EXPECT_NE(g.RemoveEdges({}).structure_version(), original);
+}
+
+// Regression mirroring the PR 4 dirty-heap case at the adjacency layer:
+// a lazily-built cache consulted after a structural mutation must reflect
+// the mutation, not the stale snapshot. set_num_nodes used to leave
+// adjacency_built_ set, so InEdges/OutEdges on the grown node range read
+// out-of-date (or out-of-bounds) cached lists.
+TEST(GraphTest, SetNumNodesInvalidatesBuiltAdjacency) {
+  Graph g(2);
+  g.AddEdge(0, 1);
+  EXPECT_EQ(g.InEdges(1).size(), 1u);  // forces the lazy adjacency build
+
+  g.set_num_nodes(4);
+  EXPECT_EQ(g.InEdges(3).size(), 0u) << "new node must have an (empty) adjacency row";
+  const int e = g.AddEdge(1, 3);
+  ASSERT_EQ(g.InEdges(3).size(), 1u);
+  EXPECT_EQ(g.InEdges(3)[0], e);
+  EXPECT_EQ(g.OutEdges(1).size(), 1u);
+}
+
+TEST(GraphTest, CsrCacheRebuildsAfterMutationAndRemoveEdges) {
+  Graph g(3);
+  g.AddEdge(0, 2);
+  g.AddEdge(1, 2);
+  const tensor::CsrPatternRef before = g.InCsr();
+  ASSERT_NE(before, nullptr);
+  EXPECT_EQ(before->nnz(), 2);
+
+  // AddEdge invalidates the cached pattern; the next InCsr() sees the edge.
+  g.AddEdge(2, 0);
+  const tensor::CsrPatternRef after = g.InCsr();
+  EXPECT_EQ(after->nnz(), 3);
+  EXPECT_EQ(before->nnz(), 2) << "callers holding the old ref keep a stable snapshot";
+
+  // RemoveEdges builds a fresh graph whose CSR matches its reduced edge list
+  // and leaves the source's cache untouched.
+  Graph reduced = g.RemoveEdges({0});
+  EXPECT_EQ(reduced.InCsr()->nnz(), 2);
+  EXPECT_EQ(g.InCsr()->nnz(), 3);
+}
+
 TEST(SubgraphTest, KHopExtractsInNeighborhood) {
   // 0 -> 1 -> 2 -> 3 -> 4 (directed path), target 4, k = 2.
   Graph g = MakePathGraph(5);

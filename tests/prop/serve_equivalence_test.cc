@@ -19,6 +19,7 @@
 #include "flow/flow_scores.h"
 #include "gnn/model.h"
 #include "graph/graph.h"
+#include "plan/plan.h"
 #include "serve/model_registry.h"
 #include "serve/server.h"
 #include "tensor/tensor.h"
@@ -210,6 +211,25 @@ TEST_F(ServeEquivalenceTest, CounterfactualObjectiveMatchesToo) {
       Reference(explain::Objective::kCounterfactual);
   RunConfiguration(2, true, false, explain::Objective::kCounterfactual, reference,
                    "cf workers=2+coalesce");
+}
+
+// serve × plan (ISSUE PR 9, satellite 3): the recorded-execution-plan path
+// is invisible to clients. With REVELIO_EXEC_PLAN on and off, every served
+// response is bitwise-equal to the same eager batch reference, across the
+// sync drain, racing workers, and coalescing.
+TEST_F(ServeEquivalenceTest, ExecPlanOnAndOffServeBitwiseEqualResponses) {
+  plan::SetExecPlanEnabled(false);
+  const std::vector<explain::Explanation> reference =
+      Reference(explain::Objective::kFactual);
+  for (const bool plan_on : {true, false}) {
+    plan::SetExecPlanEnabled(plan_on);
+    const std::string context = std::string("exec_plan=") + (plan_on ? "on" : "off");
+    RunConfiguration(0, true, false, explain::Objective::kFactual, reference,
+                     context + " sync+coalesce");
+    RunConfiguration(2, false, false, explain::Objective::kFactual, reference,
+                     context + " workers=2");
+  }
+  plan::SetExecPlanEnabled(true);
 }
 
 }  // namespace

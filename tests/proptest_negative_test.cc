@@ -1,0 +1,193 @@
+// Negative-path tests for the util::proptest framework (ISSUE PR 9,
+// satellite 2): a deliberately failing property must (a) converge to the
+// minimal counterexample via greedy shrinking, (b) print a replayable
+// REVELIO_PROP_SEED line, and (c) reproduce bitwise when that seed is fed
+// back through a replay-mode PropConfig. The passing-path behavior is
+// exercised throughout tests/prop/; this file pins the failure machinery
+// those suites rely on when they do fire.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/proptest.h"
+#include "util/rng.h"
+
+namespace revelio {
+namespace {
+
+// Integers in [0, 1000) shrinking toward zero: halving then decrement, the
+// classic ladder that lets greedy shrinking reach the boundary exactly.
+util::Domain<int> IntDomain() {
+  util::Domain<int> domain;
+  domain.generate = [](util::Rng& rng) { return static_cast<int>(rng.UniformInt(1000)); };
+  domain.shrink = [](const int& value) {
+    std::vector<int> out;
+    if (value > 0) {
+      out.push_back(value / 2);
+      out.push_back(value - 1);
+    }
+    return out;
+  };
+  domain.describe = [](const int& value) { return std::to_string(value); };
+  return domain;
+}
+
+// Vectors of small ints shrinking by dropping one element or shrinking one
+// element; minimal counterexample for "no element >= 7" is exactly {7}.
+util::Domain<std::vector<int>> VecDomain() {
+  util::Domain<std::vector<int>> domain;
+  domain.generate = [](util::Rng& rng) {
+    std::vector<int> v(1 + rng.UniformInt(8));
+    for (auto& x : v) x = static_cast<int>(rng.UniformInt(20));
+    return v;
+  };
+  domain.shrink = [](const std::vector<int>& value) {
+    std::vector<std::vector<int>> out;
+    for (size_t i = 0; i < value.size(); ++i) {
+      std::vector<int> dropped = value;
+      dropped.erase(dropped.begin() + static_cast<long>(i));
+      out.push_back(std::move(dropped));
+    }
+    for (size_t i = 0; i < value.size(); ++i) {
+      if (value[i] > 0) {
+        std::vector<int> halved = value;
+        halved[i] /= 2;
+        out.push_back(std::move(halved));
+        std::vector<int> less = value;
+        --less[i];
+        out.push_back(std::move(less));
+      }
+    }
+    return out;
+  };
+  domain.describe = [](const std::vector<int>& value) {
+    std::string s = "{";
+    for (size_t i = 0; i < value.size(); ++i) {
+      if (i > 0) s += ", ";
+      s += std::to_string(value[i]);
+    }
+    return s + "}";
+  };
+  return domain;
+}
+
+std::string NotAtLeast500(const int& value) {
+  return value >= 500 ? "value " + std::to_string(value) + " >= 500" : "";
+}
+
+TEST(ProptestNegativeTest, FailingPropertyShrinksToBoundaryCounterexample) {
+  util::PropConfig config;
+  config.num_cases = 200;
+  config.seed = 0xfeedULL;
+  config.max_shrink_steps = 5000;  // decrement ladder: ~2 evals per step down
+  const util::CheckResult result = util::ForAll<int>("int >= 500 fails", IntDomain(),
+                                                     NotAtLeast500, config);
+  ASSERT_FALSE(result.ok);
+  EXPECT_GT(result.shrink_steps, 0);
+  // Greedy halve/decrement shrinking from any failing value lands exactly on
+  // the boundary: 500 is the minimal failing input.
+  EXPECT_NE(result.report.find("counterexample: 500"), std::string::npos) << result.report;
+  EXPECT_NE(result.report.find("failure: value 500 >= 500"), std::string::npos) << result.report;
+}
+
+TEST(ProptestNegativeTest, StructuredShrinkReachesMinimalVector) {
+  util::PropConfig config;
+  config.num_cases = 300;
+  config.seed = 0xabcdULL;
+  config.max_shrink_steps = 10000;
+  const util::CheckResult result = util::ForAll<std::vector<int>>(
+      "no element >= 7", VecDomain(),
+      [](const std::vector<int>& v) -> std::string {
+        for (int x : v) {
+          if (x >= 7) return "element " + std::to_string(x) + " >= 7";
+        }
+        return "";
+      },
+      config);
+  ASSERT_FALSE(result.ok);
+  // Minimal counterexample: a single element at the boundary.
+  EXPECT_NE(result.report.find("counterexample: {7}"), std::string::npos) << result.report;
+}
+
+TEST(ProptestNegativeTest, ReportCarriesReproLineAndShrinkCount) {
+  util::PropConfig config;
+  config.num_cases = 200;
+  config.seed = 0x1234ULL;
+  config.max_shrink_steps = 5000;
+  const util::CheckResult result = util::ForAll<int>("repro line", IntDomain(),
+                                                     NotAtLeast500, config);
+  ASSERT_FALSE(result.ok);
+  EXPECT_NE(result.report.find("[proptest] property 'repro line' FAILED"), std::string::npos);
+  EXPECT_NE(result.report.find("reproduce with: REVELIO_PROP_SEED=0x"), std::string::npos);
+  EXPECT_NE(result.report.find(" REVELIO_PROP_CASES=1 "), std::string::npos);
+  EXPECT_NE(result.report.find("counterexample shrunk in " +
+                               std::to_string(result.shrink_steps) + " steps"),
+            std::string::npos)
+      << result.report;
+}
+
+// The printed case seed, fed back through a replay-mode config (what
+// REVELIO_PROP_SEED does via DefaultPropConfig), reproduces the identical
+// failure: same counterexample, same report tail, in a single case.
+TEST(ProptestNegativeTest, PrintedSeedReplaysTheFailureBitwise) {
+  util::PropConfig config;
+  config.num_cases = 200;
+  config.seed = 0x5eedULL;
+  config.max_shrink_steps = 5000;
+  const util::CheckResult first = util::ForAll<int>("replayable", IntDomain(),
+                                                    NotAtLeast500, config);
+  ASSERT_FALSE(first.ok);
+
+  // Parse the case seed out of the repro line.
+  const std::string marker = "REVELIO_PROP_SEED=";
+  const size_t at = first.report.find(marker);
+  ASSERT_NE(at, std::string::npos);
+  const uint64_t case_seed =
+      std::stoull(first.report.substr(at + marker.size()), nullptr, 16);
+
+  util::PropConfig replay;
+  replay.num_cases = 1;
+  replay.seed = case_seed;
+  replay.replay = true;
+  replay.max_shrink_steps = 5000;
+  const util::CheckResult second = util::ForAll<int>("replayable", IntDomain(),
+                                                     NotAtLeast500, replay);
+  ASSERT_FALSE(second.ok);
+  EXPECT_EQ(second.cases_run, 1);
+
+  // Identical counterexample and failure text; only the case-index line may
+  // differ (case 0 of 1 vs case k of 200).
+  auto tail = [](const std::string& report) {
+    return report.substr(report.find("counterexample"));
+  };
+  EXPECT_EQ(tail(first.report), tail(second.report));
+}
+
+TEST(ProptestNegativeTest, PassingPropertyRunsAllCasesWithEmptyReport) {
+  util::PropConfig config;
+  config.num_cases = 50;
+  config.seed = 0x77ULL;
+  const util::CheckResult result = util::ForAll<int>(
+      "always holds", IntDomain(), [](const int&) { return std::string(); }, config);
+  EXPECT_TRUE(result.ok);
+  EXPECT_TRUE(result.report.empty());
+  EXPECT_EQ(result.cases_run, 50);
+  EXPECT_EQ(result.shrink_steps, 0);
+}
+
+TEST(ProptestNegativeTest, ShrinkBudgetBoundsTheSearch) {
+  util::PropConfig config;
+  config.num_cases = 200;
+  config.seed = 0x9999ULL;
+  config.max_shrink_steps = 3;
+  const util::CheckResult result = util::ForAll<int>("bounded shrink", IntDomain(),
+                                                     NotAtLeast500, config);
+  ASSERT_FALSE(result.ok);
+  EXPECT_LE(result.shrink_steps, 4);  // may overshoot by the final ++ check
+}
+
+}  // namespace
+}  // namespace revelio

@@ -17,6 +17,7 @@
 #include <gtest/gtest.h>
 
 #include "explain/explainer.h"
+#include "plan/plan.h"
 #include "gnn/model.h"
 #include "graph/graph.h"
 #include "serve/clock.h"
@@ -455,6 +456,88 @@ TEST_F(ServeTest, AdmissionQueueConservesItems) {
   EXPECT_EQ(queue.TryPush(item).code(), util::StatusCode::kUnavailable);
   queue.MarkStopped();
   EXPECT_EQ(queue.total_pushed(), queue.total_popped() + queue.total_cancelled());
+}
+
+// --- serve x plan fault injection (DESIGN.md §12) ---------------------------
+
+// Requests routed to the real Revelio explainer (built lazily from
+// ServeOptions), whose training loop records and replays execution plans.
+ExplainRequest MakeRevelioRequest(const std::string& model, uint64_t seed) {
+  ExplainRequest request;
+  request.model = model;
+  request.method = "Revelio";
+  util::Rng rng(seed);
+  const int n = 6;
+  request.graph = graph::Graph(n);
+  for (int v = 0; v < n; ++v) request.graph.AddUndirectedEdge(v, (v + 1) % n);
+  request.features = tensor::Tensor::Uniform(n, kFeatureDim, -1.0f, 1.0f, &rng);
+  request.target_node = static_cast<int>(seed % n);
+  request.target_class = static_cast<int>(seed % 2);
+  return request;
+}
+
+// Bumping the global plan version invalidates every sealed execution plan in
+// the process; any loop that was replaying re-records at its next epoch and
+// continues. Faults injected between drain steps (deterministic) and from a
+// concurrent bumper thread (lands mid-training-loop) must both leave the
+// served results bitwise-identical to an undisturbed drain.
+TEST_F(ServeTest, PlanVersionBumpMidDrainReRecordsWithIdenticalResults) {
+  ServeOptions options;
+  options.queue_capacity = 8;
+  options.coalesce = false;
+  options.explainer_epochs = 6;
+  options.seed = 99;
+
+  enum class Fault { kNone, kBetweenRequests, kConcurrent };
+  auto drain = [&](Fault fault) {
+    auto server = MakeServer(options);
+    std::vector<std::future<ExplainResponse>> futures;
+    for (uint64_t i = 0; i < 4; ++i) {
+      auto submitted = server->TrySubmit(MakeRevelioRequest("m1", 50 + i));
+      EXPECT_TRUE(submitted.ok());
+      futures.push_back(std::move(submitted).value());
+    }
+    std::atomic<bool> stop{false};
+    std::thread bumper;
+    if (fault == Fault::kConcurrent) {
+      bumper = std::thread([&stop] {
+        while (!stop.load()) {
+          plan::BumpGlobalPlanVersion();
+          std::this_thread::yield();
+        }
+      });
+    }
+    while (server->RunOnce().completed > 0) {
+      if (fault == Fault::kBetweenRequests) plan::BumpGlobalPlanVersion();
+    }
+    if (bumper.joinable()) {
+      stop.store(true);
+      bumper.join();
+    }
+    std::vector<explain::Explanation> results;
+    for (auto& future : futures) {
+      ExplainResponse response = future.get();
+      EXPECT_TRUE(response.status.ok()) << response.status.ToString();
+      results.push_back(std::move(response.explanation));
+    }
+    EXPECT_EQ(server->stats().completed, 4u);
+    return results;
+  };
+
+  const std::vector<explain::Explanation> reference = drain(Fault::kNone);
+  for (const explain::Explanation& expected : reference) {
+    ASSERT_FALSE(expected.edge_scores.empty());
+  }
+  for (const Fault fault : {Fault::kBetweenRequests, Fault::kConcurrent}) {
+    const std::vector<explain::Explanation> faulted = drain(fault);
+    ASSERT_EQ(faulted.size(), reference.size());
+    for (size_t i = 0; i < reference.size(); ++i) {
+      EXPECT_EQ(reference[i].edge_scores, faulted[i].edge_scores)
+          << "fault mode " << static_cast<int>(fault) << " task " << i;
+      EXPECT_EQ(reference[i].flow_scores, faulted[i].flow_scores)
+          << "fault mode " << static_cast<int>(fault) << " task " << i;
+    }
+  }
 }
 
 }  // namespace
