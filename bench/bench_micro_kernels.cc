@@ -21,10 +21,17 @@
 // explanation (must be zero: the steady-state contract). `--pool-only` runs
 // just that sweep (with `--quick` sizes when combined); `--pool-out FILE`
 // overrides its output path.
+//
+// A fourth sweep (`--simd-sweep`, writes BENCH_simd.json) times the scalar
+// loops against the SIMD tier (tensor/simd.h) at 1 thread — interleaved
+// min-of-N over elementwise/matmul/SpMM — plus a bf16-vs-f32 frozen-model
+// probe whose tensor.matmul.input_bytes counter must read exactly half under
+// REVELIO_EVAL_BF16 storage. `--simd-out FILE` overrides its output path.
 
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <functional>
 #include <limits>
@@ -38,8 +45,10 @@
 #include "gnn/model.h"
 #include "obs/metrics.h"
 #include "plan/plan.h"
+#include "tensor/bf16.h"
 #include "tensor/ops.h"
 #include "tensor/pool.h"
+#include "tensor/simd.h"
 #include "tensor/sparse.h"
 #include "util/parallel.h"
 #include "util/rng.h"
@@ -690,6 +699,249 @@ void RunPoolSweepAndReport(bool quick, const std::string& out_path) {
   WritePoolJson(points, out_path);
 }
 
+// --- SIMD tier sweep (BENCH_simd.json) ---------------------------------------
+
+struct SimdPoint {
+  std::string kernel;
+  int64_t elements = 0;         // flat work size, used to pick the largest point
+  double scalar_seconds = 0.0;  // REVELIO_SIMD=0 path
+  double simd_seconds = 0.0;
+  double simd_speedup = 0.0;
+  bool bitwise_equal = false;  // SIMD output vs scalar output (forward only)
+};
+
+struct Bf16Point {
+  std::string kernel;
+  int64_t f32_input_bytes = 0;   // tensor.matmul.input_bytes, storage off
+  int64_t bf16_input_bytes = 0;  // same probe, storage on (warm cache)
+  double f32_seconds = 0.0;
+  double bf16_seconds = 0.0;
+  double max_abs_error = 0.0;  // bf16 probe output vs f32 (stated-epsilon class)
+};
+
+// Interleaved min-of-N A/B timing of `run` with the SIMD toggle off vs on,
+// at 1 thread: alternating per trial cancels frequency drift on a loaded
+// single-core host, min-of-trials cancels scheduler noise.
+template <typename Fn>
+void TimeScalarVsSimd(Fn run, int reps, SimdPoint* point) {
+  constexpr int kTrials = 5;
+  auto time_reps = [&run, reps] {
+    util::Timer timer;
+    for (int r = 0; r < reps; ++r) {
+      tensor::Tensor out = run();
+      benchmark::DoNotOptimize(out);
+    }
+    return timer.ElapsedSeconds();
+  };
+  point->scalar_seconds = std::numeric_limits<double>::infinity();
+  point->simd_seconds = std::numeric_limits<double>::infinity();
+  tensor::simd::SetEnabled(false);
+  const std::vector<float> scalar_out = run().values();
+  tensor::simd::SetEnabled(true);
+  point->bitwise_equal = run().values() == scalar_out;  // also warms both paths
+  for (int trial = 0; trial < kTrials; ++trial) {
+    tensor::simd::SetEnabled(false);
+    point->scalar_seconds = std::min(point->scalar_seconds, time_reps());
+    tensor::simd::SetEnabled(true);
+    point->simd_seconds = std::min(point->simd_seconds, time_reps());
+  }
+  point->scalar_seconds /= reps;
+  point->simd_seconds /= reps;
+  point->simd_speedup =
+      point->simd_seconds > 0.0 ? point->scalar_seconds / point->simd_seconds : 0.0;
+}
+
+// Scalar-vs-SIMD on the three kernel families the explanation hot path is
+// made of, plus a bf16-vs-f32 eval probe. Sizes are L1/L2-resident on
+// purpose: explanation training and fidelity probes work on small-graph
+// tensors (KBs to a few MB), the regime where operand width is the
+// bottleneck; DRAM-bound sizes would only measure memory bandwidth.
+void RunSimdSweep(bool quick, std::vector<SimdPoint>* points, Bf16Point* bf16_point) {
+  util::SetNumThreads(1);
+  util::Rng rng(41);
+
+  // Elementwise: the fused plan-replay chunk shape (add -> mul -> relu).
+  const std::vector<int64_t> ew_sizes =
+      quick ? std::vector<int64_t>{1 << 12, 1 << 16} : std::vector<int64_t>{1 << 12, 1 << 18};
+  for (const int64_t n : ew_sizes) {
+    tensor::Tensor a = tensor::Tensor::Randn(static_cast<int>(n / 64), 64, &rng);
+    tensor::Tensor b = tensor::Tensor::Randn(static_cast<int>(n / 64), 64, &rng);
+    SimdPoint point;
+    point.kernel = "elementwise_" + std::to_string(n);
+    point.elements = n;
+    const int reps = static_cast<int>(std::max<int64_t>(1, (1 << 22) / n));
+    TimeScalarVsSimd([&] { return tensor::Relu(tensor::Mul(tensor::Add(a, b), a)); }, reps,
+                     &point);
+    points->push_back(point);
+  }
+
+  // MatMul forward (n = k = m).
+  const std::vector<int> mm_sizes = quick ? std::vector<int>{48, 96} : std::vector<int>{64, 160};
+  for (const int n : mm_sizes) {
+    tensor::Tensor a = tensor::Tensor::Randn(n, n, &rng);
+    tensor::Tensor b = tensor::Tensor::Randn(n, n, &rng);
+    SimdPoint point;
+    point.kernel = "matmul_" + std::to_string(n);
+    point.elements = int64_t{1} * n * n * n;
+    const int reps = static_cast<int>(std::max<int64_t>(1, (1 << 24) / point.elements));
+    TimeScalarVsSimd([&] { return tensor::MatMul(a, b); }, reps, &point);
+    points->push_back(point);
+  }
+
+  // SpMM forward (per-edge axpy over the feature row).
+  const std::vector<int> spmm_edges =
+      quick ? std::vector<int>{1 << 11, 1 << 13} : std::vector<int>{1 << 12, 1 << 15};
+  for (const int edges : spmm_edges) {
+    const int nodes = edges / 4 + 1;
+    const int dim = 32;
+    tensor::Tensor x = tensor::Tensor::Randn(nodes, dim, &rng);
+    tensor::Tensor w = tensor::Tensor::Uniform(edges, 1, 0.2f, 1.5f, &rng);
+    std::vector<int> dst(edges), src(edges);
+    for (int e = 0; e < edges; ++e) {
+      dst[e] = rng.UniformInt(nodes);
+      src[e] = rng.UniformInt(nodes);
+    }
+    const tensor::CsrPatternRef pattern = tensor::BuildCsrPattern(nodes, nodes, dst, src);
+    SimdPoint point;
+    point.kernel = "spmm_" + std::to_string(edges) + "x" + std::to_string(dim);
+    point.elements = int64_t{1} * edges * dim;
+    const int reps = static_cast<int>(std::max<int64_t>(1, (1 << 22) / point.elements));
+    TimeScalarVsSimd([&] { return tensor::SpmmCsrWeighted(pattern, w, x); }, reps, &point);
+    points->push_back(point);
+  }
+
+  // bf16 eval probe: a frozen-weight MatMul inside an EvalScope, the shape of
+  // a fidelity-sweep forward. The tensor.matmul.input_bytes counter must read
+  // exactly half under bf16 storage (2-byte operands for both grad-free
+  // leaves); the output error stays in the stated-epsilon class.
+  {
+    const int n = 256, k = 64, m = 64;
+    tensor::Tensor a = tensor::Tensor::Randn(n, k, &rng);
+    tensor::Tensor b = tensor::Tensor::Randn(k, m, &rng);
+    bf16_point->kernel = "matmul_eval_" + std::to_string(n) + "x" + std::to_string(k) + "x" +
+                         std::to_string(m);
+    const bool obs_was_enabled = obs::Enabled();
+    const bool bf16_was_enabled = tensor::bf16::EvalStorageEnabled();
+    obs::SetEnabled(true);
+    obs::Counter* input_bytes =
+        obs::MetricsRegistry::Global().GetCounter("tensor.matmul.input_bytes");
+    tensor::simd::SetEnabled(tensor::simd::Lanes() > 1);
+
+    tensor::bf16::SetEvalStorage(false);
+    std::vector<float> f32_out;
+    {
+      tensor::bf16::EvalScope scope;
+      f32_out = tensor::MatMul(a, b).values();
+      const uint64_t before = input_bytes->Total();
+      tensor::Tensor out = tensor::MatMul(a, b);
+      benchmark::DoNotOptimize(out);
+      bf16_point->f32_input_bytes = static_cast<int64_t>(input_bytes->Total() - before);
+    }
+    tensor::bf16::SetEvalStorage(true);
+    std::vector<float> bf16_out;
+    {
+      tensor::bf16::EvalScope scope;
+      bf16_out = tensor::MatMul(a, b).values();  // first probe pays the pack
+      const uint64_t before = input_bytes->Total();
+      tensor::Tensor out = tensor::MatMul(a, b);  // warm: packed caches hit
+      benchmark::DoNotOptimize(out);
+      bf16_point->bf16_input_bytes = static_cast<int64_t>(input_bytes->Total() - before);
+    }
+    for (size_t i = 0; i < f32_out.size(); ++i) {
+      bf16_point->max_abs_error = std::max(
+          bf16_point->max_abs_error, static_cast<double>(std::fabs(bf16_out[i] - f32_out[i])));
+    }
+
+    // Interleaved min-of-N timing, both modes inside the scope.
+    constexpr int kTrials = 5;
+    const int reps = 8;
+    auto time_reps = [&] {
+      tensor::bf16::EvalScope scope;
+      util::Timer timer;
+      for (int r = 0; r < reps; ++r) {
+        tensor::Tensor out = tensor::MatMul(a, b);
+        benchmark::DoNotOptimize(out);
+      }
+      return timer.ElapsedSeconds();
+    };
+    bf16_point->f32_seconds = std::numeric_limits<double>::infinity();
+    bf16_point->bf16_seconds = std::numeric_limits<double>::infinity();
+    for (int trial = 0; trial < kTrials; ++trial) {
+      tensor::bf16::SetEvalStorage(false);
+      bf16_point->f32_seconds = std::min(bf16_point->f32_seconds, time_reps() / reps);
+      tensor::bf16::SetEvalStorage(true);
+      bf16_point->bf16_seconds = std::min(bf16_point->bf16_seconds, time_reps() / reps);
+    }
+    tensor::bf16::SetEvalStorage(bf16_was_enabled);
+    obs::SetEnabled(obs_was_enabled);
+  }
+  tensor::simd::SetEnabled(tensor::simd::Lanes() > 1);
+}
+
+void WriteSimdJson(const std::vector<SimdPoint>& points, const Bf16Point& bf16_point,
+                   const std::string& path) {
+  bench::WriteBenchJson(path, "simd_sweep", [&](obs::JsonWriter* w) {
+    w->BeginObject();
+    w->Key("isa");
+    w->String(tensor::simd::IsaName());
+    w->Key("lanes");
+    w->Int(tensor::simd::Lanes());
+    w->Key("points");
+    w->BeginArray();
+    for (const SimdPoint& p : points) {
+      w->BeginObject();
+      w->Key("kernel");
+      w->String(p.kernel);
+      w->Key("elements");
+      w->Int(p.elements);
+      w->Key("scalar_seconds");
+      w->Double(p.scalar_seconds);
+      w->Key("simd_seconds");
+      w->Double(p.simd_seconds);
+      w->Key("simd_speedup");
+      w->Double(p.simd_speedup);
+      w->Key("bitwise_equal");
+      w->Bool(p.bitwise_equal);
+      w->EndObject();
+    }
+    w->EndArray();
+    w->Key("bf16");
+    w->BeginObject();
+    w->Key("kernel");
+    w->String(bf16_point.kernel);
+    w->Key("f32_input_bytes");
+    w->Int(bf16_point.f32_input_bytes);
+    w->Key("bf16_input_bytes");
+    w->Int(bf16_point.bf16_input_bytes);
+    w->Key("f32_seconds");
+    w->Double(bf16_point.f32_seconds);
+    w->Key("bf16_seconds");
+    w->Double(bf16_point.bf16_seconds);
+    w->Key("max_abs_error");
+    w->Double(bf16_point.max_abs_error);
+    w->EndObject();
+    w->EndObject();
+  });
+}
+
+void RunSimdSweepAndReport(bool quick, const std::string& out_path) {
+  std::printf("== scalar vs SIMD sweep, 1 thread, %s/%d lanes (writes %s) ==\n",
+              tensor::simd::IsaName(), tensor::simd::Lanes(), out_path.c_str());
+  std::vector<SimdPoint> points;
+  Bf16Point bf16_point;
+  RunSimdSweep(quick, &points, &bf16_point);
+  for (const SimdPoint& p : points) {
+    std::printf("%-22s scalar %9.6fs  simd %9.6fs  speedup=%5.2fx  bitwise_equal=%s\n",
+                p.kernel.c_str(), p.scalar_seconds, p.simd_seconds, p.simd_speedup,
+                p.bitwise_equal ? "yes" : "NO");
+  }
+  std::printf("%-22s f32 %lld bytes %9.6fs  bf16 %lld bytes %9.6fs  max_abs_err=%.3g\n",
+              bf16_point.kernel.c_str(), static_cast<long long>(bf16_point.f32_input_bytes),
+              bf16_point.f32_seconds, static_cast<long long>(bf16_point.bf16_input_bytes),
+              bf16_point.bf16_seconds, bf16_point.max_abs_error);
+  WriteSimdJson(points, bf16_point, out_path);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -701,6 +953,14 @@ int main(int argc, char** argv) {
   const bool quick = flags.GetBool("quick", false);
   const std::string spmm_out = flags.GetString("spmm-out", "BENCH_spmm.json");
   const std::string pool_out = flags.GetString("pool-out", "BENCH_pool.json");
+  const std::string simd_out = flags.GetString("simd-out", "BENCH_simd.json");
+  if (flags.GetBool("simd-sweep", false)) {
+    // Scalar-vs-SIMD and bf16-vs-f32 sweep only: the simd-regression ctest
+    // path (with `--quick` sizes when combined).
+    RunSimdSweepAndReport(quick, simd_out);
+    benchmark::Shutdown();
+    return 0;
+  }
   if (flags.GetBool("pool-only", false)) {
     // Reduced-size allocator sweep only: the pool-regression ctest path.
     RunPoolSweepAndReport(quick, pool_out);
@@ -716,6 +976,7 @@ int main(int argc, char** argv) {
   RunThreadSweep();
   RunSpmmSweepAndReport(/*quick=*/false, spmm_out);
   RunPoolSweepAndReport(/*quick=*/false, pool_out);
+  RunSimdSweepAndReport(/*quick=*/false, simd_out);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

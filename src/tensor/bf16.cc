@@ -1,0 +1,108 @@
+#include "tensor/bf16.h"
+
+#include <array>
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "tensor/op_helpers.h"
+#include "tensor/simd.h"
+#include "util/parallel.h"
+
+namespace revelio::tensor::bf16 {
+
+namespace {
+
+bool EvalBf16Default() {
+  const char* env = std::getenv("REVELIO_EVAL_BF16");
+  if (env == nullptr) return false;
+  const std::string value(env);
+  return value == "1" || value == "true" || value == "on";
+}
+
+std::atomic<bool>& EvalFlag() {
+  static std::atomic<bool> flag(EvalBf16Default());
+  return flag;
+}
+
+thread_local int tls_scope_depth = 0;
+
+// Striped pack/invalidate lock so eval workers can share frozen weights.
+constexpr size_t kLockShards = 16;
+std::mutex& ShardFor(const void* node) {
+  static std::array<std::mutex, kLockShards> shards;
+  return shards[(reinterpret_cast<uintptr_t>(node) >> 4) % kLockShards];
+}
+
+// Caller holds the node's shard lock.
+std::shared_ptr<const std::vector<uint16_t>> PackNow(internal::TensorNode* node) {
+  static obs::Counter* packs = obs::MetricsRegistry::Global().GetCounter("tensor.bf16.packs");
+  static obs::Counter* pack_bytes =
+      obs::MetricsRegistry::Global().GetCounter("tensor.bf16.pack_bytes");
+  const int64_t n = node->numel();
+  packs->Increment();
+  pack_bytes->Add(static_cast<uint64_t>(n) * (sizeof(float) + sizeof(uint16_t)));
+  auto packed = std::make_shared<std::vector<uint16_t>>(static_cast<size_t>(n));
+  const float* src = node->values.data();
+  uint16_t* dst = packed->data();
+  util::ParallelFor(0, n, kElementwiseGrain, [src, dst](int64_t begin, int64_t end) {
+    simd::PackBf16(src + begin, dst + begin, end - begin);
+  });
+  return packed;
+}
+
+}  // namespace
+
+bool EvalStorageEnabled() { return EvalFlag().load(std::memory_order_relaxed); }
+
+void SetEvalStorage(bool enabled) { EvalFlag().store(enabled, std::memory_order_relaxed); }
+
+EvalScope::EvalScope() { ++tls_scope_depth; }
+EvalScope::~EvalScope() { --tls_scope_depth; }
+
+bool EvalScope::Active() { return tls_scope_depth > 0 && EvalStorageEnabled(); }
+
+const uint16_t* PackedOperand(internal::TensorNode* node) {
+  if (!EvalScope::Active() || node->requires_grad) return nullptr;
+  std::lock_guard<std::mutex> lock(ShardFor(node));
+  if (node->bf16_values != nullptr) return node->bf16_values->data();
+  // Leaves (features, frozen weights) are packed on first use: they are
+  // reused across every probe of a sweep, so the one-time pack amortizes.
+  // Unpacked intermediates stay f32 — packing a single-use buffer would cost
+  // more traffic than it saves; the mixed kernels widen per operand instead.
+  const bool leaf = node->parents.empty() && !node->backward_fn;
+  if (!leaf) return nullptr;
+  node->bf16_values = PackNow(node);
+  return node->bf16_values->data();
+}
+
+void MaybePackOutput(internal::TensorNode* node) {
+  if (!EvalScope::Active() || node->requires_grad) return;
+  std::lock_guard<std::mutex> lock(ShardFor(node));
+  if (node->bf16_values != nullptr) return;
+  // The values were written by the calling op microseconds ago, so the pack
+  // pass reads cache-hot data; downstream eval ops then stream 2-byte rows.
+  node->bf16_values = PackNow(node);
+}
+
+void InvalidatePacked(internal::TensorNode* node) {
+  std::lock_guard<std::mutex> lock(ShardFor(node));
+  node->bf16_values.reset();
+}
+
+uint16_t FromF32(float value) {
+  uint16_t packed;
+  simd::PackBf16(&value, &packed, 1);
+  return packed;
+}
+
+float ToF32(uint16_t packed) {
+  float value;
+  simd::WidenBf16(&packed, &value, 1);
+  return value;
+}
+
+}  // namespace revelio::tensor::bf16

@@ -1,0 +1,77 @@
+#ifndef REVELIO_TENSOR_BF16_H_
+#define REVELIO_TENSOR_BF16_H_
+
+// bf16 storage tier for inference-only evaluation passes.
+//
+// Fidelity sweeps and AUC scoring (src/eval) re-run the frozen model's
+// forward pass hundreds of times per instance; those probes are memory-bound
+// on the feature/weight streams. Inside an EvalScope (and only when
+// REVELIO_EVAL_BF16=1), MatMul and the SpMM family read eligible operands
+// from a bfloat16-packed side buffer cached on the tensor node — halving
+// operand traffic — and widen lanes back to f32 on the fly inside the SIMD
+// loops (tensor/simd.h). All arithmetic, accumulation and outputs stay f32;
+// only the STORAGE of operands is narrowed.
+//
+// Training and gradient paths are never touched: the tier disengages when
+// any input requires grad, when a plan tape is recording, or outside an
+// EvalScope. The committed goldens and every tier-1 suite run with the env
+// toggle off; tests/prop/bf16_eval_test.cc proves the stated-epsilon bound
+// and that flow rankings / Fid orderings are unchanged on the oracle graphs.
+//
+// Conversion is round-to-nearest-even on the high 16 bits of the f32
+// pattern (|x - roundtrip(x)| <= 2^-8 |x| for finite x, Inf exact, NaN kept
+// NaN); widening is a zero-extend and therefore exact. See simd::PackBf16.
+//
+// Cache coherence: the packed buffer mirrors node->values at pack time and
+// is dropped by every in-place mutation path (Tensor::SetAt,
+// Tensor::mutable_values — the optimizer route — and plan replay). Packing
+// is guarded by a striped mutex so concurrent eval workers can share frozen
+// weights; readers follow the same no-concurrent-mutation contract as the
+// f32 buffer itself.
+
+#include <cstdint>
+#include <memory>
+
+#include "tensor/tensor.h"
+
+namespace revelio::tensor::bf16 {
+
+// Process-wide toggle, default off; initialized from REVELIO_EVAL_BF16
+// (1/true/on enable).
+bool EvalStorageEnabled();
+void SetEvalStorage(bool enabled);
+
+// RAII marker for an inference-only region on the current thread. Nestable.
+class EvalScope {
+ public:
+  EvalScope();
+  ~EvalScope();
+  EvalScope(const EvalScope&) = delete;
+  EvalScope& operator=(const EvalScope&) = delete;
+  // True when the calling thread is inside a scope AND the toggle is on.
+  static bool Active();
+};
+
+// Packed view of `node`'s values for use as a kernel operand, or nullptr
+// when the tier must not engage: outside an active scope, for grad-bearing
+// nodes, or for unpacked intermediates (non-leaf nodes only return their
+// producer-packed cache; leaves are packed on first use and cached).
+const uint16_t* PackedOperand(internal::TensorNode* node);
+
+// Packs `node`'s just-computed values into its cache so downstream eval ops
+// read 2-byte operands. No-op unless EvalScope::Active() and the node is
+// grad-free. Called by the forward ops on the inference path right after
+// they fill values.
+void MaybePackOutput(internal::TensorNode* node);
+
+// Drops the packed cache (no-op when none). Must be called by every path
+// that mutates node->values in place.
+void InvalidatePacked(internal::TensorNode* node);
+
+// Scalar converts, exposed for tests (kernel sweeps live in tensor/simd.h).
+uint16_t FromF32(float value);
+float ToF32(uint16_t packed);
+
+}  // namespace revelio::tensor::bf16
+
+#endif  // REVELIO_TENSOR_BF16_H_

@@ -5,8 +5,10 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "tensor/bf16.h"
 #include "tensor/op_helpers.h"
 #include "tensor/record.h"
+#include "tensor/simd.h"
 #include "util/parallel.h"
 
 // Parallelization strategy (see DESIGN.md "Parallel execution"): every
@@ -21,6 +23,16 @@
 // input through node-backed pointers (not by-value snapshots), and any
 // scratch state is reset inside the lambda. obs spans/counters stay outside
 // the recorded closure: replay is on the hot path and must not re-count.
+//
+// SIMD (DESIGN.md §13): chunk bodies dispatch to the tensor/simd.h kernels
+// when simd::Enabled(), falling back to the scalar loops below otherwise.
+// The dispatch lives INSIDE the chunk lambdas, so recorded tapes honor the
+// runtime toggle on replay and fused elementwise chains vectorize through
+// the same kernels. Vectorized bodies are bitwise-equal to the scalar loops
+// (mul-then-add per element in the same order) except the dot-product
+// reductions in MatMul's dA, flagged below, which are ulp-bounded.
+// Transcendental forwards (Tanh/Sigmoid/Exp/Log/Softplus) stay scalar: libm
+// is not lane-invariant, and they are compute- not bandwidth-bound.
 
 namespace revelio::tensor {
 
@@ -44,9 +56,14 @@ Tensor Add(const Tensor& a, const Tensor& b) {
   const float* bv = b.values().data();
   float* ov = out->values.data();
   auto chunk = [av, bv, ov](int64_t begin, int64_t end) {
+    if (simd::Enabled()) {
+      simd::AddF32(av + begin, bv + begin, ov + begin, end - begin);
+      return;
+    }
     for (int64_t i = begin; i < end; ++i) ov[i] = av[i] + bv[i];
   };
   ElementwiseFor(out->numel(), chunk);
+  if (simd::Enabled()) simd::CountSweep(out->numel());
   if (rec::Recording()) {
     rec::RecordElementwise("Add", out, {a.node(), b.node()}, out->numel(), chunk);
   }
@@ -64,9 +81,14 @@ Tensor Sub(const Tensor& a, const Tensor& b) {
   const float* bv = b.values().data();
   float* ov = out->values.data();
   auto chunk = [av, bv, ov](int64_t begin, int64_t end) {
+    if (simd::Enabled()) {
+      simd::SubF32(av + begin, bv + begin, ov + begin, end - begin);
+      return;
+    }
     for (int64_t i = begin; i < end; ++i) ov[i] = av[i] - bv[i];
   };
   ElementwiseFor(out->numel(), chunk);
+  if (simd::Enabled()) simd::CountSweep(out->numel());
   if (rec::Recording()) {
     rec::RecordElementwise("Sub", out, {a.node(), b.node()}, out->numel(), chunk);
   }
@@ -84,9 +106,14 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
   const float* bv = b.values().data();
   float* ov = out->values.data();
   auto chunk = [av, bv, ov](int64_t begin, int64_t end) {
+    if (simd::Enabled()) {
+      simd::MulF32(av + begin, bv + begin, ov + begin, end - begin);
+      return;
+    }
     for (int64_t i = begin; i < end; ++i) ov[i] = av[i] * bv[i];
   };
   ElementwiseFor(out->numel(), chunk);
+  if (simd::Enabled()) simd::CountSweep(out->numel());
   if (rec::Recording()) {
     rec::RecordElementwise("Mul", out, {a.node(), b.node()}, out->numel(), chunk);
   }
@@ -100,6 +127,10 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
       float* ga = an->grad.data();
       const float* bv = bn->values.data();
       ElementwiseFor(n, [g, ga, bv](int64_t begin, int64_t end) {
+        if (simd::Enabled()) {
+          simd::MulPairAccF32(g + begin, bv + begin, ga + begin, end - begin);
+          return;
+        }
         for (int64_t i = begin; i < end; ++i) ga[i] += g[i] * bv[i];
       });
     }
@@ -108,6 +139,10 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
       float* gb = bn->grad.data();
       const float* av = an->values.data();
       ElementwiseFor(n, [g, gb, av](int64_t begin, int64_t end) {
+        if (simd::Enabled()) {
+          simd::MulPairAccF32(g + begin, av + begin, gb + begin, end - begin);
+          return;
+        }
         for (int64_t i = begin; i < end; ++i) gb[i] += g[i] * av[i];
       });
     }
@@ -128,14 +163,20 @@ Tensor AddRowBroadcast(const Tensor& matrix, const Tensor& row) {
     util::ParallelFor(0, rows, RowGrain(cols), [mv, rv, ov, cols](int64_t rb, int64_t re) {
       for (int64_t r = rb; r < re; ++r) {
         const size_t base = static_cast<size_t>(r) * cols;
+        if (simd::Enabled()) {
+          simd::AddF32(mv + base, rv, ov + base, cols);
+          continue;
+        }
         for (int c = 0; c < cols; ++c) ov[base + c] = mv[base + c] + rv[c];
       }
     });
   };
   run();
+  if (simd::Enabled()) simd::CountSweep(out->numel());
   if (rec::Recording()) {
     rec::Record("AddRowBroadcast", out, {matrix.node(), row.node()}, run);
   }
+  bf16::MaybePackOutput(out.get());
   AttachBackward(out, {matrix, row}, [](TensorNode* o) {
     TensorNode* mn = o->parents[0].get();
     TensorNode* rn = o->parents[1].get();
@@ -165,9 +206,14 @@ Tensor AddScalar(const Tensor& a, float s) {
   const float* av = a.values().data();
   float* ov = out->values.data();
   auto chunk = [av, ov, s](int64_t begin, int64_t end) {
+    if (simd::Enabled()) {
+      simd::AddScalarF32(av + begin, s, ov + begin, end - begin);
+      return;
+    }
     for (int64_t i = begin; i < end; ++i) ov[i] = av[i] + s;
   };
   ElementwiseFor(out->numel(), chunk);
+  if (simd::Enabled()) simd::CountSweep(out->numel());
   if (rec::Recording()) {
     rec::RecordElementwise("AddScalar", out, {a.node()}, out->numel(), chunk);
   }
@@ -181,9 +227,14 @@ Tensor MulScalar(const Tensor& a, float s) {
   const float* av = a.values().data();
   float* ov = out->values.data();
   auto chunk = [av, ov, s](int64_t begin, int64_t end) {
+    if (simd::Enabled()) {
+      simd::MulScalarF32(av + begin, s, ov + begin, end - begin);
+      return;
+    }
     for (int64_t i = begin; i < end; ++i) ov[i] = av[i] * s;
   };
   ElementwiseFor(out->numel(), chunk);
+  if (simd::Enabled()) simd::CountSweep(out->numel());
   if (rec::Recording()) {
     rec::RecordElementwise("MulScalar", out, {a.node()}, out->numel(), chunk);
   }
@@ -204,9 +255,14 @@ Tensor ScaleByScalarTensor(const Tensor& a, const Tensor& scalar) {
   const float* sv = scalar.values().data();
   auto chunk = [av, ov, sv](int64_t begin, int64_t end) {
     const float s = sv[0];
+    if (simd::Enabled()) {
+      simd::MulScalarF32(av + begin, s, ov + begin, end - begin);
+      return;
+    }
     for (int64_t i = begin; i < end; ++i) ov[i] = av[i] * s;
   };
   ElementwiseFor(out->numel(), chunk);
+  if (simd::Enabled()) simd::CountSweep(out->numel());
   if (rec::Recording()) {
     rec::RecordElementwise("ScaleByScalarTensor", out, {a.node(), scalar.node()}, out->numel(),
                            chunk);
@@ -221,6 +277,10 @@ Tensor ScaleByScalarTensor(const Tensor& a, const Tensor& scalar) {
       an->EnsureGrad();
       float* ga = an->grad.data();
       ElementwiseFor(n, [g, ga, s](int64_t begin, int64_t end) {
+        if (simd::Enabled()) {
+          simd::MulAccF32(g + begin, s, ga + begin, end - begin);
+          return;
+        }
         for (int64_t i = begin; i < end; ++i) ga[i] += g[i] * s;
       });
     }
@@ -241,12 +301,18 @@ Tensor Relu(const Tensor& a) {
   const float* av = a.values().data();
   float* ov = out->values.data();
   auto chunk = [av, ov](int64_t begin, int64_t end) {
+    if (simd::Enabled()) {
+      simd::ReluF32(av + begin, ov + begin, end - begin);
+      return;
+    }
     for (int64_t i = begin; i < end; ++i) ov[i] = av[i] > 0.0f ? av[i] : 0.0f;
   };
   ElementwiseFor(out->numel(), chunk);
+  if (simd::Enabled()) simd::CountSweep(out->numel());
   if (rec::Recording()) {
     rec::RecordElementwise("Relu", out, {a.node()}, out->numel(), chunk);
   }
+  bf16::MaybePackOutput(out.get());
   AttachBackward(out, {a}, [](TensorNode* o) {
     TensorNode* an = o->parents[0].get();
     if (!an->requires_grad) return;
@@ -256,6 +322,10 @@ Tensor Relu(const Tensor& a) {
     float* ga = an->grad.data();
     ElementwiseFor(static_cast<int64_t>(o->grad.size()),
                    [g, av, ga](int64_t begin, int64_t end) {
+                     if (simd::Enabled()) {
+                       simd::ReluGradAccF32(g + begin, av + begin, ga + begin, end - begin);
+                       return;
+                     }
                      for (int64_t i = begin; i < end; ++i) {
                        if (av[i] > 0.0f) ga[i] += g[i];
                      }
@@ -269,14 +339,20 @@ Tensor LeakyRelu(const Tensor& a, float negative_slope) {
   const float* av = a.values().data();
   float* ov = out->values.data();
   auto chunk = [av, ov, negative_slope](int64_t begin, int64_t end) {
+    if (simd::Enabled()) {
+      simd::LeakyReluF32(av + begin, negative_slope, ov + begin, end - begin);
+      return;
+    }
     for (int64_t i = begin; i < end; ++i) {
       ov[i] = av[i] > 0.0f ? av[i] : negative_slope * av[i];
     }
   };
   ElementwiseFor(out->numel(), chunk);
+  if (simd::Enabled()) simd::CountSweep(out->numel());
   if (rec::Recording()) {
     rec::RecordElementwise("LeakyRelu", out, {a.node()}, out->numel(), chunk);
   }
+  bf16::MaybePackOutput(out.get());
   AttachBackward(out, {a}, [negative_slope](TensorNode* o) {
     TensorNode* an = o->parents[0].get();
     if (!an->requires_grad) return;
@@ -286,6 +362,11 @@ Tensor LeakyRelu(const Tensor& a, float negative_slope) {
     float* ga = an->grad.data();
     ElementwiseFor(static_cast<int64_t>(o->grad.size()),
                    [g, av, ga, negative_slope](int64_t begin, int64_t end) {
+                     if (simd::Enabled()) {
+                       simd::LeakyReluGradAccF32(g + begin, av + begin, negative_slope,
+                                                 ga + begin, end - begin);
+                       return;
+                     }
                      for (int64_t i = begin; i < end; ++i) {
                        ga[i] += g[i] * (av[i] > 0.0f ? 1.0f : negative_slope);
                      }
@@ -305,6 +386,7 @@ Tensor Tanh(const Tensor& a) {
   if (rec::Recording()) {
     rec::RecordElementwise("Tanh", out, {a.node()}, out->numel(), chunk);
   }
+  bf16::MaybePackOutput(out.get());
   AttachBackward(out, {a}, [](TensorNode* o) {
     TensorNode* an = o->parents[0].get();
     if (!an->requires_grad) return;
@@ -314,6 +396,10 @@ Tensor Tanh(const Tensor& a) {
     float* ga = an->grad.data();
     ElementwiseFor(static_cast<int64_t>(o->grad.size()),
                    [g, ov, ga](int64_t begin, int64_t end) {
+                     if (simd::Enabled()) {
+                       simd::TanhGradAccF32(g + begin, ov + begin, ga + begin, end - begin);
+                       return;
+                     }
                      for (int64_t i = begin; i < end; ++i) {
                        ga[i] += g[i] * (1.0f - ov[i] * ov[i]);
                      }
@@ -333,6 +419,7 @@ Tensor Sigmoid(const Tensor& a) {
   if (rec::Recording()) {
     rec::RecordElementwise("Sigmoid", out, {a.node()}, out->numel(), chunk);
   }
+  bf16::MaybePackOutput(out.get());
   AttachBackward(out, {a}, [](TensorNode* o) {
     TensorNode* an = o->parents[0].get();
     if (!an->requires_grad) return;
@@ -342,6 +429,10 @@ Tensor Sigmoid(const Tensor& a) {
     float* ga = an->grad.data();
     ElementwiseFor(static_cast<int64_t>(o->grad.size()),
                    [g, ov, ga](int64_t begin, int64_t end) {
+                     if (simd::Enabled()) {
+                       simd::SigmoidGradAccF32(g + begin, ov + begin, ga + begin, end - begin);
+                       return;
+                     }
                      for (int64_t i = begin; i < end; ++i) {
                        ga[i] += g[i] * ov[i] * (1.0f - ov[i]);
                      }
@@ -370,6 +461,10 @@ Tensor Exp(const Tensor& a) {
     float* ga = an->grad.data();
     ElementwiseFor(static_cast<int64_t>(o->grad.size()),
                    [g, ov, ga](int64_t begin, int64_t end) {
+                     if (simd::Enabled()) {
+                       simd::MulPairAccF32(g + begin, ov + begin, ga + begin, end - begin);
+                       return;
+                     }
                      for (int64_t i = begin; i < end; ++i) ga[i] += g[i] * ov[i];
                    });
   });
@@ -447,21 +542,53 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   static obs::Counter* calls = obs::MetricsRegistry::Global().GetCounter("tensor.matmul.calls");
   static obs::Counter* flops = obs::MetricsRegistry::Global().GetCounter("tensor.matmul.flops");
   static obs::Counter* bytes = obs::MetricsRegistry::Global().GetCounter("tensor.matmul.bytes");
+  static obs::Counter* input_bytes =
+      obs::MetricsRegistry::Global().GetCounter("tensor.matmul.input_bytes");
+  // bf16 eval tier (tensor/bf16.h): inside an EvalScope, grad-free operands
+  // with a packed mirror are read at half width. Never taken while recording
+  // (replayed tapes must stay f32-exact) or when a gradient is needed.
+  const uint16_t* ap = nullptr;
+  const uint16_t* bp = nullptr;
+  if (bf16::EvalScope::Active() && !rec::Recording() && !a.requires_grad() &&
+      !b.requires_grad()) {
+    ap = bf16::PackedOperand(a.node().get());
+    bp = bf16::PackedOperand(b.node().get());
+  }
   calls->Increment();
   flops->Add(uint64_t{2} * n * k * m);
-  bytes->Add(sizeof(float) *
-             (uint64_t{1} * n * k + uint64_t{1} * k * m + uint64_t{1} * n * m));
+  // Input traffic at the width actually read (2 bytes for bf16-packed
+  // operands, 4 for f32) — the counter the bf16-halving bench gate watches.
+  const uint64_t in_bytes = (ap != nullptr ? 2u : 4u) * uint64_t{1} * n * k +
+                            (bp != nullptr ? 2u : 4u) * uint64_t{1} * k * m;
+  input_bytes->Add(in_bytes);
+  bytes->Add(in_bytes + sizeof(float) * uint64_t{1} * n * m);
   auto out = NewNodeUninit(n, m);
-  // ikj loop order: unit-stride inner loop, autovectorizes well. Rows of the
-  // output are independent, so the i loop is partitioned across threads.
-  // Each chunk zeroes its own rows before accumulating (first-touch, and the
-  // pooled buffer arrives dirty), matching the zero-initialized serial path.
+  // ikj loop order: unit-stride inner loop. Rows of the output are
+  // independent, so the i loop is partitioned across threads. Each chunk
+  // zeroes its own rows before accumulating (first-touch, and the pooled
+  // buffer arrives dirty), matching the zero-initialized serial path.
   const float* av = a.values().data();
   const float* bv = b.values().data();
   float* ov = out->values.data();
   const int64_t row_flops = int64_t{2} * k * m;
+  if (ap != nullptr || bp != nullptr) {
+    // Inference-only mixed-precision path: f32 accumulate, bf16 operands
+    // widened on the fly in-register. No recording, no backward.
+    util::ParallelFor(0, n, RowGrain(row_flops),
+                      [av, ap, bv, bp, ov, k, m](int64_t ib, int64_t ie) {
+                        simd::MatMulRowsMixed(ap ? nullptr : av, ap, bp ? nullptr : bv, bp, ov,
+                                              ib, ie, k, m);
+                      });
+    simd::CountSweep(static_cast<int64_t>(n) * m);
+    bf16::MaybePackOutput(out.get());
+    return Tensor::FromNode(out);
+  }
   auto run = [av, bv, ov, n, k, m, row_flops]() {
     util::ParallelFor(0, n, RowGrain(row_flops), [av, bv, ov, k, m](int64_t ib, int64_t ie) {
+      if (simd::Enabled()) {
+        simd::MatMulRowsF32(av, bv, ov, ib, ie, k, m);
+        return;
+      }
       for (int64_t i = ib; i < ie; ++i) {
         float* orow = ov + static_cast<size_t>(i) * m;
         std::fill(orow, orow + m, 0.0f);
@@ -475,9 +602,11 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
     });
   };
   run();
+  if (simd::Enabled()) simd::CountSweep(static_cast<int64_t>(n) * m);
   if (rec::Recording()) {
     rec::Record("MatMul", out, {a.node(), b.node()}, run);
   }
+  bf16::MaybePackOutput(out.get());
   AttachBackward(out, {a, b}, [n, k, m](TensorNode* o) {
     TensorNode* an = o->parents[0].get();
     TensorNode* bn = o->parents[1].get();
@@ -486,11 +615,17 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
     if (an->requires_grad) {
       // dA = G * B^T, computed as dot products against rows of B (the
       // transposed-B fast path: both factors are read with unit stride).
-      // dA rows are independent -> partition over i.
+      // dA rows are independent -> partition over i. The SIMD path reduces
+      // each dot with fixed lane partials: ulp-bounded, not bitwise (the
+      // one such kernel on the MatMul path — see simd.h).
       an->EnsureGrad();
       float* ga = an->grad.data();
       const float* bv = bn->values.data();
       util::ParallelFor(0, n, RowGrain(row_flops), [g, ga, bv, k, m](int64_t ib, int64_t ie) {
+        if (simd::Enabled()) {
+          simd::MatMulGradARowsF32(g, bv, ga, ib, ie, k, m);
+          return;
+        }
         for (int64_t i = ib; i < ie; ++i) {
           const float* grow = g + static_cast<size_t>(i) * m;
           float* garow = ga + static_cast<size_t>(i) * k;
@@ -511,6 +646,10 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
       const float* av = an->values.data();
       const int64_t col_flops = int64_t{2} * n * m;
       util::ParallelFor(0, k, RowGrain(col_flops), [g, gb, av, n, k, m](int64_t kb, int64_t ke) {
+        if (simd::Enabled()) {
+          simd::MatMulGradBRowsF32(g, av, gb, kb, ke, n, k, m);
+          return;
+        }
         for (int i = 0; i < n; ++i) {
           const float* grow = g + static_cast<size_t>(i) * m;
           const float* arow = av + static_cast<size_t>(i) * k;
@@ -551,6 +690,10 @@ Tensor Sum(const Tensor& a) {
     float* ga = an->grad.data();
     ElementwiseFor(static_cast<int64_t>(an->grad.size()),
                    [ga, g](int64_t begin, int64_t end) {
+                     if (simd::Enabled()) {
+                       simd::AddScalarAccF32(g, ga + begin, end - begin);
+                       return;
+                     }
                      for (int64_t i = begin; i < end; ++i) ga[i] += g;
                    });
   });

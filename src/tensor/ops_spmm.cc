@@ -1,10 +1,13 @@
 #include <algorithm>
+#include <cstdint>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "tensor/bf16.h"
 #include "tensor/op_helpers.h"
 #include "tensor/ops.h"
 #include "tensor/record.h"
+#include "tensor/simd.h"
 #include "tensor/sparse.h"
 #include "util/parallel.h"
 
@@ -33,24 +36,33 @@ int64_t SpmmGrain(int64_t num_rows, int64_t nnz, int64_t cols) {
   return RowGrain(cols * (1 + avg_degree));
 }
 
-void RecordSpmmMetrics(const CsrPattern& p, int cols) {
+void RecordSpmmMetrics(const CsrPattern& p, int cols, bool x_bf16) {
   static obs::Counter* calls = obs::MetricsRegistry::Global().GetCounter("tensor.spmm.calls");
   static obs::Counter* flops = obs::MetricsRegistry::Global().GetCounter("tensor.spmm.flops");
   static obs::Counter* bytes = obs::MetricsRegistry::Global().GetCounter("tensor.spmm.bytes");
+  static obs::Counter* input_bytes =
+      obs::MetricsRegistry::Global().GetCounter("tensor.spmm.input_bytes");
   calls->Increment();
   flops->Add(uint64_t{2} * p.nnz() * cols);
-  bytes->Add(sizeof(float) * (static_cast<uint64_t>(p.nnz()) + static_cast<uint64_t>(p.num_rows)) *
-             cols);
+  // Feature rows gathered per nonzero, at the width actually read (2 bytes
+  // when x is bf16-packed) — the counter the bf16-halving bench gate watches.
+  const uint64_t in = (x_bf16 ? 2u : 4u) * static_cast<uint64_t>(p.nnz()) * cols;
+  input_bytes->Add(in);
+  bytes->Add(in + sizeof(float) * static_cast<uint64_t>(p.num_rows) * cols);
 }
 
 // out[j, :] = sum_k w[edge_idx[k]] * x[col_idx[k], :] over row j's nonzeros.
 // `wv == nullptr` means all-ones weights (the unweighted sum variant).
-void SpmmForward(const CsrPattern& p, const float* wv, const float* xv, float* ov, int cols) {
+// `xp != nullptr` reads x from its bf16-packed mirror instead of xv
+// (inference-only eval path; widened on the fly, f32 accumulate).
+void SpmmForward(const CsrPattern& p, const float* wv, const float* xv, const uint16_t* xp,
+                 float* ov, int cols) {
   const int* row_ptr = p.row_ptr.data();
   const int* col_idx = p.col_idx.data();
   const int* edge_idx = p.edge_idx.data();
   util::ParallelFor(0, p.num_rows, SpmmGrain(p.num_rows, p.nnz(), cols),
                     [=](int64_t rb, int64_t re) {
+                      const bool use_simd = simd::Enabled();
                       for (int64_t j = rb; j < re; ++j) {
                         float* out_row = ov + static_cast<size_t>(j) * cols;
                         // The pooled output buffer arrives dirty; zeroing the
@@ -58,9 +70,16 @@ void SpmmForward(const CsrPattern& p, const float* wv, const float* xv, float* o
                         // accumulator semantics and first-touch locality.
                         std::fill(out_row, out_row + cols, 0.0f);
                         for (int k = row_ptr[j]; k < row_ptr[j + 1]; ++k) {
-                          const float* x_row = xv + static_cast<size_t>(col_idx[k]) * cols;
+                          const size_t xbase = static_cast<size_t>(col_idx[k]) * cols;
                           const float w = wv ? wv[edge_idx[k]] : 1.0f;
-                          for (int c = 0; c < cols; ++c) out_row[c] += w * x_row[c];
+                          if (xp != nullptr) {
+                            simd::AxpyBf16(w, xp + xbase, out_row, cols);
+                          } else if (use_simd) {
+                            simd::AxpyF32(w, xv + xbase, out_row, cols);
+                          } else {
+                            const float* x_row = xv + xbase;
+                            for (int c = 0; c < cols; ++c) out_row[c] += w * x_row[c];
+                          }
                         }
                       }
                     });
@@ -73,11 +92,16 @@ void SpmmBackwardX(const CsrPattern& p, const float* wv, const float* g, float* 
   const int* tedge_idx = p.tedge_idx.data();
   util::ParallelFor(0, p.num_cols, SpmmGrain(p.num_cols, p.nnz(), cols),
                     [=](int64_t ib, int64_t ie) {
+                      const bool use_simd = simd::Enabled();
                       for (int64_t i = ib; i < ie; ++i) {
                         float* gx_row = gx + static_cast<size_t>(i) * cols;
                         for (int k = tcol_ptr[i]; k < tcol_ptr[i + 1]; ++k) {
                           const float* g_row = g + static_cast<size_t>(trow_idx[k]) * cols;
                           const float w = wv ? wv[tedge_idx[k]] : 1.0f;
+                          if (use_simd) {
+                            simd::AxpyF32(w, g_row, gx_row, cols);
+                            continue;
+                          }
                           for (int c = 0; c < cols; ++c) gx_row[c] += w * g_row[c];
                         }
                       }
@@ -93,10 +117,19 @@ void SpmmBackwardW(const CsrPattern& p, const float* g, const float* xv, float* 
   const int* edge_idx = p.edge_idx.data();
   util::ParallelFor(0, p.num_rows, SpmmGrain(p.num_rows, p.nnz(), cols),
                     [=](int64_t rb, int64_t re) {
+                      // The SIMD dot is the shared DotF32 reduction (ulp-
+                      // bounded class) — the same kernel RowScale's dscale
+                      // uses, so the fused-vs-chain backward identity stays
+                      // bitwise between the two paths.
+                      const bool use_simd = simd::Enabled();
                       for (int64_t j = rb; j < re; ++j) {
                         const float* g_row = g + static_cast<size_t>(j) * cols;
                         for (int k = row_ptr[j]; k < row_ptr[j + 1]; ++k) {
                           const float* x_row = xv + static_cast<size_t>(col_idx[k]) * cols;
+                          if (use_simd) {
+                            gw[edge_idx[k]] += simd::DotF32(g_row, x_row, cols);
+                            continue;
+                          }
                           float acc = 0.0f;
                           for (int c = 0; c < cols; ++c) acc += g_row[c] * x_row[c];
                           gw[edge_idx[k]] += acc;
@@ -116,15 +149,26 @@ Tensor SpmmCsr(const CsrPatternRef& pattern, const Tensor& x) {
   CheckPattern(pattern, x, "SpmmCsr");
   const int cols = x.cols();
   obs::ScopedSpan span("tensor.SpmmCsr", obs::FlightPolicy::kSkip);
-  RecordSpmmMetrics(*pattern, cols);
+  // bf16 eval tier: gather x rows at half width inside an EvalScope when no
+  // gradient is needed and no tape is recording (tensor/bf16.h).
+  const uint16_t* xp = nullptr;
+  if (bf16::EvalScope::Active() && !rec::Recording() && !x.requires_grad()) {
+    xp = bf16::PackedOperand(x.node().get());
+  }
+  RecordSpmmMetrics(*pattern, cols, xp != nullptr);
   auto out = NewNodeUninit(pattern->num_rows, cols);
   const float* xv = x.values().data();
   float* ov = out->values.data();
-  SpmmForward(*pattern, nullptr, xv, ov, cols);
-  if (rec::Recording()) {
-    rec::Record("SpmmCsr", out, {x.node()},
-                [pattern, xv, ov, cols]() { SpmmForward(*pattern, nullptr, xv, ov, cols); });
+  SpmmForward(*pattern, nullptr, xv, xp, ov, cols);
+  if (xp != nullptr || simd::Enabled()) {
+    simd::CountSweep(static_cast<int64_t>(pattern->nnz()) * cols);
   }
+  if (rec::Recording()) {
+    rec::Record("SpmmCsr", out, {x.node()}, [pattern, xv, ov, cols]() {
+      SpmmForward(*pattern, nullptr, xv, nullptr, ov, cols);
+    });
+  }
+  bf16::MaybePackOutput(out.get());
   AttachBackward(out, {x}, [pattern, cols](TensorNode* o) {
     TensorNode* xn = o->parents[0].get();
     if (!xn->requires_grad) return;
@@ -140,16 +184,30 @@ Tensor SpmmCsrWeighted(const CsrPatternRef& pattern, const Tensor& weights, cons
   CHECK_EQ(weights.cols(), 1);
   const int cols = x.cols();
   obs::ScopedSpan span("tensor.SpmmCsr", obs::FlightPolicy::kSkip);
-  RecordSpmmMetrics(*pattern, cols);
+  // Only x moves nnz*cols bytes; the weight vector stays f32 (it is nnz
+  // floats, typically a fresh per-probe mask with no reuse to amortize a
+  // pack against).
+  const uint16_t* xp = nullptr;
+  if (bf16::EvalScope::Active() && !rec::Recording() && !x.requires_grad() &&
+      !weights.requires_grad()) {
+    xp = bf16::PackedOperand(x.node().get());
+  }
+  RecordSpmmMetrics(*pattern, cols, xp != nullptr);
   auto out = NewNodeUninit(pattern->num_rows, cols);
   const float* wv = weights.values().data();
   const float* xv = x.values().data();
   float* ov = out->values.data();
-  SpmmForward(*pattern, wv, xv, ov, cols);
+  SpmmForward(*pattern, wv, xv, xp, ov, cols);
+  if (xp != nullptr || simd::Enabled()) {
+    simd::CountSweep(static_cast<int64_t>(pattern->nnz()) * cols);
+  }
   if (rec::Recording()) {
     rec::Record("SpmmCsrWeighted", out, {weights.node(), x.node()},
-                [pattern, wv, xv, ov, cols]() { SpmmForward(*pattern, wv, xv, ov, cols); });
+                [pattern, wv, xv, ov, cols]() {
+                  SpmmForward(*pattern, wv, xv, nullptr, ov, cols);
+                });
   }
+  bf16::MaybePackOutput(out.get());
   AttachBackward(out, {weights, x}, [pattern, cols](TensorNode* o) {
     TensorNode* wn = o->parents[0].get();
     TensorNode* xn = o->parents[1].get();
@@ -169,7 +227,11 @@ Tensor SpmmCsrMean(const CsrPatternRef& pattern, const Tensor& x) {
   CheckPattern(pattern, x, "SpmmCsrMean");
   const int cols = x.cols();
   obs::ScopedSpan span("tensor.SpmmCsr", obs::FlightPolicy::kSkip);
-  RecordSpmmMetrics(*pattern, cols);
+  const uint16_t* xp = nullptr;
+  if (bf16::EvalScope::Active() && !rec::Recording() && !x.requires_grad()) {
+    xp = bf16::PackedOperand(x.node().get());
+  }
+  RecordSpmmMetrics(*pattern, cols, xp != nullptr);
   // Mean = sum with per-nonzero weight 1/degree(row); rows with no nonzeros
   // keep their zero initialization. The weight vector is indexed by edge id
   // so the same kernels apply unchanged.
@@ -187,12 +249,16 @@ Tensor SpmmCsrMean(const CsrPatternRef& pattern, const Tensor& x) {
   auto out = NewNodeUninit(pattern->num_rows, cols);
   const float* xv = x.values().data();
   float* ov = out->values.data();
-  SpmmForward(*pattern, degree_weights->data(), xv, ov, cols);
+  SpmmForward(*pattern, degree_weights->data(), xv, xp, ov, cols);
+  if (xp != nullptr || simd::Enabled()) {
+    simd::CountSweep(static_cast<int64_t>(pattern->nnz()) * cols);
+  }
   if (rec::Recording()) {
     rec::Record("SpmmCsrMean", out, {x.node()}, [pattern, degree_weights, xv, ov, cols]() {
-      SpmmForward(*pattern, degree_weights->data(), xv, ov, cols);
+      SpmmForward(*pattern, degree_weights->data(), xv, nullptr, ov, cols);
     });
   }
+  bf16::MaybePackOutput(out.get());
   AttachBackward(out, {x}, [pattern, degree_weights, cols](TensorNode* o) {
     TensorNode* xn = o->parents[0].get();
     if (!xn->requires_grad) return;

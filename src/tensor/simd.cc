@@ -1,0 +1,479 @@
+#include "tensor/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "obs/metrics.h"
+
+// The ONLY translation unit built with vector ISA flags (-mavx2 on x86; see
+// src/tensor/CMakeLists.txt, which also defines exactly one of the
+// REVELIO_SIMD_ISA_* macros below). Everything is written once against the
+// width-agnostic VecF32 wrapper; the ISA blocks only define that wrapper.
+//
+// No FMA anywhere: mul and add are issued as separate IEEE operations so
+// each lane computes bit-identical results to the scalar expression
+// `acc += a * b`. This TU must never be compiled with -mfma or
+// -ffp-contract=fast.
+
+#if defined(REVELIO_SIMD_ISA_AVX2)
+#include <immintrin.h>
+#elif defined(REVELIO_SIMD_ISA_NEON)
+#include <arm_neon.h>
+#endif
+
+namespace revelio::tensor::simd {
+
+namespace {
+
+#if defined(REVELIO_SIMD_ISA_AVX2)
+
+struct VecF32 {
+  static constexpr int kWidth = 8;
+  __m256 v;
+
+  static VecF32 Load(const float* p) { return {_mm256_loadu_ps(p)}; }
+  void Store(float* p) const { _mm256_storeu_ps(p, v); }
+  static VecF32 Broadcast(float s) { return {_mm256_set1_ps(s)}; }
+  static VecF32 Zero() { return {_mm256_setzero_ps()}; }
+  // Widening load of kWidth bf16 values (zero-extend into the high half of
+  // each f32 lane — exact).
+  static VecF32 LoadBf16(const uint16_t* p) {
+    const __m128i raw = _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+    const __m256i wide = _mm256_slli_epi32(_mm256_cvtepu16_epi32(raw), 16);
+    return {_mm256_castsi256_ps(wide)};
+  }
+  friend VecF32 operator+(VecF32 a, VecF32 b) { return {_mm256_add_ps(a.v, b.v)}; }
+  friend VecF32 operator-(VecF32 a, VecF32 b) { return {_mm256_sub_ps(a.v, b.v)}; }
+  friend VecF32 operator*(VecF32 a, VecF32 b) { return {_mm256_mul_ps(a.v, b.v)}; }
+  // All-ones lane mask where a > b (ordered: false on NaN, like the scalar
+  // `>` operator).
+  static VecF32 GtMask(VecF32 a, VecF32 b) { return {_mm256_cmp_ps(a.v, b.v, _CMP_GT_OQ)}; }
+  // Lane-select: mask lanes take `yes`, others keep `no` bit-exactly.
+  static VecF32 Blend(VecF32 no, VecF32 yes, VecF32 mask) {
+    return {_mm256_blendv_ps(no.v, yes.v, mask.v)};
+  }
+};
+
+#elif defined(REVELIO_SIMD_ISA_NEON)
+
+struct VecF32 {
+  static constexpr int kWidth = 4;
+  float32x4_t v;
+
+  static VecF32 Load(const float* p) { return {vld1q_f32(p)}; }
+  void Store(float* p) const { vst1q_f32(p, v); }
+  static VecF32 Broadcast(float s) { return {vdupq_n_f32(s)}; }
+  static VecF32 Zero() { return {vdupq_n_f32(0.0f)}; }
+  static VecF32 LoadBf16(const uint16_t* p) {
+    const uint32x4_t wide = vshll_n_u16(vld1_u16(p), 16);
+    return {vreinterpretq_f32_u32(wide)};
+  }
+  friend VecF32 operator+(VecF32 a, VecF32 b) { return {vaddq_f32(a.v, b.v)}; }
+  friend VecF32 operator-(VecF32 a, VecF32 b) { return {vsubq_f32(a.v, b.v)}; }
+  friend VecF32 operator*(VecF32 a, VecF32 b) { return {vmulq_f32(a.v, b.v)}; }
+  static VecF32 GtMask(VecF32 a, VecF32 b) {
+    return {vreinterpretq_f32_u32(vcgtq_f32(a.v, b.v))};
+  }
+  static VecF32 Blend(VecF32 no, VecF32 yes, VecF32 mask) {
+    return {vbslq_f32(vreinterpretq_u32_f32(mask.v), yes.v, no.v)};
+  }
+};
+
+#else  // scalar fallback build
+
+struct VecF32 {
+  static constexpr int kWidth = 1;
+  float v;
+
+  static VecF32 Load(const float* p) { return {*p}; }
+  void Store(float* p) const { *p = v; }
+  static VecF32 Broadcast(float s) { return {s}; }
+  static VecF32 Zero() { return {0.0f}; }
+  static VecF32 LoadBf16(const uint16_t* p);  // defined after Bf16Bits below
+  friend VecF32 operator+(VecF32 a, VecF32 b) { return {a.v + b.v}; }
+  friend VecF32 operator-(VecF32 a, VecF32 b) { return {a.v - b.v}; }
+  friend VecF32 operator*(VecF32 a, VecF32 b) { return {a.v * b.v}; }
+  static VecF32 GtMask(VecF32 a, VecF32 b) { return {a.v > b.v ? 1.0f : 0.0f}; }
+  static VecF32 Blend(VecF32 no, VecF32 yes, VecF32 mask) {
+    return {mask.v != 0.0f ? yes.v : no.v};
+  }
+};
+
+#endif
+
+constexpr int kW = VecF32::kWidth;
+
+// Scalar bf16 -> f32: the packed value is the high half of the f32 bits.
+inline float WidenOneBf16(uint16_t u) {
+  const uint32_t bits = static_cast<uint32_t>(u) << 16;
+  float f;
+  std::memcpy(&f, &bits, sizeof(f));
+  return f;
+}
+
+#if !defined(REVELIO_SIMD_ISA_AVX2) && !defined(REVELIO_SIMD_ISA_NEON)
+inline VecF32 VecF32::LoadBf16(const uint16_t* p) { return {WidenOneBf16(*p)}; }
+#endif
+
+// Operand loaders for the mixed-precision matmul: one of the two pointers is
+// null, and the loader widens bf16 lanes on the fly.
+struct LoadF32 {
+  const float* p;
+  VecF32 Vec(int64_t i) const { return VecF32::Load(p + i); }
+  float Scalar(int64_t i) const { return p[i]; }
+};
+struct LoadBf16Op {
+  const uint16_t* p;
+  VecF32 Vec(int64_t i) const { return VecF32::LoadBf16(p + i); }
+  float Scalar(int64_t i) const { return WidenOneBf16(p[i]); }
+};
+
+bool SimdDefault() {
+  if (kW == 1) return false;  // no vector tier compiled in
+  const char* env = std::getenv("REVELIO_SIMD");
+  if (env == nullptr) return true;
+  const std::string value(env);
+  return !(value == "0" || value == "false" || value == "off");
+}
+
+std::atomic<bool>& SimdFlag() {
+  static std::atomic<bool> flag(SimdDefault());
+  return flag;
+}
+
+}  // namespace
+
+int Lanes() { return kW; }
+
+const char* IsaName() {
+#if defined(REVELIO_SIMD_ISA_AVX2)
+  return "avx2";
+#elif defined(REVELIO_SIMD_ISA_NEON)
+  return "neon";
+#else
+  return "scalar";
+#endif
+}
+
+bool CpuSupportsCompiledIsa() {
+#if defined(REVELIO_SIMD_ISA_AVX2)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  // NEON is architecturally guaranteed on aarch64; the scalar build runs
+  // anywhere.
+  return true;
+#endif
+}
+
+bool Enabled() { return SimdFlag().load(std::memory_order_relaxed); }
+
+void SetEnabled(bool enabled) {
+  SimdFlag().store(kW == 1 ? false : enabled, std::memory_order_relaxed);
+}
+
+void CountSweep(int64_t n) {
+  static obs::Gauge* lanes = [] {
+    obs::Gauge* g = obs::MetricsRegistry::Global().GetGauge("tensor.simd.lanes");
+    g->Set(static_cast<double>(kW));
+    return g;
+  }();
+  static obs::Counter* vector_ops =
+      obs::MetricsRegistry::Global().GetCounter("tensor.simd.vector_ops");
+  static obs::Counter* scalar_tail =
+      obs::MetricsRegistry::Global().GetCounter("tensor.simd.scalar_tail");
+  (void)lanes;
+  vector_ops->Add(static_cast<uint64_t>(n / kW));
+  scalar_tail->Add(static_cast<uint64_t>(n % kW));
+}
+
+// --- Elementwise kernels ----------------------------------------------------
+
+void AddF32(const float* a, const float* b, float* o, int64_t n) {
+  int64_t i = 0;
+  for (; i + kW <= n; i += kW) (VecF32::Load(a + i) + VecF32::Load(b + i)).Store(o + i);
+  for (; i < n; ++i) o[i] = a[i] + b[i];
+}
+
+void SubF32(const float* a, const float* b, float* o, int64_t n) {
+  int64_t i = 0;
+  for (; i + kW <= n; i += kW) (VecF32::Load(a + i) - VecF32::Load(b + i)).Store(o + i);
+  for (; i < n; ++i) o[i] = a[i] - b[i];
+}
+
+void MulF32(const float* a, const float* b, float* o, int64_t n) {
+  int64_t i = 0;
+  for (; i + kW <= n; i += kW) (VecF32::Load(a + i) * VecF32::Load(b + i)).Store(o + i);
+  for (; i < n; ++i) o[i] = a[i] * b[i];
+}
+
+void AddScalarF32(const float* a, float s, float* o, int64_t n) {
+  const VecF32 sv = VecF32::Broadcast(s);
+  int64_t i = 0;
+  for (; i + kW <= n; i += kW) (VecF32::Load(a + i) + sv).Store(o + i);
+  for (; i < n; ++i) o[i] = a[i] + s;
+}
+
+void MulScalarF32(const float* a, float s, float* o, int64_t n) {
+  const VecF32 sv = VecF32::Broadcast(s);
+  int64_t i = 0;
+  for (; i + kW <= n; i += kW) (VecF32::Load(a + i) * sv).Store(o + i);
+  for (; i < n; ++i) o[i] = a[i] * s;
+}
+
+void AddAccF32(const float* a, float* o, int64_t n) {
+  int64_t i = 0;
+  for (; i + kW <= n; i += kW) (VecF32::Load(o + i) + VecF32::Load(a + i)).Store(o + i);
+  for (; i < n; ++i) o[i] += a[i];
+}
+
+void AddScalarAccF32(float s, float* o, int64_t n) {
+  const VecF32 sv = VecF32::Broadcast(s);
+  int64_t i = 0;
+  for (; i + kW <= n; i += kW) (VecF32::Load(o + i) + sv).Store(o + i);
+  for (; i < n; ++i) o[i] += s;
+}
+
+void MulAccF32(const float* a, float s, float* o, int64_t n) {
+  const VecF32 sv = VecF32::Broadcast(s);
+  int64_t i = 0;
+  // Matches `o[i] += s * a[i]` (scale on the left, like AccumulateInto).
+  for (; i + kW <= n; i += kW) (VecF32::Load(o + i) + sv * VecF32::Load(a + i)).Store(o + i);
+  for (; i < n; ++i) o[i] += s * a[i];
+}
+
+void MulPairAccF32(const float* a, const float* b, float* o, int64_t n) {
+  int64_t i = 0;
+  for (; i + kW <= n; i += kW) {
+    (VecF32::Load(o + i) + VecF32::Load(a + i) * VecF32::Load(b + i)).Store(o + i);
+  }
+  for (; i < n; ++i) o[i] += a[i] * b[i];
+}
+
+void AxpyF32(float a, const float* x, float* y, int64_t n) {
+  const VecF32 av = VecF32::Broadcast(a);
+  int64_t i = 0;
+  for (; i + kW <= n; i += kW) (VecF32::Load(y + i) + av * VecF32::Load(x + i)).Store(y + i);
+  for (; i < n; ++i) y[i] += a * x[i];
+}
+
+void ReluF32(const float* a, float* o, int64_t n) {
+  const VecF32 zero = VecF32::Zero();
+  int64_t i = 0;
+  // Blend (not max) so NaN and -0.0 inputs produce exactly what the scalar
+  // ternary `a > 0 ? a : 0` produces: +0.0.
+  for (; i + kW <= n; i += kW) {
+    const VecF32 av = VecF32::Load(a + i);
+    VecF32::Blend(zero, av, VecF32::GtMask(av, zero)).Store(o + i);
+  }
+  for (; i < n; ++i) o[i] = a[i] > 0.0f ? a[i] : 0.0f;
+}
+
+void ReluGradAccF32(const float* g, const float* a, float* ga, int64_t n) {
+  const VecF32 zero = VecF32::Zero();
+  int64_t i = 0;
+  // Lanes with a <= 0 keep their accumulator bits untouched — `+ 0.0f` would
+  // break -0.0 accumulators, so the sum is blended in instead.
+  for (; i + kW <= n; i += kW) {
+    const VecF32 acc = VecF32::Load(ga + i);
+    const VecF32 sum = acc + VecF32::Load(g + i);
+    VecF32::Blend(acc, sum, VecF32::GtMask(VecF32::Load(a + i), zero)).Store(ga + i);
+  }
+  for (; i < n; ++i) {
+    if (a[i] > 0.0f) ga[i] += g[i];
+  }
+}
+
+void LeakyReluF32(const float* a, float slope, float* o, int64_t n) {
+  const VecF32 zero = VecF32::Zero();
+  const VecF32 sv = VecF32::Broadcast(slope);
+  int64_t i = 0;
+  for (; i + kW <= n; i += kW) {
+    const VecF32 av = VecF32::Load(a + i);
+    VecF32::Blend(sv * av, av, VecF32::GtMask(av, zero)).Store(o + i);
+  }
+  for (; i < n; ++i) o[i] = a[i] > 0.0f ? a[i] : slope * a[i];
+}
+
+void LeakyReluGradAccF32(const float* g, const float* a, float slope, float* ga, int64_t n) {
+  const VecF32 zero = VecF32::Zero();
+  const VecF32 one = VecF32::Broadcast(1.0f);
+  const VecF32 sv = VecF32::Broadcast(slope);
+  int64_t i = 0;
+  for (; i + kW <= n; i += kW) {
+    const VecF32 factor = VecF32::Blend(sv, one, VecF32::GtMask(VecF32::Load(a + i), zero));
+    (VecF32::Load(ga + i) + VecF32::Load(g + i) * factor).Store(ga + i);
+  }
+  for (; i < n; ++i) ga[i] += g[i] * (a[i] > 0.0f ? 1.0f : slope);
+}
+
+void SigmoidGradAccF32(const float* g, const float* ov, float* ga, int64_t n) {
+  const VecF32 one = VecF32::Broadcast(1.0f);
+  int64_t i = 0;
+  // Left-assoc (g * ov) * (1 - ov), matching the scalar expression.
+  for (; i + kW <= n; i += kW) {
+    const VecF32 y = VecF32::Load(ov + i);
+    (VecF32::Load(ga + i) + VecF32::Load(g + i) * y * (one - y)).Store(ga + i);
+  }
+  for (; i < n; ++i) ga[i] += g[i] * ov[i] * (1.0f - ov[i]);
+}
+
+void TanhGradAccF32(const float* g, const float* ov, float* ga, int64_t n) {
+  const VecF32 one = VecF32::Broadcast(1.0f);
+  int64_t i = 0;
+  for (; i + kW <= n; i += kW) {
+    const VecF32 y = VecF32::Load(ov + i);
+    (VecF32::Load(ga + i) + VecF32::Load(g + i) * (one - y * y)).Store(ga + i);
+  }
+  for (; i < n; ++i) ga[i] += g[i] * (1.0f - ov[i] * ov[i]);
+}
+
+// --- Reductions -------------------------------------------------------------
+
+float DotF32(const float* a, const float* b, int64_t n) {
+  VecF32 acc = VecF32::Zero();
+  int64_t i = 0;
+  for (; i + kW <= n; i += kW) acc = acc + VecF32::Load(a + i) * VecF32::Load(b + i);
+  float partial[kW];
+  acc.Store(partial);
+  // Fixed left-to-right reduction of the lane partials, then the scalar
+  // tail: deterministic for a given n, ulp-bounded against serial order.
+  float r = partial[0];
+  for (int l = 1; l < kW; ++l) r += partial[l];
+  for (; i < n; ++i) r += a[i] * b[i];
+  return r;
+}
+
+// --- Row-blocked matmul -----------------------------------------------------
+
+namespace {
+
+// Shared implementation: per output row, j-tiles of 4 (then 1) vectors are
+// held in registers across the whole kk loop, so each output element folds
+// its products in ascending-kk order — the scalar accumulation order — while
+// rows of b stream through with unit stride.
+template <typename ALoad, typename BLoad>
+void MatMulRowsImpl(const ALoad& a, const BLoad& b, float* o, int64_t ib, int64_t ie, int k,
+                    int m) {
+  for (int64_t i = ib; i < ie; ++i) {
+    const int64_t abase = i * k;
+    float* orow = o + static_cast<size_t>(i) * m;
+    int j = 0;
+    for (; j + 4 * kW <= m; j += 4 * kW) {
+      VecF32 acc0 = VecF32::Zero();
+      VecF32 acc1 = VecF32::Zero();
+      VecF32 acc2 = VecF32::Zero();
+      VecF32 acc3 = VecF32::Zero();
+      for (int kk = 0; kk < k; ++kk) {
+        const float aik = a.Scalar(abase + kk);
+        if (aik == 0.0f) continue;
+        const VecF32 av = VecF32::Broadcast(aik);
+        const int64_t bbase = static_cast<int64_t>(kk) * m + j;
+        acc0 = acc0 + av * b.Vec(bbase);
+        acc1 = acc1 + av * b.Vec(bbase + kW);
+        acc2 = acc2 + av * b.Vec(bbase + 2 * kW);
+        acc3 = acc3 + av * b.Vec(bbase + 3 * kW);
+      }
+      acc0.Store(orow + j);
+      acc1.Store(orow + j + kW);
+      acc2.Store(orow + j + 2 * kW);
+      acc3.Store(orow + j + 3 * kW);
+    }
+    for (; j + kW <= m; j += kW) {
+      VecF32 acc = VecF32::Zero();
+      for (int kk = 0; kk < k; ++kk) {
+        const float aik = a.Scalar(abase + kk);
+        if (aik == 0.0f) continue;
+        acc = acc + VecF32::Broadcast(aik) * b.Vec(static_cast<int64_t>(kk) * m + j);
+      }
+      acc.Store(orow + j);
+    }
+    for (; j < m; ++j) {
+      float acc = 0.0f;
+      for (int kk = 0; kk < k; ++kk) {
+        const float aik = a.Scalar(abase + kk);
+        if (aik == 0.0f) continue;
+        acc += aik * b.Scalar(static_cast<int64_t>(kk) * m + j);
+      }
+      orow[j] = acc;
+    }
+  }
+}
+
+}  // namespace
+
+void MatMulRowsF32(const float* a, const float* b, float* o, int64_t ib, int64_t ie, int k,
+                   int m) {
+  MatMulRowsImpl(LoadF32{a}, LoadF32{b}, o, ib, ie, k, m);
+}
+
+void MatMulGradARowsF32(const float* g, const float* b, float* ga, int64_t ib, int64_t ie, int k,
+                        int m) {
+  for (int64_t i = ib; i < ie; ++i) {
+    const float* grow = g + static_cast<size_t>(i) * m;
+    float* garow = ga + static_cast<size_t>(i) * k;
+    for (int kk = 0; kk < k; ++kk) {
+      garow[kk] += DotF32(grow, b + static_cast<size_t>(kk) * m, m);
+    }
+  }
+}
+
+void MatMulGradBRowsF32(const float* g, const float* a, float* gb, int64_t kb, int64_t ke, int n,
+                        int k, int m) {
+  for (int i = 0; i < n; ++i) {
+    const float* grow = g + static_cast<size_t>(i) * m;
+    const float* arow = a + static_cast<size_t>(i) * k;
+    for (int64_t kk = kb; kk < ke; ++kk) {
+      const float aik = arow[kk];
+      if (aik == 0.0f) continue;
+      AxpyF32(aik, grow, gb + static_cast<size_t>(kk) * m, m);
+    }
+  }
+}
+
+// --- bf16 kernels -----------------------------------------------------------
+
+void AxpyBf16(float a, const uint16_t* x, float* y, int64_t n) {
+  const VecF32 av = VecF32::Broadcast(a);
+  int64_t i = 0;
+  for (; i + kW <= n; i += kW) (VecF32::Load(y + i) + av * VecF32::LoadBf16(x + i)).Store(y + i);
+  for (; i < n; ++i) y[i] += a * WidenOneBf16(x[i]);
+}
+
+void MatMulRowsMixed(const float* a32, const uint16_t* a16, const float* b32,
+                     const uint16_t* b16, float* o, int64_t ib, int64_t ie, int k, int m) {
+  if (a16 != nullptr && b16 != nullptr) {
+    MatMulRowsImpl(LoadBf16Op{a16}, LoadBf16Op{b16}, o, ib, ie, k, m);
+  } else if (a16 != nullptr) {
+    MatMulRowsImpl(LoadBf16Op{a16}, LoadF32{b32}, o, ib, ie, k, m);
+  } else if (b16 != nullptr) {
+    MatMulRowsImpl(LoadF32{a32}, LoadBf16Op{b16}, o, ib, ie, k, m);
+  } else {
+    MatMulRowsImpl(LoadF32{a32}, LoadF32{b32}, o, ib, ie, k, m);
+  }
+}
+
+void PackBf16(const float* src, uint16_t* dst, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) {
+    uint32_t bits;
+    std::memcpy(&bits, src + i, sizeof(bits));
+    if ((bits & 0x7fffffffu) > 0x7f800000u) {
+      // NaN: keep sign and the high payload bits, force a quiet mantissa bit
+      // so payloads that live only in the low half don't collapse to Inf.
+      dst[i] = static_cast<uint16_t>((bits >> 16) | 0x0040u);
+      continue;
+    }
+    // Round to nearest even: add 0x7fff plus the parity of the kept LSB.
+    bits += 0x7fffu + ((bits >> 16) & 1u);
+    dst[i] = static_cast<uint16_t>(bits >> 16);
+  }
+}
+
+void WidenBf16(const uint16_t* src, float* dst, int64_t n) {
+  int64_t i = 0;
+  for (; i + kW <= n; i += kW) VecF32::LoadBf16(src + i).Store(dst + i);
+  for (; i < n; ++i) dst[i] = WidenOneBf16(src[i]);
+}
+
+}  // namespace revelio::tensor::simd

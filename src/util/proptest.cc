@@ -1,6 +1,9 @@
 #include "util/proptest.h"
 
+#include <cmath>
 #include <cstdlib>
+#include <cstring>
+#include <limits>
 #include <sstream>
 
 namespace revelio::util {
@@ -49,6 +52,101 @@ std::string FormatSeed(uint64_t seed) {
   std::ostringstream out;
   out << "0x" << std::hex << seed;
   return out.str();
+}
+
+namespace {
+
+// Maps the float's bit pattern onto an unsigned key that is monotone in the
+// real-number ordering: negative floats flip all bits, non-negative floats
+// set the sign bit. Adjacent representable floats then differ by exactly 1.
+uint32_t OrderedFloatKey(float f) {
+  uint32_t bits = 0;
+  std::memcpy(&bits, &f, sizeof(bits));
+  return (bits & 0x80000000u) != 0 ? ~bits : bits | 0x80000000u;
+}
+
+bool BitwiseEqual(float a, float b) {
+  uint32_t ab = 0;
+  uint32_t bb = 0;
+  std::memcpy(&ab, &a, sizeof(ab));
+  std::memcpy(&bb, &b, sizeof(bb));
+  return ab == bb;
+}
+
+std::string FormatFloat(float f) {
+  uint32_t bits = 0;
+  std::memcpy(&bits, &f, sizeof(bits));
+  std::ostringstream out;
+  out.precision(9);
+  out << f << " (0x" << std::hex << bits << ")";
+  return out.str();
+}
+
+}  // namespace
+
+std::string Tolerance::Name() const {
+  std::ostringstream out;
+  switch (cls) {
+    case ToleranceClass::kBitwise:
+      out << "bitwise";
+      break;
+    case ToleranceClass::kUlpBounded:
+      out << "ulp-bounded(<=" << max_ulps;
+      if (abs_epsilon > 0.0) out << ",abs<=" << abs_epsilon;
+      out << ")";
+      break;
+    case ToleranceClass::kStatedEpsilon:
+      out << "stated-epsilon(rel=" << rel_epsilon << ",abs=" << abs_epsilon << ")";
+      break;
+  }
+  return out.str();
+}
+
+int64_t UlpDistance(float a, float b) {
+  if (BitwiseEqual(a, b)) return 0;
+  if (std::isnan(a) || std::isnan(b)) return std::numeric_limits<int64_t>::max();
+  const int64_t ka = static_cast<int64_t>(OrderedFloatKey(a));
+  const int64_t kb = static_cast<int64_t>(OrderedFloatKey(b));
+  return ka > kb ? ka - kb : kb - ka;
+}
+
+std::string CompareFloatStreams(const float* actual, const float* expected, int64_t n,
+                                const Tolerance& tol, const std::string& label) {
+  for (int64_t i = 0; i < n; ++i) {
+    const float a = actual[i];
+    const float e = expected[i];
+    bool ok = false;
+    int64_t ulps = 0;
+    switch (tol.cls) {
+      case ToleranceClass::kBitwise:
+        ok = BitwiseEqual(a, e);
+        break;
+      case ToleranceClass::kUlpBounded:
+        ulps = UlpDistance(a, e);
+        ok = ulps <= tol.max_ulps ||
+             (!std::isnan(a) && !std::isnan(e) &&
+              std::abs(static_cast<double>(a) - static_cast<double>(e)) <= tol.abs_epsilon);
+        break;
+      case ToleranceClass::kStatedEpsilon:
+        if (std::isnan(e)) {
+          ok = std::isnan(a);
+        } else if (std::isinf(e)) {
+          ok = a == e;
+        } else {
+          ok = std::abs(static_cast<double>(a) - static_cast<double>(e)) <=
+               tol.abs_epsilon + tol.rel_epsilon * std::abs(static_cast<double>(e));
+        }
+        break;
+    }
+    if (ok) continue;
+    std::ostringstream out;
+    if (!label.empty()) out << label << ": ";
+    out << "element " << i << " of " << n << " violates " << tol.Name() << ": actual "
+        << FormatFloat(a) << " vs expected " << FormatFloat(e);
+    if (tol.cls == ToleranceClass::kUlpBounded) out << ", distance " << ulps << " ulps";
+    return out.str();
+  }
+  return "";
 }
 
 }  // namespace revelio::util

@@ -55,6 +55,59 @@ struct CheckResult {
   int shrink_steps = 0;
 };
 
+// --- Tolerance classes (DESIGN.md §13) ---------------------------------------
+// Equivalence proofs between kernel variants declare how close "equal" is:
+//   kBitwise        identical bit patterns, element by element. The contract
+//                   for kernels that preserve the serial fold order exactly
+//                   (elementwise ops, axpy accumulations, matmul/spmm forward).
+//   kUlpBounded     within `max_ulps` representable-float steps, OR within
+//                   abs_epsilon absolutely (the floor absorbs catastrophic
+//                   cancellation, where a reordered sum lands near zero and
+//                   ulp distance is meaningless). For deterministic
+//                   reductions whose fold order differs from the serial loop
+//                   (lane-partial dot products).
+//   kStatedEpsilon  |a - e| <= abs_epsilon + rel_epsilon * |e|. For reduced-
+//                   precision storage with a proven error model (bf16 RNE:
+//                   rel 2^-8 per rounding).
+enum class ToleranceClass { kBitwise, kUlpBounded, kStatedEpsilon };
+
+struct Tolerance {
+  ToleranceClass cls = ToleranceClass::kBitwise;
+  int64_t max_ulps = 0;      // kUlpBounded
+  double abs_epsilon = 0.0;  // kStatedEpsilon
+  double rel_epsilon = 0.0;  // kStatedEpsilon
+
+  static Tolerance Bitwise() { return {}; }
+  static Tolerance Ulps(int64_t max_ulps, double abs_floor = 0.0) {
+    Tolerance t;
+    t.cls = ToleranceClass::kUlpBounded;
+    t.max_ulps = max_ulps;
+    t.abs_epsilon = abs_floor;
+    return t;
+  }
+  static Tolerance Epsilon(double rel, double abs = 0.0) {
+    Tolerance t;
+    t.cls = ToleranceClass::kStatedEpsilon;
+    t.rel_epsilon = rel;
+    t.abs_epsilon = abs;
+    return t;
+  }
+  // "bitwise", "ulp-bounded(<=N)" or "stated-epsilon(rel=..,abs=..)".
+  std::string Name() const;
+};
+
+// Distance between a and b in representable-float steps (0 iff bitwise
+// equal; INT64_MAX when exactly one is NaN, or both are NaN with different
+// payloads). Adjacent finite floats — including -0.0f vs +0.0f — are 1 apart.
+int64_t UlpDistance(float a, float b);
+
+// Compares two float streams element by element under `tol`. Returns "" when
+// every element passes, else a message naming the first offending index, the
+// two values (bits included) and the measured distance. `label` prefixes the
+// message (e.g. the op under test).
+std::string CompareFloatStreams(const float* actual, const float* expected, int64_t n,
+                                const Tolerance& tol, const std::string& label = "");
+
 // A generator plus optional shrinker/printer for values of type T.
 template <typename T>
 struct Domain {

@@ -13,6 +13,7 @@
 #include "gnn/trainer.h"
 #include "graph/graph.h"
 #include "tensor/ops.h"
+#include "tensor/simd.h"
 #include "tensor/tensor.h"
 #include "util/parallel.h"
 #include "util/rng.h"
@@ -189,6 +190,39 @@ TEST_F(ParallelTest, SegmentSoftmaxBitwiseIdentical) {
   for (int threads : {2, 4}) {
     EXPECT_EQ(RunWithThreads(threads, compute), serial) << threads << " threads";
   }
+}
+
+TEST_F(ParallelTest, OddShapesStayBitwiseAcrossThreadsWithSimd) {
+  // Regression for the SIMD tier (tensor/simd.h): owner-computes chunk
+  // boundaries land mid-vector on shapes that are not multiples of the lane
+  // width, shifting iterations between one chunk's vector body and another's
+  // scalar tail. Those must compute identical bits at every thread count.
+  tensor::simd::SetEnabled(true);
+  struct Shape {
+    int rows, cols;
+  };
+  // 7, 13, 61: coprime to every supported lane width (1/4/8).
+  for (const Shape s : {Shape{601, 61}, Shape{7, 13}, Shape{1, 7}}) {
+    auto compute = [s] {
+      util::Rng rng(11);
+      tensor::Tensor a = tensor::Tensor::Randn(s.rows, s.cols, &rng).WithRequiresGrad();
+      tensor::Tensor b = tensor::Tensor::Randn(s.rows, s.cols, &rng).WithRequiresGrad();
+      tensor::Tensor y = tensor::Relu(tensor::Mul(tensor::Add(a, b), a));
+      tensor::Sum(y).Backward();
+      std::vector<float> flat = y.values();
+      const std::vector<float> ga = a.GradData();
+      const std::vector<float> gb = b.GradData();
+      flat.insert(flat.end(), ga.begin(), ga.end());
+      flat.insert(flat.end(), gb.begin(), gb.end());
+      return flat;
+    };
+    const std::vector<float> serial = RunWithThreads(1, compute);
+    for (int threads : {2, 7, 16}) {
+      EXPECT_EQ(RunWithThreads(threads, compute), serial)
+          << s.rows << "x" << s.cols << " at " << threads << " threads";
+    }
+  }
+  tensor::simd::SetEnabled(tensor::simd::Lanes() > 1);
 }
 
 TEST_F(ParallelTest, GcnTrainingStepBitwiseIdentical) {

@@ -1,0 +1,320 @@
+// bf16 storage tier (tensor/bf16.h, DESIGN.md §13): the conversion's stated
+// error model, proven as properties —
+//   round trip    |x - ToF32(FromF32(x))| <= 2^-8 |x| for finite normal x,
+//   RNE ties      exact halfway patterns round to the even bf16 mantissa,
+//   specials      Inf exact both ways, NaN stays NaN (never collapses to Inf),
+//   monotone      x <= y implies rt(x) <= rt(y) over all finite floats,
+//   kernels       PackBf16/WidenBf16 sweeps match the scalar converts
+//                 bitwise at every tail length, and AxpyBf16 equals AxpyF32
+//                 on the pre-widened array (widening is exact, so the mixed
+//                 loader changes storage, never arithmetic) —
+// plus the engagement contract: eval probes under an EvalScope shift by at
+// most the stated epsilon, and anything touching gradients is bitwise
+// untouched even with the toggle forced on.
+//
+// Every test forces the toggle through SetEvalStorage, never the env, and
+// restores it, so the rest of the suite keeps running pure f32.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+#include "explain/explainer.h"
+#include "gnn/model.h"
+#include "graph/graph.h"
+#include "obs/metrics.h"
+#include "prop/prop_util.h"
+#include "tensor/bf16.h"
+#include "tensor/ops.h"
+#include "tensor/simd.h"
+#include "util/parallel.h"
+#include "util/proptest.h"
+#include "util/rng.h"
+
+namespace revelio::proptest {
+namespace {
+
+using tensor::Tensor;
+namespace bf16 = tensor::bf16;
+
+constexpr uint64_t kSeed = 20260810;
+
+float FromBits(uint32_t bits) {
+  float f = 0.0f;
+  std::memcpy(&f, &bits, sizeof(f));
+  return f;
+}
+
+uint32_t ToBits(float f) {
+  uint32_t bits = 0;
+  std::memcpy(&bits, &f, sizeof(bits));
+  return bits;
+}
+
+std::string DescribeFloat(float f) {
+  std::ostringstream out;
+  out.precision(9);
+  out << f << " (0x" << std::hex << ToBits(f) << ")";
+  return out.str();
+}
+
+// Uniform over the full bit space, re-drawn until finite and normal (the
+// stated relative bound only holds above the subnormal range, where bf16's
+// coarser subnormal spacing takes over).
+util::Domain<float> NormalFloatDomain() {
+  util::Domain<float> domain;
+  domain.generate = [](util::Rng& rng) {
+    for (;;) {
+      const float f = FromBits(static_cast<uint32_t>(rng.NextUint64()));
+      if (std::isfinite(f) && (f == 0.0f || std::fabs(f) >= 1.17549435e-38f)) return f;
+    }
+  };
+  domain.describe = DescribeFloat;
+  return domain;
+}
+
+class Bf16EvalTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    bf16::SetEvalStorage(false);
+    util::SetNumThreads(1);
+  }
+};
+
+TEST_F(Bf16EvalTest, RoundTripWithinStatedEpsilonOnNormals) {
+  const util::CheckResult result = util::ForAll<float>(
+      "bf16_round_trip_epsilon", NormalFloatDomain(),
+      [](float x) -> std::string {
+        const float rt = bf16::ToF32(bf16::FromF32(x));
+        const double bound = std::ldexp(std::fabs(static_cast<double>(x)), -8);
+        if (std::fabs(static_cast<double>(rt) - static_cast<double>(x)) > bound) {
+          return "round trip " + DescribeFloat(rt) + " outside 2^-8 |x| of " + DescribeFloat(x);
+        }
+        if (std::signbit(rt) != std::signbit(x)) {
+          return "round trip lost the sign of " + DescribeFloat(x);
+        }
+        return "";
+      },
+      util::DefaultPropConfig(2000, kSeed));
+  EXPECT_TRUE(result.ok) << result.report;
+}
+
+TEST_F(Bf16EvalTest, RoundsHalfwayCasesToNearestEven) {
+  // 0x3F808000 is exactly halfway between bf16 0x3F80 (1.0) and 0x3F81:
+  // ties go to the even mantissa, i.e. down. One mantissa step up,
+  // 0x3F818000 is halfway between 0x3F81 and 0x3F82: even is up.
+  EXPECT_EQ(bf16::FromF32(FromBits(0x3F808000u)), 0x3F80u);
+  EXPECT_EQ(bf16::FromF32(FromBits(0x3F818000u)), 0x3F82u);
+  // One past halfway always rounds away from the lower neighbor.
+  EXPECT_EQ(bf16::FromF32(FromBits(0x3F808001u)), 0x3F81u);
+  // Just below halfway truncates.
+  EXPECT_EQ(bf16::FromF32(FromBits(0x3F807FFFu)), 0x3F80u);
+  // Sign rides along unchanged.
+  EXPECT_EQ(bf16::FromF32(FromBits(0xBF808000u)), 0xBF80u);
+  EXPECT_EQ(bf16::FromF32(FromBits(0xBF818000u)), 0xBF82u);
+  // Exactly representable values are fixed points.
+  EXPECT_EQ(bf16::FromF32(1.0f), 0x3F80u);
+  EXPECT_EQ(bf16::ToF32(0x3F80u), 1.0f);
+  EXPECT_EQ(bf16::ToF32(bf16::FromF32(0.0f)), 0.0f);
+  EXPECT_TRUE(std::signbit(bf16::ToF32(bf16::FromF32(-0.0f))));
+}
+
+TEST_F(Bf16EvalTest, PreservesInfAndNan) {
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_EQ(bf16::ToF32(bf16::FromF32(inf)), inf);
+  EXPECT_EQ(bf16::ToF32(bf16::FromF32(-inf)), -inf);
+  // A NaN whose payload lives entirely in the truncated low bits must stay
+  // NaN — naive round-and-truncate would collapse 0x7F800001 to Inf.
+  EXPECT_TRUE(std::isnan(bf16::ToF32(bf16::FromF32(FromBits(0x7F800001u)))));
+  EXPECT_TRUE(std::isnan(bf16::ToF32(bf16::FromF32(FromBits(0xFF800001u)))));
+  EXPECT_TRUE(std::isnan(bf16::ToF32(bf16::FromF32(std::nanf("")))));
+  // Large finite values saturating past bf16's largest finite? They cannot:
+  // bf16 shares f32's exponent range, but rounding can carry into Inf at the
+  // very top — that carry must produce a clean Inf, not a NaN pattern.
+  const float near_max = FromBits(0x7F7FFFFFu);  // f32 max: rounds up to Inf
+  EXPECT_TRUE(std::isinf(bf16::ToF32(bf16::FromF32(near_max))));
+}
+
+TEST_F(Bf16EvalTest, ConversionIsMonotoneOverFiniteFloats) {
+  util::Domain<std::pair<float, float>> domain;
+  domain.generate = [](util::Rng& rng) {
+    auto finite = [&rng] {
+      for (;;) {
+        const float f = FromBits(static_cast<uint32_t>(rng.NextUint64()));
+        if (std::isfinite(f)) return f;
+      }
+    };
+    return std::make_pair(finite(), finite());
+  };
+  domain.describe = [](const std::pair<float, float>& p) {
+    return DescribeFloat(p.first) + ", " + DescribeFloat(p.second);
+  };
+  const util::CheckResult result = util::ForAll<std::pair<float, float>>(
+      "bf16_monotone", domain,
+      [](const std::pair<float, float>& p) -> std::string {
+        const float lo = std::min(p.first, p.second);
+        const float hi = std::max(p.first, p.second);
+        if (bf16::ToF32(bf16::FromF32(lo)) > bf16::ToF32(bf16::FromF32(hi))) {
+          return "rounding reordered " + DescribeFloat(lo) + " above " + DescribeFloat(hi);
+        }
+        return "";
+      },
+      util::DefaultPropConfig(2000, kSeed + 1));
+  EXPECT_TRUE(result.ok) << result.report;
+}
+
+TEST_F(Bf16EvalTest, PackAndWidenSweepsMatchScalarConvertsAtEveryTail) {
+  util::Rng rng(kSeed + 2);
+  for (const int n : {1, 2, 3, 5, 7, 8, 9, 15, 16, 17, 31, 32, 33, 100}) {
+    std::vector<float> src(n);
+    for (auto& x : src) x = static_cast<float>(rng.Uniform(-8.0, 8.0));
+    std::vector<uint16_t> packed(n, 0);
+    tensor::simd::PackBf16(src.data(), packed.data(), n);
+    std::vector<float> widened(n, 0.0f);
+    tensor::simd::WidenBf16(packed.data(), widened.data(), n);
+    for (int i = 0; i < n; ++i) {
+      ASSERT_EQ(packed[i], bf16::FromF32(src[i])) << "n=" << n << " i=" << i;
+      ASSERT_EQ(ToBits(widened[i]), ToBits(bf16::ToF32(packed[i]))) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST_F(Bf16EvalTest, AxpyBf16EqualsAxpyOnPreWidenedArray) {
+  // Widening is a zero-extend, so the mixed kernel must be ARITHMETICALLY
+  // identical to f32 axpy on the widened input — storage changes, bits don't.
+  util::Rng rng(kSeed + 3);
+  for (const int n : {1, 7, 8, 13, 64, 101}) {
+    std::vector<float> x(n);
+    for (auto& v : x) v = static_cast<float>(rng.Uniform(-2.0, 2.0));
+    std::vector<uint16_t> packed(n);
+    tensor::simd::PackBf16(x.data(), packed.data(), n);
+    std::vector<float> widened(n);
+    tensor::simd::WidenBf16(packed.data(), widened.data(), n);
+
+    std::vector<float> y_mixed(n, 0.25f);
+    std::vector<float> y_f32(n, 0.25f);
+    const float a = 1.7f;
+    tensor::simd::AxpyBf16(a, packed.data(), y_mixed.data(), n);
+    tensor::simd::AxpyF32(a, widened.data(), y_f32.data(), n);
+    for (int i = 0; i < n; ++i) {
+      ASSERT_EQ(ToBits(y_mixed[i]), ToBits(y_f32[i])) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Engagement contract on real eval probes
+// ---------------------------------------------------------------------------
+
+struct EvalFixture {
+  graph::Graph graph;
+  Tensor features;
+  gnn::GnnModel model;
+  std::vector<double> edge_scores;
+
+  static gnn::GnnConfig Config() {
+    gnn::GnnConfig config;
+    config.arch = gnn::GnnArch::kGcn;
+    config.task = gnn::TaskType::kNodeClassification;
+    config.input_dim = 5;
+    config.hidden_dim = 6;
+    config.num_classes = 2;
+    config.num_layers = 2;
+    config.seed = kSeed + 10;
+    return config;
+  }
+
+  EvalFixture() : model(Config()) {
+    util::Rng rng(kSeed + 11);
+    const int n = 9;
+    graph = graph::Graph(n);
+    for (int v = 0; v < n; ++v) graph.AddUndirectedEdge(v, (v + 1) % n);
+    graph.AddEdge(0, 4);
+    graph.AddEdge(3, 7);
+    features = Tensor::Uniform(n, 5, -1.0f, 1.0f, &rng);
+    model.Freeze();
+    edge_scores.resize(graph.num_edges());
+    for (auto& s : edge_scores) s = rng.Uniform(0.0, 1.0);
+  }
+
+  explain::ExplanationTask Task() const {
+    explain::ExplanationTask task;
+    task.model = &model;
+    task.graph = &graph;
+    task.features = features;
+    task.target_node = 2;
+    task.target_class = 1;
+    return task;
+  }
+};
+
+TEST_F(Bf16EvalTest, FidelityProbesWithinStatedEpsilonAndActuallyPack) {
+  obs::SetEnabled(true);
+  EvalFixture fx;
+  const explain::ExplanationTask task = fx.Task();
+
+  bf16::SetEvalStorage(false);
+  const double fid_minus_f32 = eval::FidelityMinus(task, fx.edge_scores, 0.7);
+  const double fid_plus_f32 = eval::FidelityPlus(task, fx.edge_scores, 0.7);
+
+  obs::Counter* packs = obs::MetricsRegistry::Global().GetCounter("tensor.bf16.packs");
+  const uint64_t packs_before = packs->Total();
+  bf16::SetEvalStorage(true);
+  const double fid_minus_bf16 = eval::FidelityMinus(task, fx.edge_scores, 0.7);
+  const double fid_plus_bf16 = eval::FidelityPlus(task, fx.edge_scores, 0.7);
+  obs::SetEnabled(false);
+
+  // Fidelity is a difference of class probabilities; bf16 operand storage
+  // perturbs each probe by at most a few parts in 2^8 through the frozen
+  // 2-layer model, comfortably inside 0.05 absolute.
+  EXPECT_NEAR(fid_minus_bf16, fid_minus_f32, 0.05);
+  EXPECT_NEAR(fid_plus_bf16, fid_plus_f32, 0.05);
+  EXPECT_GT(packs->Total(), packs_before)
+      << "REVELIO_EVAL_BF16 probes never packed an operand (tier silently off)";
+}
+
+TEST_F(Bf16EvalTest, GradientBearingWorkIsBitwiseUntouchedEvenInScope) {
+  EvalFixture fx;
+  // A mask-training-shaped step: grad-bearing input against frozen weights,
+  // run inside an active EvalScope with the toggle on. The requires-grad gate
+  // must keep every operand in f32, so the result is bitwise identical to the
+  // toggle-off run.
+  auto run_step = [&fx]() {
+    util::Rng rng(kSeed + 12);
+    Tensor x = Tensor::Uniform(9, 5, -1.0f, 1.0f, &rng).WithRequiresGrad();
+    Tensor w = Tensor::Uniform(5, 4, -1.0f, 1.0f, &rng).WithRequiresGrad();
+    Tensor loss = tensor::Sum(tensor::Relu(tensor::MatMul(x, w)));
+    loss.Backward();
+    std::vector<float> stream = {loss.Value()};
+    const std::vector<float> gx = x.GradData();
+    const std::vector<float> gw = w.GradData();
+    stream.insert(stream.end(), gx.begin(), gx.end());
+    stream.insert(stream.end(), gw.begin(), gw.end());
+    return stream;
+  };
+
+  bf16::SetEvalStorage(false);
+  const std::vector<float> reference = run_step();
+
+  bf16::SetEvalStorage(true);
+  {
+    bf16::EvalScope scope;
+    ASSERT_TRUE(bf16::EvalScope::Active());
+    EXPECT_EQ(run_step(), reference) << "bf16 tier leaked into a gradient path";
+  }
+  // Outside any scope the tier must also stay out, toggle notwithstanding.
+  EXPECT_FALSE(bf16::EvalScope::Active());
+  EXPECT_EQ(run_step(), reference);
+}
+
+}  // namespace
+}  // namespace revelio::proptest
